@@ -1,0 +1,102 @@
+//! Ablation studies of the reproduction's own design choices (beyond the
+//! paper's figures):
+//!
+//! 1. **Router buffer depth** — the paper fixes 4-flit buffers; how
+//!    sensitive is runtime to that choice?
+//! 2. **Technology node** — per-event energies at the projected 11 nm
+//!    tri-gate node vs a 45 nm bulk node (validates that the
+//!    standard-cell-derived models scale the right way).
+//! 3. **Sequence-number machinery incidence** — how often does the
+//!    §IV-C-1 reordering logic actually fire per routing policy? (The
+//!    mechanism only earns its storage when broadcast/unicast routes
+//!    split.)
+
+use atac::net::{ReceiveNet, RoutingPolicy};
+use atac::phys::electrical::{LinkModel, RouterModel, RouterParams};
+use atac::phys::stdcell::StdCellLib;
+use atac::phys::tech::TechNode;
+use atac::prelude::*;
+use atac_bench::{base_config, header, run_cached, Table};
+
+fn main() {
+    // ------------------------------------------------------------------
+    header("Ablation 1", "router input-buffer depth (runtime normalized to depth 4)");
+    let benches = [Benchmark::Radix, Benchmark::OceanNonContig];
+    let depths = [2usize, 4, 8];
+    let mut t = Table::new(&["depth 2", "depth 4", "depth 8"]).precision(3);
+    for b in benches {
+        let cycles: Vec<f64> = depths
+            .iter()
+            .map(|&d| {
+                run_cached(
+                    &SimConfig {
+                        buffer_depth: d,
+                        ..base_config()
+                    },
+                    b,
+                )
+                .cycles as f64
+            })
+            .collect();
+        t.row(b.name(), cycles.iter().map(|c| c / cycles[1]).collect());
+    }
+    t.print();
+
+    // ------------------------------------------------------------------
+    header("Ablation 2", "per-event energies: 11 nm tri-gate vs 45 nm bulk");
+    for node in [TechNode::tri_gate_11nm(), TechNode::bulk_45nm()] {
+        let name = node.name;
+        let lib = StdCellLib::new(node);
+        let r = RouterModel::new(&lib, RouterParams::mesh_default());
+        let l = LinkModel::mesh_hop(&lib, 64);
+        println!(
+            "  {:20} router traversal {:7.1} fJ/flit | link hop {:7.1} fJ/flit | router leakage {:7.2} uW",
+            name,
+            r.traversal_energy().value() * 1e15,
+            l.flit_energy.value() * 1e15,
+            r.leakage.value() * 1e6,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    header(
+        "Ablation 3",
+        "§IV-C-1 sequence machinery incidence per routing policy (events per 10k coherence unicasts)",
+    );
+    let mut t = Table::new(&["held unicasts", "buffered bcasts", "stale drops"]).precision(2);
+    for policy in [
+        RoutingPolicy::Cluster,
+        RoutingPolicy::Distance(15),
+        RoutingPolicy::Distance(35),
+    ] {
+        let cfg = SimConfig {
+            arch: Arch::Atac(policy, ReceiveNet::StarNet),
+            ..base_config()
+        };
+        let mut held = 0u64;
+        let mut buffered = 0u64;
+        let mut dropped = 0u64;
+        let mut unicasts = 0u64;
+        for b in [Benchmark::Barnes, Benchmark::DynamicGraph] {
+            let rec = run_cached(&cfg, b);
+            held += rec.coh.seq_buffered_unicasts;
+            buffered += rec.coh.seq_buffered_broadcasts;
+            dropped += rec.coh.seq_dropped_broadcasts;
+            unicasts += rec.net.unicast_messages;
+        }
+        let per10k = 10_000.0 / unicasts.max(1) as f64;
+        t.row(
+            policy.name(),
+            vec![
+                held as f64 * per10k,
+                buffered as f64 * per10k,
+                dropped as f64 * per10k,
+            ],
+        );
+    }
+    t.print();
+    println!(
+        "(The mechanism fires wherever broadcasts and unicasts take different\n\
+         routes; its 16-bit-per-packet cost rides free in the flit padding — §IV-C.)"
+    );
+}

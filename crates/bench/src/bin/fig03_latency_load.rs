@@ -1,0 +1,48 @@
+//! Fig. 3: average packet latency vs offered load under uniform-random
+//! unicast traffic with 0.1 % broadcasts, for the Cluster and Distance-i
+//! routing policies on the ATAC+ network.
+//!
+//! Paper shape targets: Cluster/Distance-5 best at low load; saturation
+//! throughput maximized near Distance-25; Distance-All saturates first.
+
+use atac::net::harness::{run_synthetic, SyntheticConfig};
+use atac::net::{AtacNet, ReceiveNet, RoutingPolicy};
+
+fn main() {
+    let topo = atac_bench::topology();
+    let policies = [
+        RoutingPolicy::Cluster,
+        RoutingPolicy::Distance(5),
+        RoutingPolicy::Distance(15),
+        RoutingPolicy::Distance(25),
+        RoutingPolicy::Distance(35),
+        RoutingPolicy::DistanceAll,
+    ];
+    let loads = [0.01, 0.02, 0.04, 0.06, 0.09, 0.12, 0.16, 0.20];
+
+    atac_bench::header(
+        "Fig. 3",
+        "latency (cycles) vs offered load (flits/cycle/core), uniform random + 0.1% broadcast",
+    );
+    let cols: Vec<String> = loads.iter().map(|l| format!("{l:.2}")).collect();
+    let mut table = atac_bench::Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(1);
+    for policy in policies {
+        let mut row = Vec::new();
+        for &load in &loads {
+            let mut net = AtacNet::new(topo, 64, 4, policy, ReceiveNet::StarNet);
+            let cfg = SyntheticConfig {
+                load,
+                warmup: 500,
+                measure: 2_000,
+                drain: 30_000,
+                ..Default::default()
+            };
+            let r = run_synthetic(&mut net, &cfg);
+            // report saturated points as a capped latency, as plots do
+            row.push(if r.saturated { 999.0 } else { r.avg_latency });
+        }
+        table.row(policy.name(), row);
+    }
+    table.print();
+    println!("(999.0 = saturated: measured packets undelivered at the drain limit)");
+}

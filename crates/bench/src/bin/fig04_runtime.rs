@@ -1,0 +1,32 @@
+//! Fig. 4: application runtime on ATAC+, EMesh-BCast and EMesh-Pure
+//! (normalized to ATAC+).
+//!
+//! Paper shape targets: ATAC+ fastest everywhere; EMesh-Pure
+//! catastrophic on broadcast-heavy apps (dynamic_graph, radix, barnes,
+//! fmm).
+
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 4", "application runtime, normalized to ATAC+");
+    let archs = [Arch::atac_plus(), Arch::EMeshBcast, Arch::EMeshPure];
+    let mut table = Table::new(&["ATAC+", "EMesh-BCast", "EMesh-Pure"]).precision(2);
+    for b in benchmarks() {
+        let cycles: Vec<f64> = archs
+            .iter()
+            .map(|&arch| {
+                run_cached(
+                    &SimConfig {
+                        arch,
+                        ..base_config()
+                    },
+                    b,
+                )
+                .cycles as f64
+            })
+            .collect();
+        table.row(b.name(), cycles.iter().map(|c| c / cycles[0]).collect());
+    }
+    table.print();
+}

@@ -1,0 +1,18 @@
+//! Fig. 5: percentage of unicast vs broadcast traffic, measured at the
+//! receiver, per application (ATAC+ runs).
+//!
+//! Paper shape targets: dynamic_graph/barnes/fmm broadcast-heavy;
+//! lu_contig almost all unicast.
+
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 5", "% unicast vs broadcast traffic (measured at the receiver)");
+    let mut table = Table::new(&["unicast %", "broadcast %"]).precision(1);
+    for b in benchmarks() {
+        let rec = run_cached(&base_config(), b);
+        let bf = rec.net.broadcast_fraction_received() * 100.0;
+        table.row(b.name(), vec![100.0 - bf, bf]);
+    }
+    table.print();
+}

@@ -1,0 +1,17 @@
+//! Fig. 6: offered network load in flits/cycle/core per application
+//! (ATAC+ runs).
+//!
+//! Paper shape targets: radix and the oceans highest; lu_contig lowest.
+
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 6", "offered network load (flits/cycle/core)");
+    let cores = atac_bench::topology().cores();
+    let mut table = Table::new(&["flits/cycle/core"]).precision(4);
+    for b in benchmarks() {
+        let rec = run_cached(&base_config(), b);
+        table.row(b.name(), vec![rec.net.offered_load(cores)]);
+    }
+    table.print();
+}

@@ -1,0 +1,71 @@
+//! Fig. 7: total network + cache energy breakdown, averaged across all
+//! benchmarks, for the four ATAC+ technology flavors (Table IV) and the
+//! two electrical meshes — normalized to ATAC+(Ideal).
+//!
+//! Paper shape targets: laser dominates ATAC+(Cons); ring tuning
+//! dominates RingTuned and Cons; ATAC+ ≈ ATAC+(Ideal); caches > 75 % of
+//! every bar.
+
+use atac::prelude::*;
+use atac_bench::{average_maps, base_config, benchmarks, fig7_categories, header, run_cached, Table};
+
+fn main() {
+    header(
+        "Fig. 7",
+        "network+cache energy breakdown, benchmark average, normalized to ATAC+(Ideal)",
+    );
+    // One ATAC+ run per benchmark serves all four scenarios (energy is
+    // re-integrated); the meshes need their own runs.
+    let mut variants: Vec<(String, Vec<std::collections::BTreeMap<String, f64>>)> = Vec::new();
+    for scen in PhotonicScenario::ALL {
+        let maps: Vec<_> = benchmarks()
+            .into_iter()
+            .map(|b| {
+                let cfg = SimConfig {
+                    scenario: scen,
+                    ..base_config()
+                };
+                fig7_categories(&run_cached(&cfg, b).energy(&cfg))
+            })
+            .collect();
+        variants.push((scen.name().to_string(), maps));
+    }
+    for arch in [Arch::EMeshBcast, Arch::EMeshPure] {
+        let cfg = SimConfig {
+            arch,
+            ..base_config()
+        };
+        let maps: Vec<_> = benchmarks()
+            .into_iter()
+            .map(|b| fig7_categories(&run_cached(&cfg, b).energy(&cfg)))
+            .collect();
+        variants.push((arch.name(), maps));
+    }
+
+    let averaged: Vec<(String, std::collections::BTreeMap<String, f64>)> = variants
+        .into_iter()
+        .map(|(name, maps)| (name, average_maps(&maps)))
+        .collect();
+    let ideal_total: f64 = averaged[0].1.values().sum();
+
+    let categories: Vec<String> = averaged[0].1.keys().cloned().collect();
+    let mut table = Table::new(
+        &categories
+            .iter()
+            .map(String::as_str)
+            .chain(std::iter::once("TOTAL"))
+            .collect::<Vec<_>>(),
+    )
+    .precision(3);
+    for (name, m) in &averaged {
+        let mut row: Vec<f64> = categories.iter().map(|c| m[c] / ideal_total).collect();
+        row.push(m.values().sum::<f64>() / ideal_total);
+        table.row(name.clone(), row);
+    }
+    table.print();
+    // cache fraction sanity line
+    let (name, m) = &averaged[1]; // ATAC+
+    let caches: f64 = ["l1i", "l1d", "l2", "directory"].iter().map(|k| m[*k]).sum();
+    let total: f64 = m.values().sum();
+    println!("({name}: caches are {:.0}% of network+cache energy)", 100.0 * caches / total);
+}

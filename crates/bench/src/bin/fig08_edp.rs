@@ -1,0 +1,50 @@
+//! Fig. 8: normalized energy-delay product per application for the four
+//! ATAC+ flavors and the two meshes (ACKwise4), normalized to
+//! ATAC+(Ideal).
+//!
+//! Paper headline targets: EMesh-BCast ≈ 1.8× and EMesh-Pure ≈ 4.8×
+//! worse EDP than ATAC+ on average; ATAC+ ≈ ATAC+(Ideal).
+
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, geomean, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 8", "normalized energy-delay product (network+cache energy × runtime)");
+    let mut cols: Vec<String> = PhotonicScenario::ALL.iter().map(|s| s.name().to_string()).collect();
+    cols.push("EMesh-BCast".into());
+    cols.push("EMesh-Pure".into());
+    let mut table = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(2);
+
+    let mut ratios_bcast = Vec::new();
+    let mut ratios_pure = Vec::new();
+    for b in benchmarks() {
+        let mut edps = Vec::new();
+        for scen in PhotonicScenario::ALL {
+            let cfg = SimConfig {
+                scenario: scen,
+                ..base_config()
+            };
+            let rec = run_cached(&cfg, b);
+            edps.push(rec.energy(&cfg).network_and_caches().value() * rec.runtime(&cfg));
+        }
+        for arch in [Arch::EMeshBcast, Arch::EMeshPure] {
+            let cfg = SimConfig {
+                arch,
+                ..base_config()
+            };
+            let rec = run_cached(&cfg, b);
+            edps.push(rec.energy(&cfg).network_and_caches().value() * rec.runtime(&cfg));
+        }
+        let ideal = edps[0];
+        let atac_plus = edps[1];
+        ratios_bcast.push(edps[4] / atac_plus);
+        ratios_pure.push(edps[5] / atac_plus);
+        table.row(b.name(), edps.iter().map(|e| e / ideal).collect());
+    }
+    table.print();
+    println!(
+        "\nAverage EDP vs ATAC+ (paper: 1.8x / 4.8x): EMesh-BCast = {:.2}x, EMesh-Pure = {:.2}x",
+        geomean(&ratios_bcast),
+        geomean(&ratios_pure),
+    );
+}

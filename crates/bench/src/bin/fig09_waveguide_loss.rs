@@ -1,0 +1,50 @@
+//! Fig. 9: sensitivity of ATAC+ network+cache energy to waveguide loss,
+//! swept from 0.2 to 4 dB/cm over the ~8 cm ONet serpentine (Table II's
+//! default is 0.2 dB/cm), normalized to EMesh-BCast. The waveguide
+//! non-linearity limit (30 mW) clamps the laser blow-up at the high end.
+//!
+//! Paper shape target: ATAC+ stays below EMesh-BCast up to ~2 dB and
+//! loses clearly at 4 dB.
+
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 9", "energy vs waveguide loss, normalized to EMesh-BCast");
+    // dB/cm sweep points; the model takes the total worst-case path loss.
+    let losses_per_cm = [0.2, 0.5, 1.0, 2.0, 4.0];
+    let length_cm = atac::phys::calib::ONET_WAVEGUIDE_LENGTH_M * 100.0;
+    let losses: Vec<f64> = losses_per_cm.iter().map(|l| l * length_cm).collect();
+    let benches = benchmarks();
+
+    // EMesh-BCast reference energies per benchmark.
+    let mesh_cfg = SimConfig {
+        arch: Arch::EMeshBcast,
+        ..base_config()
+    };
+    let mesh_e: Vec<f64> = benches
+        .iter()
+        .map(|&b| run_cached(&mesh_cfg, b).energy(&mesh_cfg).network_and_caches().value())
+        .collect();
+
+    let cols: Vec<String> = losses_per_cm.iter().map(|l| format!("{l} dB/cm")).collect();
+    let mut table = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(3);
+    let mut avg = vec![0.0; losses.len()];
+    for (bi, &b) in benches.iter().enumerate() {
+        let mut row = Vec::new();
+        for (li, &loss) in losses.iter().enumerate() {
+            let loss: f64 = loss;
+            let cfg = SimConfig {
+                waveguide_loss_db: Some(loss),
+                ..base_config()
+            };
+            let e = run_cached(&cfg, b).energy(&cfg).network_and_caches().value();
+            let norm = e / mesh_e[bi];
+            avg[li] += norm / benches.len() as f64;
+            row.push(norm);
+        }
+        table.row(b.name(), row);
+    }
+    table.row("AVERAGE", avg);
+    table.print();
+}

@@ -1,0 +1,74 @@
+//! Fig. 10: chip area (caches + network) for ATAC+ and the electrical
+//! mesh.
+//!
+//! Paper shape targets: caches ≈ 90 % of total; waveguides + optical
+//! devices ≈ 40 mm²; electrical network components negligible.
+
+use atac::phys::cache_model::{CacheGeometry, CacheModel};
+use atac::phys::electrical::{LinkModel, ReceiveNetModel, RouterModel, RouterParams};
+use atac::phys::photonics::{OpticalLinkModel, PhotonicParams};
+use atac::phys::stdcell::StdCellLib;
+use atac::prelude::*;
+use atac_bench::{header, topology, Table};
+
+fn main() {
+    header("Fig. 10", "chip area breakdown (mm^2), caches + network");
+    let topo = topology();
+    let n = topo.cores() as f64;
+    let lib = StdCellLib::tri_gate_11nm();
+    let mm2 = |a: atac::phys::units::SquareMeters| a.value() * 1e6;
+
+    let l1 = CacheModel::new(&lib, CacheGeometry::l1_32k());
+    let l2 = CacheModel::new(&lib, CacheGeometry::l2_256k());
+    let dir = CacheModel::new(&lib, CacheGeometry::directory(4096, 4, topo.cores() as u64));
+    let router = RouterModel::new(&lib, RouterParams::mesh_default());
+    let link = LinkModel::mesh_hop(&lib, 64);
+    let recv = ReceiveNetModel::new(&lib, 64, topo.cores_per_cluster());
+    let optics = OpticalLinkModel::new(
+        PhotonicParams::default(),
+        PhotonicScenario::Practical,
+        topo.clusters(),
+        64,
+    );
+    let w = topo.width as f64;
+    let h = topo.height as f64;
+    let n_links = 2.0 * (w * (h - 1.0) + h * (w - 1.0));
+
+    let caches = [
+        ("L1-I caches", mm2(l1.area) * n),
+        ("L1-D caches", mm2(l1.area) * n),
+        ("L2 caches", mm2(l2.area) * n),
+        ("Directory caches", mm2(dir.area) * n),
+    ];
+    let electrical = [
+        ("Routers", mm2(router.area) * n),
+        ("Links", mm2(link.area) * n_links),
+    ];
+    let optical = [
+        ("ReceiveNets (StarNet)", mm2(recv.area) * 2.0 * topo.clusters() as f64),
+        ("Hubs", mm2(router.area) * 2.0 * topo.clusters() as f64),
+        ("Waveguides + rings", mm2(optics.optical_area)),
+    ];
+
+    let mut table = Table::new(&["ATAC+", "EMesh"]).precision(1);
+    let mut tot_atac = 0.0;
+    let mut tot_mesh = 0.0;
+    for (name, a) in caches {
+        table.row(name, vec![a, a]);
+        tot_atac += a;
+        tot_mesh += a;
+    }
+    for (name, a) in electrical {
+        table.row(name, vec![a, a]);
+        tot_atac += a;
+        tot_mesh += a;
+    }
+    for (name, a) in optical {
+        table.row(name, vec![a, 0.0]);
+        tot_atac += a;
+    }
+    table.row("TOTAL", vec![tot_atac, tot_mesh]);
+    table.print();
+    let cache_total: f64 = [mm2(l1.area) * 2.0 * n, mm2(l2.area) * n, mm2(dir.area) * n].iter().sum();
+    println!("(caches are {:.0}% of the ATAC+ total)", 100.0 * cache_total / tot_atac);
+}

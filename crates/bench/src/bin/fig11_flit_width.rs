@@ -1,0 +1,68 @@
+//! Fig. 11: ATAC+ application runtime as the flit width is varied from
+//! 16 to 256 bits (normalized to 64 bits), plus the optical-area cost
+//! that motivates the paper's choice of 64 bits.
+//!
+//! Paper shape targets: ~50 % improvement 16→64 bits, ~10 % 64→256;
+//! optical area ≈ 160 mm² at 256 bits.
+
+use atac::phys::photonics::{OpticalLinkModel, PhotonicParams};
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 11", "runtime vs flit width (normalized to 64 bits)");
+    let widths = [16u32, 32, 64, 128, 256];
+    let cols: Vec<String> = widths.iter().map(|w| format!("{w}b")).collect();
+    let mut table = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(2);
+    let mut avg = vec![0.0; widths.len()];
+    let benches = benchmarks();
+    for &b in &benches {
+        let cycles: Vec<f64> = widths
+            .iter()
+            .map(|&wdt| {
+                run_cached(
+                    &SimConfig {
+                        flit_width: wdt,
+                        ..base_config()
+                    },
+                    b,
+                )
+                .cycles as f64
+            })
+            .collect();
+        let base = cycles[2]; // 64-bit
+        let row: Vec<f64> = cycles.iter().map(|c| c / base).collect();
+        for (i, v) in row.iter().enumerate() {
+            avg[i] += v / benches.len() as f64;
+        }
+        table.row(b.name(), row);
+    }
+    table.row("AVERAGE", avg);
+    table.print();
+
+    println!("\nOptical area by flit width (the reason the paper picks 64 bits):");
+    for &wdt in &widths {
+        let o = OpticalLinkModel::new(
+            PhotonicParams::default(),
+            PhotonicScenario::Practical,
+            atac_bench::topology().clusters(),
+            wdt as usize,
+        );
+        println!("  {:4} bits: {:6.1} mm^2", wdt, o.optical_area.value() * 1e6);
+    }
+
+    // §V-D's closing argument: SerDes could shrink the 256-bit optics,
+    // but the paper rejects it for power/latency. Quantified:
+    let lib = atac::phys::stdcell::StdCellLib::tri_gate_11nm();
+    let (area_saved, extra_e, extra_lat) = atac::phys::serdes::serdes_tradeoff(
+        &lib,
+        atac_bench::topology().clusters(),
+        256,
+        4,
+    );
+    println!(
+        "\nSerDes check (256-bit flit, 4:1): saves {area_saved:.0} mm^2 of optics but adds \
+         {:.1} pJ/flit and {extra_lat} cycles/flit — the overhead the paper declines (§V-D).",
+        extra_e.value() * 1e12
+    );
+}

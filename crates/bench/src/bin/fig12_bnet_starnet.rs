@@ -1,0 +1,38 @@
+//! Fig. 12: energy effect of replacing the broadcast BNet with the
+//! point-to-point StarNet, under *cluster* routing (isolating the
+//! receive-network change). First bar = BNet, second = StarNet,
+//! normalized to BNet.
+//!
+//! Paper shape targets: ~8 % average total-energy reduction; larger on
+//! unicast-heavy apps (radix, ocean_contig), small on barnes.
+//!
+//! Timing is identical for both receive nets (both are 1-cycle), so a
+//! single simulation per benchmark is re-integrated under each flavor.
+
+use atac::net::{ReceiveNet, RoutingPolicy};
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 12", "BNet vs StarNet energy (cluster routing), normalized to BNet");
+    let mut table = Table::new(&["BNet", "StarNet"]).precision(3);
+    let mut avg = 0.0;
+    let benches = benchmarks();
+    for &b in &benches {
+        let bnet_cfg = SimConfig {
+            arch: Arch::Atac(RoutingPolicy::Cluster, ReceiveNet::BNet),
+            ..base_config()
+        };
+        let star_cfg = SimConfig {
+            arch: Arch::Atac(RoutingPolicy::Cluster, ReceiveNet::StarNet),
+            ..base_config()
+        };
+        let rec = run_cached(&bnet_cfg, b); // identical timing for both
+        let e_bnet = rec.energy(&bnet_cfg).network_and_caches().value();
+        let e_star = rec.energy(&star_cfg).network_and_caches().value();
+        avg += e_star / e_bnet / benches.len() as f64;
+        table.row(b.name(), vec![1.0, e_star / e_bnet]);
+    }
+    table.print();
+    println!("\nAverage StarNet/BNet energy: {avg:.3} (paper: ~0.92, an 8% reduction)");
+}

@@ -1,0 +1,46 @@
+//! Fig. 13: energy-delay product of the cluster-based and distance-based
+//! unicast routing policies, normalized to Cluster.
+//!
+//! Paper shape targets: Distance-15 lowest EDP (~10 % below Cluster);
+//! gains largest on unicast-heavy apps.
+
+use atac::net::{ReceiveNet, RoutingPolicy};
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, geomean, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 13", "EDP of routing policies, normalized to Cluster");
+    let policies = [
+        RoutingPolicy::Cluster,
+        RoutingPolicy::Distance(5),
+        RoutingPolicy::Distance(15),
+        RoutingPolicy::Distance(25),
+        RoutingPolicy::Distance(35),
+    ];
+    let cols: Vec<String> = policies.iter().map(|p| p.name()).collect();
+    let mut table = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(3);
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for b in benchmarks() {
+        let edps: Vec<f64> = policies
+            .iter()
+            .map(|&p| {
+                let cfg = SimConfig {
+                    arch: Arch::Atac(p, ReceiveNet::StarNet),
+                    ..base_config()
+                };
+                run_cached(&cfg, b).edp(&cfg)
+            })
+            .collect();
+        let base = edps[0];
+        let row: Vec<f64> = edps.iter().map(|e| e / base).collect();
+        for (i, v) in row.iter().enumerate() {
+            per_policy[i].push(*v);
+        }
+        table.row(b.name(), row);
+    }
+    table.row(
+        "GEOMEAN",
+        per_policy.iter().map(|v| geomean(v)).collect(),
+    );
+    table.print();
+}

@@ -1,0 +1,33 @@
+//! Fig. 15: ATAC+ completion time as the number of ACKwise hardware
+//! sharers varies over {4, 8, 16, 32, 1024}, normalized to k = 4.
+//!
+//! Paper shape target: little variation and no monotonic trend — the
+//! broadcast-vs-multiple-unicast contention effects cancel.
+
+use atac::coherence::ProtocolKind;
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 15", "completion time vs ACKwise sharers (normalized to k=4)");
+    let ks = [4usize, 8, 16, 32, 1024];
+    let cols: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
+    let mut table = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(3);
+    for b in benchmarks() {
+        let cycles: Vec<f64> = ks
+            .iter()
+            .map(|&k| {
+                run_cached(
+                    &SimConfig {
+                        protocol: ProtocolKind::AckWise { k },
+                        ..base_config()
+                    },
+                    b,
+                )
+                .cycles as f64
+            })
+            .collect();
+        table.row(b.name(), cycles.iter().map(|c| c / cycles[0]).collect());
+    }
+    table.print();
+}

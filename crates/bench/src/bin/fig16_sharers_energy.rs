@@ -1,0 +1,45 @@
+//! Fig. 16: ATAC+ energy breakdown as the ACKwise sharer count varies
+//! from 4 to 1024, normalized to k = 4.
+//!
+//! Paper shape target: ~2× energy growth from k=4 to k=1024, driven by
+//! the directory cache (whose entry width saturates at a full map).
+
+use atac::coherence::ProtocolKind;
+use atac::prelude::*;
+use atac_bench::{average_maps, base_config, benchmarks, fig7_categories, header, run_cached, Table};
+
+fn main() {
+    header("Fig. 16", "energy breakdown vs ACKwise sharers (benchmark average, normalized to k=4)");
+    let ks = [4usize, 8, 16, 32, 1024];
+    let mut per_k = Vec::new();
+    for &k in &ks {
+        let cfg_for = |k| SimConfig {
+            protocol: ProtocolKind::AckWise { k },
+            ..base_config()
+        };
+        let maps: Vec<_> = benchmarks()
+            .into_iter()
+            .map(|b| {
+                let cfg = cfg_for(k);
+                fig7_categories(&run_cached(&cfg, b).energy(&cfg))
+            })
+            .collect();
+        per_k.push(average_maps(&maps));
+    }
+    let base_total: f64 = per_k[0].values().sum();
+    let categories: Vec<String> = per_k[0].keys().cloned().collect();
+    let mut table = Table::new(
+        &categories
+            .iter()
+            .map(String::as_str)
+            .chain(std::iter::once("TOTAL"))
+            .collect::<Vec<_>>(),
+    )
+    .precision(3);
+    for (k, m) in ks.iter().zip(&per_k) {
+        let mut row: Vec<f64> = categories.iter().map(|c| m[c] / base_total).collect();
+        row.push(m.values().sum::<f64>() / base_total);
+        table.row(format!("k={k}"), row);
+    }
+    table.print();
+}

@@ -1,0 +1,46 @@
+//! Fig. 17: chip energy (core + cache + network) for core NDD power at
+//! 10 % and 40 % of peak, ATAC+ vs EMesh-BCast, normalized to ATAC+ at
+//! each NDD level.
+//!
+//! Paper shape targets: the core dwarfs caches and network; EMesh's
+//! longer runtimes inflate its core-NDD energy; fmm shows ~no difference.
+
+use atac::prelude::*;
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    for ndd in [0.1, 0.4] {
+        header(
+            "Fig. 17",
+            &format!("chip energy breakdown at {}% core NDD power (normalized to ATAC+ total)", (ndd * 100.0) as u32),
+        );
+        let mut table = Table::new(&[
+            "A+ core-ndd", "A+ core-dd", "A+ cache", "A+ net",
+            "EM core-ndd", "EM core-dd", "EM cache", "EM net",
+        ])
+        .precision(3);
+        for b in benchmarks() {
+            let mut row = Vec::new();
+            let mut atac_total = 0.0;
+            for arch in [Arch::atac_plus(), Arch::EMeshBcast] {
+                let cfg = SimConfig {
+                    arch,
+                    core_ndd_fraction: ndd,
+                    ..base_config()
+                };
+                let e = run_cached(&cfg, b).energy(&cfg);
+                if atac_total == 0.0 {
+                    atac_total = e.total().value();
+                }
+                row.extend([
+                    e.core_ndd.value() / atac_total,
+                    e.core_dd.value() / atac_total,
+                    e.caches().value() / atac_total,
+                    e.network().value() / atac_total,
+                ]);
+            }
+            table.row(b.name(), row);
+        }
+        table.print();
+    }
+}

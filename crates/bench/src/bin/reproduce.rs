@@ -1,0 +1,39 @@
+//! Regenerate every table and figure in order. Completed simulations are
+//! cached under `target/atac-results/`, so re-runs are cheap and the
+//! individual `figNN_*` binaries reuse the same runs.
+//!
+//! Environment knobs: `ATAC_CORES=64|256|1024` (default 1024),
+//! `ATAC_BENCHES=radix,barnes,...` (default all eight).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tables",
+        "fig03_latency_load",
+        "fig04_runtime",
+        "fig05_traffic_mix",
+        "fig06_offered_load",
+        "fig07_energy_breakdown",
+        "fig08_edp",
+        "fig09_waveguide_loss",
+        "fig10_area",
+        "fig11_flit_width",
+        "fig12_bnet_starnet",
+        "fig13_routing_edp",
+        "fig14_protocol_edp",
+        "fig15_sharers_delay",
+        "fig16_sharers_energy",
+        "fig17_core_power",
+        "table05_swmr",
+        "ablation",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,25 @@
+//! Table V: adaptive SWMR link utilization and the average number of
+//! unicast packets between successive broadcasts, per application.
+//!
+//! Paper shape targets: links idle 70–90 % of the time; barnes/fmm/
+//! dynamic_graph have the fewest unicasts per broadcast, lu_contig by
+//! far the most.
+
+use atac_bench::{base_config, benchmarks, header, run_cached, Table};
+
+fn main() {
+    header("Table V", "adaptive SWMR link utilization; unicasts between broadcasts");
+    let hubs = atac_bench::topology().clusters();
+    let mut table = Table::new(&["utilization %", "unicasts/broadcast"]).precision(1);
+    for b in benchmarks() {
+        let rec = run_cached(&base_config(), b);
+        table.row(
+            b.name(),
+            vec![
+                rec.net.swmr_utilization(hubs) * 100.0,
+                rec.net.unicasts_per_broadcast(),
+            ],
+        );
+    }
+    table.print();
+}

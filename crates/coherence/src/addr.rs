@@ -1,0 +1,87 @@
+//! Physical addresses and the static home / memory-controller maps.
+
+use atac_net::{ClusterId, CoreId, Topology};
+
+/// Cache line size in bytes (paper: 64-byte cache blocks).
+pub const LINE_BYTES: u64 = 64;
+
+/// A byte-granular physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Line index at the given line size.
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> u64 {
+        self.0 / line_bytes
+    }
+
+    /// Line-aligned address at the given line size.
+    #[inline]
+    pub fn line_addr(self, line_bytes: u64) -> u64 {
+        self.0 & !(line_bytes - 1)
+    }
+
+    /// Line-aligned `Addr` at the protocol line size.
+    #[inline]
+    pub fn line_base(self) -> Addr {
+        Addr(self.line_addr(LINE_BYTES))
+    }
+
+    /// The home core of this address: the directory is distributed evenly
+    /// across all cores by line interleaving ("each core is the home for
+    /// a set of addresses; the allocation policy is statically defined",
+    /// §III-B).
+    #[inline]
+    pub fn home(self, topo: &Topology) -> CoreId {
+        CoreId((self.line(LINE_BYTES) % topo.cores() as u64) as u16)
+    }
+
+    /// The memory controller serving this address: 64 controllers, one
+    /// per cluster (§III-B), line-interleaved. Returns the cluster whose
+    /// hub tile hosts the controller.
+    #[inline]
+    pub fn mem_cluster(self, topo: &Topology) -> ClusterId {
+        ClusterId(((self.line(LINE_BYTES) / topo.cores() as u64) % topo.clusters() as u64) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        let a = Addr(0x1073);
+        assert_eq!(a.line(64), 0x41);
+        assert_eq!(a.line_addr(64), 0x1040);
+        assert_eq!(a.line_base(), Addr(0x1040));
+    }
+
+    #[test]
+    fn homes_cover_all_cores_evenly() {
+        let t = Topology::atac_1024();
+        let mut counts = vec![0u32; t.cores()];
+        for i in 0..4096u64 {
+            counts[Addr(i * LINE_BYTES).home(&t).idx()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn same_line_same_home() {
+        let t = Topology::atac_1024();
+        assert_eq!(Addr(0x1000).home(&t), Addr(0x103f).home(&t));
+        assert_ne!(Addr(0x1000).home(&t), Addr(0x1040).home(&t));
+    }
+
+    #[test]
+    fn mem_controllers_cover_all_clusters() {
+        let t = Topology::small(8, 4);
+        let mut seen = vec![false; t.clusters()];
+        for i in 0..1024u64 {
+            seen[Addr(i * LINE_BYTES).mem_cluster(&t).idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,38 @@
+//! # atac-coherence — memory subsystem and cache-coherence protocols
+//!
+//! The memory-side substrate of the ATAC+ reproduction:
+//!
+//! * [`cache`] — set-associative L1-I/L1-D/L2 arrays with MSI states and
+//!   LRU replacement (paper Table I geometries: 32 KB L1s, 256 KB L2,
+//!   64-byte lines).
+//! * [`directory`] — directory entries for the **ACKwise_k** and
+//!   **Dir_kB** limited-directory protocols (paper §III-B, §V-F),
+//!   including the global-bit overflow regimes that differentiate them.
+//! * [`protocol`] — the coherence message vocabulary with the paper's
+//!   §IV-C message sizes (88-bit control, 600-bit data, 16-bit sequence
+//!   numbers riding free).
+//! * [`memctrl`] — the 64 per-cluster memory controllers (5 GB/s,
+//!   100 ns — Table I) as single-server queues.
+//! * [`system`] — [`system::MemorySystem`]: the full chip-wide protocol
+//!   engine, including the ATAC+ §IV-C-1 sequence-number reordering logic
+//!   that keeps coherence correct when broadcasts (ONet) and unicasts
+//!   (ENet/ONet by distance) take different routes.
+//!
+//! The engine drives any `atac_net::Network`; integration tests in
+//! `tests/` run it over the real ATAC+ and electrical-mesh simulators and
+//! check the single-writer and directory-accuracy invariants under random
+//! workloads.
+
+pub mod addr;
+pub mod cache;
+pub mod directory;
+pub mod memctrl;
+pub mod protocol;
+pub mod stats;
+pub mod system;
+
+pub use addr::{Addr, LINE_BYTES};
+pub use cache::{LineState, SetAssocCache, Victim};
+pub use protocol::{CohKind, CohPayload, ProtocolKind};
+pub use stats::CoherenceStats;
+pub use system::{AccessResult, MemorySystem, L1_HIT_LATENCY, L2_HIT_LATENCY};

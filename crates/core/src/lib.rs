@@ -1,0 +1,106 @@
+//! # atac — end-to-end evaluation framework for the ATAC+ nanophotonic
+//! 1024-core architecture
+//!
+//! This is the umbrella crate of a full reproduction of *"Cross-layer
+//! Energy and Performance Evaluation of a Nanophotonic Manycore Processor
+//! System Using Real Application Workloads"* (Kurian et al., IPDPS 2012).
+//! It re-exports the five substrate crates and provides the high-level
+//! experiment API the examples and the figure-regeneration harness use.
+//!
+//! ## Layers
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`phys`] | `atac-phys` | 11 nm electrical + photonic device models (DSENT/McPAT substitute) |
+//! | [`net`] | `atac-net` | cycle-level NoC simulator: EMesh-Pure/BCast, ATAC, ATAC+ |
+//! | [`coherence`] | `atac-coherence` | caches + ACKwise_k / Dir_kB directory protocols |
+//! | [`workloads`] | `atac-workloads` | SPLASH-2-class application kernels + dynamic graph |
+//! | [`sim`] | `atac-sim` | execution-driven full-system simulator + energy integration |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use atac::prelude::*;
+//!
+//! // A 64-core chip for a fast demonstration (the paper's chip is
+//! // Topology::atac_1024()).
+//! let cfg = SimConfig {
+//!     topo: Topology::small(8, 4),
+//!     arch: Arch::atac_plus(),
+//!     ..SimConfig::default()
+//! };
+//! let result = atac::run_benchmark(&cfg, Benchmark::OceanContig, Scale::Test);
+//! assert!(result.cycles > 0);
+//! println!(
+//!     "{} on {}: {} cycles, {:.3e} J, EDP {:.3e} J·s",
+//!     result.workload,
+//!     result.arch,
+//!     result.cycles,
+//!     result.energy.total().value(),
+//!     result.edp(&cfg),
+//! );
+//! ```
+
+pub use atac_coherence as coherence;
+pub use atac_net as net;
+pub use atac_phys as phys;
+pub use atac_sim as sim;
+pub use atac_workloads as workloads;
+
+pub use atac_sim::{run, Arch, EnergyBreakdown, SimConfig, SimResult};
+pub use atac_workloads::{Benchmark, Scale};
+
+/// Everything needed to configure and run an experiment.
+pub mod prelude {
+    pub use crate::coherence::ProtocolKind;
+    pub use crate::net::{ReceiveNet, RoutingPolicy, Topology};
+    pub use crate::phys::PhotonicScenario;
+    pub use crate::sim::{run, Arch, EnergyBreakdown, SimConfig, SimResult};
+    pub use crate::workloads::{Benchmark, Scale};
+}
+
+/// Build the named benchmark for `cfg`'s core count and run it to
+/// completion. Deterministic: identical inputs produce identical results.
+pub fn run_benchmark(
+    cfg: &SimConfig,
+    benchmark: Benchmark,
+    scale: Scale,
+) -> SimResult {
+    let workload = benchmark.build(cfg.topo.cores(), scale);
+    atac_sim::run(cfg, &workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let cfg = SimConfig {
+            topo: Topology::small(8, 4),
+            ..SimConfig::default()
+        };
+        let r = crate::run_benchmark(&cfg, Benchmark::LuContig, Scale::Test);
+        assert!(r.cycles > 0);
+        assert!(r.energy.total().value() > 0.0);
+        assert!(r.edp(&cfg) > 0.0);
+    }
+
+    #[test]
+    fn public_api_covers_the_paper_matrix() {
+        // All four architectures, both protocols, all four scenarios are
+        // reachable through the prelude.
+        let _ = [
+            Arch::EMeshPure,
+            Arch::EMeshBcast,
+            Arch::atac_baseline(),
+            Arch::atac_plus(),
+        ];
+        let _ = [
+            ProtocolKind::AckWise { k: 4 },
+            ProtocolKind::DirB { k: 4 },
+        ];
+        let _ = PhotonicScenario::ALL;
+        let _ = Benchmark::ALL;
+    }
+}

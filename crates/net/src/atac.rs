@@ -1,0 +1,469 @@
+//! The composite ATAC / ATAC+ network: ENet mesh + ONet SWMR links +
+//! per-cluster receive networks, under a configurable unicast routing
+//! policy.
+//!
+//! Routing rules (§III-A, §IV-C):
+//!
+//! * broadcasts always go core →(ENet)→ local hub →(ONet)→ every hub
+//!   →(BNet/StarNet)→ cores;
+//! * intra-cluster unicasts always use only the ENet;
+//! * inter-cluster unicasts depend on the policy:
+//!   - **Cluster** (baseline ATAC): always via the ONet;
+//!   - **Distance-i** (ATAC+): via the ENet when the sender–receiver
+//!     manhattan distance is *below* `i` hops, via the ONet otherwise;
+//!   - **Distance-All**: always via the ENet (ONet reserved for
+//!     broadcasts).
+//!
+//! The choice of BNet vs StarNet affects *energy only* (both are 1-cycle,
+//! Table I); the network records receive-net flit counters and the energy
+//! integration in `atac-sim` applies the per-flit energies of whichever
+//! receive net the configuration selects.
+
+use crate::mesh::{Mesh, MeshKind};
+use crate::onet::Onet;
+use crate::stats::NetStats;
+use crate::topology::Topology;
+use crate::types::{Cycle, Delivery, Dest, Message};
+
+/// Unicast routing policy for inter-cluster traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Baseline ATAC: all inter-cluster unicasts over the ONet.
+    Cluster,
+    /// ATAC+ Distance-i: ENet below `i` hops, ONet at or above.
+    Distance(u32),
+    /// All unicasts over the ENet; ONet only for broadcasts.
+    DistanceAll,
+}
+
+impl RoutingPolicy {
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            RoutingPolicy::Cluster => "Cluster".to_string(),
+            RoutingPolicy::Distance(i) => format!("Distance-{i}"),
+            RoutingPolicy::DistanceAll => "Distance-All".to_string(),
+        }
+    }
+}
+
+/// The per-cluster receive network flavor (energy model selector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveNet {
+    /// ATAC's broadcast fan-out tree (always drives all 16 cores).
+    BNet,
+    /// ATAC+'s 1:16 demux + point-to-point links.
+    StarNet,
+}
+
+/// A unified interface over all four evaluated networks, letting the
+/// full-system simulator and harnesses swap architectures freely.
+pub trait Network {
+    /// Inject a message; `false` = back-pressure, retry later.
+    fn try_send(&mut self, msg: Message, now: Cycle) -> bool;
+    /// Advance one cycle.
+    fn tick(&mut self, now: Cycle);
+    /// Move accumulated deliveries into `out`.
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>);
+    /// No traffic anywhere in the network.
+    fn is_idle(&self) -> bool;
+    /// Flit width in bits.
+    fn flit_width(&self) -> u32;
+    /// Number of cores the network connects.
+    fn cores(&self) -> usize;
+    /// Snapshot of the merged event counters.
+    fn stats(&self) -> NetStats;
+    /// Architecture name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl Network for Mesh {
+    fn try_send(&mut self, msg: Message, now: Cycle) -> bool {
+        Mesh::try_send(self, msg, now)
+    }
+    fn tick(&mut self, now: Cycle) {
+        Mesh::tick(self, now)
+    }
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        Mesh::drain_deliveries(self, out)
+    }
+    fn is_idle(&self) -> bool {
+        Mesh::is_idle(self)
+    }
+    fn flit_width(&self) -> u32 {
+        Mesh::flit_width(self)
+    }
+    fn cores(&self) -> usize {
+        self.topology().cores()
+    }
+    fn stats(&self) -> NetStats {
+        self.stats.clone()
+    }
+    fn name(&self) -> &'static str {
+        match self.kind() {
+            MeshKind::Pure => "EMesh-Pure",
+            MeshKind::BcastTree => "EMesh-BCast",
+        }
+    }
+}
+
+/// The ATAC / ATAC+ network.
+pub struct AtacNet {
+    topo: Topology,
+    enet: Mesh,
+    onet: Onet,
+    policy: RoutingPolicy,
+    receive_net: ReceiveNet,
+}
+
+impl AtacNet {
+    /// Build an ATAC-family network.
+    ///
+    /// * baseline ATAC: `RoutingPolicy::Cluster` + `ReceiveNet::BNet`
+    /// * ATAC+: `RoutingPolicy::Distance(15)` + `ReceiveNet::StarNet`
+    ///   (the configuration §V-E settles on)
+    pub fn new(
+        topo: Topology,
+        flit_width: u32,
+        buffer_depth: usize,
+        policy: RoutingPolicy,
+        receive_net: ReceiveNet,
+    ) -> Self {
+        AtacNet {
+            topo,
+            enet: Mesh::new(topo, MeshKind::Pure, flit_width, buffer_depth),
+            onet: Onet::new(topo, flit_width),
+            policy,
+            receive_net,
+        }
+    }
+
+    /// The paper's ATAC+ default (Distance-15, StarNet, 64-bit flits).
+    pub fn atac_plus(topo: Topology) -> Self {
+        Self::new(topo, 64, 4, RoutingPolicy::Distance(15), ReceiveNet::StarNet)
+    }
+
+    /// The baseline ATAC (Cluster routing, BNet, 64-bit flits).
+    pub fn atac_baseline(topo: Topology) -> Self {
+        Self::new(topo, 64, 4, RoutingPolicy::Cluster, ReceiveNet::BNet)
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configured receive network flavor (for energy integration).
+    pub fn receive_net(&self) -> ReceiveNet {
+        self.receive_net
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Should this unicast use the ONet?
+    fn via_onet(&self, msg: &Message) -> bool {
+        match msg.dest {
+            Dest::Broadcast => true,
+            Dest::Unicast(dst) => {
+                if self.topo.cluster_of(msg.src) == self.topo.cluster_of(dst) {
+                    return false; // intra-cluster: always pure ENet
+                }
+                match self.policy {
+                    RoutingPolicy::Cluster => true,
+                    RoutingPolicy::Distance(r) => self.topo.manhattan(msg.src, dst) >= r,
+                    RoutingPolicy::DistanceAll => false,
+                }
+            }
+        }
+    }
+}
+
+impl Network for AtacNet {
+    fn try_send(&mut self, msg: Message, now: Cycle) -> bool {
+        if self.via_onet(&msg) {
+            let ok = self.enet.try_send_to_hub(msg, now);
+            if ok {
+                // Count the message at its true injection point.
+                match msg.dest {
+                    Dest::Unicast(_) => self.enet.stats.unicast_messages += 1,
+                    Dest::Broadcast => self.enet.stats.broadcast_messages += 1,
+                }
+            }
+            ok
+        } else {
+            self.enet.try_send(msg, now)
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.enet.tick(now);
+        // Hub: move completed ENet ejections onto the SWMR links.
+        for cl in 0..self.topo.clusters() {
+            let cl = crate::types::ClusterId(cl as u8);
+            while self.onet.can_accept(cl) && self.enet.hub_out_ready(cl) {
+                let (msg, inject) = self.enet.pop_hub_out(cl).expect("ready");
+                self.onet.stats.hub_buffer_reads += 1;
+                self.onet.accept(cl, msg, inject);
+            }
+        }
+        self.onet.tick(now);
+    }
+
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        self.enet.drain_deliveries(out);
+        self.onet.drain_deliveries(out);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.enet.is_idle() && self.onet.is_idle()
+    }
+
+    fn flit_width(&self) -> u32 {
+        self.enet.flit_width()
+    }
+
+    fn cores(&self) -> usize {
+        self.topo.cores()
+    }
+
+    fn stats(&self) -> NetStats {
+        let mut s = self.enet.stats.clone();
+        let o = &self.onet.stats;
+        // Merge, but keep injection-side message counts from the ENet side
+        // (they were counted at try_send) and delivery counts from both.
+        let cycles = s.cycles;
+        s.merge(o);
+        s.cycles = cycles.max(o.cycles);
+        s
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.policy, self.receive_net) {
+            (RoutingPolicy::Cluster, ReceiveNet::BNet) => "ATAC",
+            _ => "ATAC+",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CoreId, MessageClass};
+
+    fn topo() -> Topology {
+        Topology::small(8, 4)
+    }
+
+    fn msg(src: u16, dest: Dest) -> Message {
+        Message {
+            src: CoreId(src),
+            dest,
+            class: MessageClass::Control,
+            token: 0,
+        }
+    }
+
+    fn run<N: Network + ?Sized>(net: &mut N, start: Cycle, max: u64) -> (Vec<Delivery>, Cycle) {
+        let mut out = Vec::new();
+        let mut now = start;
+        while !net.is_idle() {
+            net.tick(now);
+            net.drain_deliveries(&mut out);
+            now += 1;
+            assert!(now - start < max, "network did not drain");
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn intra_cluster_unicast_stays_on_enet() {
+        let mut net = AtacNet::atac_plus(topo());
+        // cores 0 and 1 are both in cluster 0.
+        assert!(net.try_send(msg(0, Dest::Unicast(CoreId(1))), 0));
+        let (out, _) = run(&mut net, 0, 200);
+        assert_eq!(out.len(), 1);
+        let s = net.stats();
+        assert_eq!(s.onet_flits_sent, 0, "no optical traffic");
+        assert!(s.link_traversals > 0, "went over the mesh");
+    }
+
+    #[test]
+    fn cluster_policy_sends_intercluster_over_onet() {
+        let t = topo();
+        let mut net = AtacNet::atac_baseline(t);
+        // core 0 (cluster 0) to core 63 (cluster 3): inter-cluster.
+        assert!(net.try_send(msg(0, Dest::Unicast(CoreId(63))), 0));
+        let (out, _) = run(&mut net, 0, 500);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].receiver, CoreId(63));
+        let s = net.stats();
+        assert!(s.onet_flits_sent > 0, "used the ONet");
+        assert_eq!(s.unicast_received, 1);
+    }
+
+    #[test]
+    fn distance_policy_splits_by_hops() {
+        let t = topo();
+        // distance core 0 -> core 63 is (7+7)=14 hops.
+        let mut far = AtacNet::new(t, 64, 4, RoutingPolicy::Distance(10), ReceiveNet::StarNet);
+        assert!(far.try_send(msg(0, Dest::Unicast(CoreId(63))), 0));
+        let _ = run(&mut far, 0, 500);
+        assert!(far.stats().onet_flits_sent > 0, "14 ≥ 10 → ONet");
+
+        let mut near = AtacNet::new(t, 64, 4, RoutingPolicy::Distance(20), ReceiveNet::StarNet);
+        assert!(near.try_send(msg(0, Dest::Unicast(CoreId(63))), 0));
+        let _ = run(&mut near, 0, 500);
+        assert_eq!(near.stats().onet_flits_sent, 0, "14 < 20 → ENet");
+    }
+
+    #[test]
+    fn distance_all_keeps_onet_for_broadcasts() {
+        let t = topo();
+        let mut net = AtacNet::new(t, 64, 4, RoutingPolicy::DistanceAll, ReceiveNet::StarNet);
+        assert!(net.try_send(msg(0, Dest::Unicast(CoreId(63))), 0));
+        assert!(net.try_send(msg(0, Dest::Broadcast), 0));
+        let (out, _) = run(&mut net, 0, 2000);
+        assert_eq!(out.len(), 1 + 63);
+        let s = net.stats();
+        assert!(s.onet_flits_sent > 0, "broadcast used ONet");
+        assert_eq!(s.laser_unicast_cycles, 0, "no optical unicasts");
+    }
+
+    #[test]
+    fn broadcast_reaches_all_cores() {
+        let mut net = AtacNet::atac_plus(topo());
+        assert!(net.try_send(msg(13, Dest::Broadcast), 0));
+        let (out, _) = run(&mut net, 0, 2000);
+        assert_eq!(out.len(), 63);
+        let mut seen = vec![false; 64];
+        for d in &out {
+            assert!(!seen[d.receiver.idx()]);
+            seen[d.receiver.idx()] = true;
+        }
+        assert!(!seen[13]);
+    }
+
+    #[test]
+    fn onet_beats_enet_latency_at_long_distance() {
+        let t = topo();
+        // ONet path: ENet to local hub (short) + optical + StarNet.
+        let mut onet_route = AtacNet::new(t, 64, 4, RoutingPolicy::Cluster, ReceiveNet::StarNet);
+        let mut enet_route =
+            AtacNet::new(t, 64, 4, RoutingPolicy::DistanceAll, ReceiveNet::StarNet);
+        // choose a sender adjacent to its hub: hub of cluster 0 is (0,0);
+        // send from (0,0)'s neighbour... core 0 IS the hub tile.
+        let m = msg(0, Dest::Unicast(CoreId(63)));
+        assert!(onet_route.try_send(m, 0));
+        assert!(enet_route.try_send(m, 0));
+        let (o, _) = run(&mut onet_route, 0, 500);
+        let (e, _) = run(&mut enet_route, 0, 500);
+        assert!(
+            o[0].at < e[0].at,
+            "optical {} should beat 14-hop electrical {}",
+            o[0].at,
+            e[0].at
+        );
+    }
+
+    #[test]
+    fn network_trait_objects_work() {
+        let t = topo();
+        let mut nets: Vec<Box<dyn Network>> = vec![
+            Box::new(Mesh::new(t, MeshKind::Pure, 64, 4)),
+            Box::new(Mesh::new(t, MeshKind::BcastTree, 64, 4)),
+            Box::new(AtacNet::atac_plus(t)),
+            Box::new(AtacNet::atac_baseline(t)),
+        ];
+        let names: Vec<_> = nets.iter().map(|n| n.name()).collect();
+        assert_eq!(names, ["EMesh-Pure", "EMesh-BCast", "ATAC+", "ATAC"]);
+        for net in nets.iter_mut() {
+            assert!(net.try_send(msg(3, Dest::Unicast(CoreId(60))), 0));
+            let (out, _) = run(net.as_mut(), 0, 1000);
+            assert_eq!(out.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_composite() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let t = topo();
+        let run_once = || {
+            let mut net = AtacNet::atac_plus(t);
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut out = Vec::new();
+            for now in 0..500u64 {
+                for c in 0..64u16 {
+                    if rng.gen_bool(0.03) {
+                        let dest = if rng.gen_bool(0.02) {
+                            Dest::Broadcast
+                        } else {
+                            Dest::Unicast(CoreId(rng.gen_range(0..64)))
+                        };
+                        let _ = net.try_send(msg(c, dest), now);
+                    }
+                }
+                net.tick(now);
+                net.drain_deliveries(&mut out);
+            }
+            let mut now = 500;
+            while !net.is_idle() {
+                net.tick(now);
+                net.drain_deliveries(&mut out);
+                now += 1;
+                assert!(now < 1_000_000);
+            }
+            out.sort_by_key(|d| (d.at, d.receiver.0, d.msg.src.0));
+            (out.len(), net.stats())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn every_message_delivered_under_load() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let t = topo();
+        let mut net = AtacNet::atac_plus(t);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut out = Vec::new();
+        let mut uc = 0u64;
+        let mut bc = 0u64;
+        for now in 0..3000u64 {
+            for c in 0..64u16 {
+                if rng.gen_bool(0.04) {
+                    let dest = if rng.gen_bool(0.01) {
+                        Dest::Broadcast
+                    } else {
+                        Dest::Unicast(CoreId(rng.gen_range(0..64)))
+                    };
+                    if net.try_send(msg(c, dest), now) {
+                        match dest {
+                            Dest::Unicast(_) => uc += 1,
+                            Dest::Broadcast => bc += 1,
+                        }
+                    }
+                }
+            }
+            net.tick(now);
+            net.drain_deliveries(&mut out);
+        }
+        let mut now = 3000;
+        while !net.is_idle() {
+            net.tick(now);
+            net.drain_deliveries(&mut out);
+            now += 1;
+            assert!(now < 2_000_000, "did not drain");
+        }
+        assert_eq!(out.len() as u64, uc + bc * 63);
+        let s = net.stats();
+        assert_eq!(s.unicast_received, uc);
+        assert_eq!(s.broadcast_received, bc * 63);
+    }
+}

@@ -1,0 +1,252 @@
+//! Open-loop synthetic-traffic harness.
+//!
+//! Drives any [`Network`] with the workload of the paper's Fig. 3:
+//! uniform-random unicast traffic plus a configurable broadcast fraction
+//! (0.1 % in the figure), swept over offered load, measuring average
+//! packet latency *including source queueing* — the quantity that blows up
+//! at saturation.
+//!
+//! Open-loop means generation is independent of acceptance: messages the
+//! network refuses (back-pressure) wait in an unbounded source queue, and
+//! their latency clock starts at *generation* time. Saturation therefore
+//! shows up as unbounded latency growth, exactly as in the paper's plot.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::atac::Network;
+use crate::types::{CoreId, Cycle, Delivery, Dest, Message, MessageClass};
+
+/// Configuration of one synthetic run.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Offered load in flits per cycle per core.
+    pub load: f64,
+    /// Fraction of generated messages that are broadcasts (0.001 in Fig. 3).
+    pub broadcast_fraction: f64,
+    /// Message class for generated traffic (sets flit count).
+    pub class: MessageClass,
+    /// Warm-up cycles (not measured).
+    pub warmup: Cycle,
+    /// Measurement window in cycles.
+    pub measure: Cycle,
+    /// Max additional cycles to wait for measured packets to drain.
+    pub drain: Cycle,
+    /// PRNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            load: 0.05,
+            broadcast_fraction: 0.001,
+            class: MessageClass::Synthetic,
+            warmup: 1_000,
+            measure: 4_000,
+            drain: 20_000,
+            seed: 0xA7AC,
+        }
+    }
+}
+
+/// Result of one synthetic run.
+#[derive(Debug, Clone)]
+pub struct SyntheticResult {
+    /// Mean generation→delivery latency of packets generated in the
+    /// measurement window, in cycles.
+    pub avg_latency: f64,
+    /// 95th-percentile latency.
+    pub p95_latency: u64,
+    /// Packets generated during measurement.
+    pub generated: u64,
+    /// Deliveries observed for measured packets.
+    pub delivered: u64,
+    /// Whether the run saturated (measured packets still undelivered at
+    /// the drain limit, or source queues grew without bound).
+    pub saturated: bool,
+    /// Measured throughput: delivered flits / cycle / core over the window.
+    pub throughput: f64,
+}
+
+/// Run synthetic traffic through a network.
+pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) -> SyntheticResult {
+    let cores = net.cores();
+    let flits_per_msg = cfg.class.flits(net.flit_width()) as f64;
+    let gen_prob = (cfg.load / flits_per_msg).min(1.0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Per-message generation times, indexed by token.
+    let mut gen_time: Vec<Cycle> = Vec::new();
+    // Expected delivery count per token (1 for unicast, cores-1 for bcast).
+    let mut expected: Vec<u32> = Vec::new();
+    let mut pending: Vec<std::collections::VecDeque<Message>> =
+        (0..cores).map(|_| Default::default()).collect();
+
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut lat_samples: Vec<u64> = Vec::new();
+    let mut generated = 0u64;
+    let mut delivered = 0u64;
+    let mut delivered_flits = 0u64;
+    let mut outstanding = 0u64; // deliveries still expected for measured pkts
+
+    let total = cfg.warmup + cfg.measure;
+    let mut now: Cycle = 0;
+    while now < total || (outstanding > 0 && now < total + cfg.drain) {
+        if now < total {
+            #[allow(clippy::needless_range_loop)] // index is also the CoreId
+            for c in 0..cores {
+                if rng.gen_bool(gen_prob) {
+                    let measured = now >= cfg.warmup;
+                    let dest = if rng.gen_bool(cfg.broadcast_fraction) {
+                        Dest::Broadcast
+                    } else {
+                        // uniform random, excluding self
+                        let mut d = rng.gen_range(0..cores - 1);
+                        if d >= c {
+                            d += 1;
+                        }
+                        Dest::Unicast(CoreId(d as u16))
+                    };
+                    let token = if measured {
+                        gen_time.push(now);
+                        expected.push(match dest {
+                            Dest::Unicast(_) => 1,
+                            Dest::Broadcast => (cores - 1) as u32,
+                        });
+                        generated += 1;
+                        outstanding += *expected.last().unwrap() as u64;
+                        gen_time.len() as u64 // token 0 = unmeasured
+                    } else {
+                        0
+                    };
+                    pending[c].push_back(Message {
+                        src: CoreId(c as u16),
+                        dest,
+                        class: cfg.class,
+                        token,
+                    });
+                }
+            }
+        }
+        // Drain source queues into the network.
+        #[allow(clippy::needless_range_loop)] // index is also the CoreId
+        for c in 0..cores {
+            while let Some(&m) = pending[c].front() {
+                if net.try_send(m, now) {
+                    pending[c].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        net.tick(now);
+        net.drain_deliveries(&mut deliveries);
+        for d in deliveries.drain(..) {
+            if d.msg.token != 0 {
+                let t = (d.msg.token - 1) as usize;
+                lat_samples.push(d.at - gen_time[t]);
+                delivered += 1;
+                delivered_flits += cfg.class.flits(net.flit_width()) as u64;
+                outstanding -= 1;
+            }
+        }
+        now += 1;
+    }
+
+    let saturated = outstanding > 0;
+    lat_samples.sort_unstable();
+    let avg_latency = if lat_samples.is_empty() {
+        0.0
+    } else {
+        lat_samples.iter().sum::<u64>() as f64 / lat_samples.len() as f64
+    };
+    let p95_latency = if lat_samples.is_empty() {
+        0
+    } else {
+        lat_samples[(lat_samples.len() - 1) * 95 / 100]
+    };
+    SyntheticResult {
+        avg_latency,
+        p95_latency,
+        generated,
+        delivered,
+        saturated,
+        throughput: delivered_flits as f64 / cfg.measure as f64 / cores as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atac::AtacNet;
+    use crate::mesh::{Mesh, MeshKind};
+    use crate::topology::Topology;
+
+    fn small_cfg(load: f64) -> SyntheticConfig {
+        SyntheticConfig {
+            load,
+            warmup: 200,
+            measure: 800,
+            drain: 30_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn low_load_low_latency() {
+        let mut net = Mesh::new(Topology::small(8, 4), MeshKind::BcastTree, 64, 4);
+        let r = run_synthetic(&mut net, &small_cfg(0.01));
+        assert!(!r.saturated);
+        assert!(r.generated > 0);
+        assert_eq!(r.delivered as u64 % 1, 0);
+        // zero-load mesh latency on an 8×8 mesh ≈ avg 10–25 cycles.
+        assert!(r.avg_latency < 40.0, "latency {}", r.avg_latency);
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let t = Topology::small(8, 4);
+        let lat = |load: f64| {
+            let mut net = Mesh::new(t, MeshKind::BcastTree, 64, 4);
+            run_synthetic(&mut net, &small_cfg(load)).avg_latency
+        };
+        let low = lat(0.01);
+        let high = lat(0.30);
+        assert!(
+            high > low * 1.3,
+            "latency should rise with load: {low} → {high}"
+        );
+    }
+
+    #[test]
+    fn saturation_detected_at_extreme_load() {
+        let t = Topology::small(8, 4);
+        let mut net = Mesh::new(t, MeshKind::Pure, 64, 4);
+        let mut cfg = small_cfg(0.9);
+        cfg.broadcast_fraction = 0.05; // pure mesh + broadcasts = meltdown
+        cfg.drain = 2_000;
+        let r = run_synthetic(&mut net, &cfg);
+        assert!(r.saturated || r.avg_latency > 200.0);
+    }
+
+    #[test]
+    fn atac_runs_synthetic() {
+        let mut net = AtacNet::atac_plus(Topology::small(8, 4));
+        let r = run_synthetic(&mut net, &small_cfg(0.05));
+        assert!(!r.saturated);
+        assert!(r.avg_latency > 0.0);
+        assert!(net.stats().onet_flits_sent > 0 || net.stats().link_traversals > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = Topology::small(8, 4);
+        let go = || {
+            let mut net = AtacNet::atac_plus(t);
+            let r = run_synthetic(&mut net, &small_cfg(0.05));
+            (r.generated, r.delivered, r.avg_latency.to_bits())
+        };
+        assert_eq!(go(), go());
+    }
+}

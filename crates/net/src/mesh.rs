@@ -1,0 +1,925 @@
+//! Cycle-level wormhole electrical mesh.
+//!
+//! One implementation serves three roles, selected by [`MeshKind`] and by
+//! whether hub ports are used:
+//!
+//! * **EMesh-Pure** — the paper's plain electrical mesh baseline. It has
+//!   no multicast hardware: a broadcast is expanded at the source NIC into
+//!   `N−1` serialized unicasts (paper §V-B: "EMesh-Pure performs
+//!   broadcasts by sending multiple unicast messages in succession").
+//! * **EMesh-BCast** — mesh with *router multicast*: a broadcast travels
+//!   as XY dimension-order tree: row packets east/west from the source
+//!   spawn column packets (and a local copy) at every router they pass;
+//!   column packets deliver a local copy at every hop.
+//! * **ENet** — the electrical component of ATAC/ATAC+: same mesh, plus a
+//!   bounded ejection port into each cluster's hub for ONet-bound traffic.
+//!
+//! Mechanics (paper Table I): 1-cycle router + 1-cycle link per hop
+//! (a forwarded flit becomes visible at the next router 2 cycles later),
+//! wormhole flow control with a single virtual channel, XY routing,
+//! 4-flit input buffers with credit back-pressure, round-robin switch
+//! arbitration. Multicast forks replicate through a per-router
+//! *replication queue* — the documented stand-in for the replication VCs
+//! real multicast routers provision (it is unbounded, but replica flits
+//! still compete cycle-by-cycle for output ports, so contention is
+//! modeled; only fork-induced deadlock is excluded by construction).
+
+use std::collections::VecDeque;
+
+use crate::stats::NetStats;
+use crate::topology::{xy_route, Port, Topology};
+use crate::types::{ClusterId, CoreId, Cycle, Delivery, Dest, Message};
+
+/// Mesh behaviour for broadcast traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshKind {
+    /// No multicast hardware; broadcasts become serialized unicasts.
+    Pure,
+    /// Router multicast via an XY spanning tree.
+    BcastTree,
+}
+
+/// Travel direction of a multicast branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    North,
+    South,
+    East,
+    West,
+}
+
+impl Dir {
+    fn port(self) -> Port {
+        match self {
+            Dir::North => Port::North,
+            Dir::South => Port::South,
+            Dir::East => Port::East,
+            Dir::West => Port::West,
+        }
+    }
+}
+
+/// How a packet is being steered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// XY to a core, eject at its Local port.
+    ToCore(CoreId),
+    /// XY to a hub tile, eject at its Hub port into the hub buffer.
+    ToHub(CoreId),
+    /// Multicast branch sweeping a row; spawns column branches + local
+    /// copies at every router it reaches.
+    McastRow(Dir),
+    /// Multicast branch sweeping a column; spawns a local copy at every
+    /// router it reaches.
+    McastCol(Dir),
+}
+
+/// One packet (the wormhole routing unit).
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    msg: Message,
+    route: Route,
+    len: u8,
+    inject: Cycle,
+}
+
+/// A flit buffered at a router input.
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    pkt: u32,
+    idx: u8,
+    arrival: Cycle,
+}
+
+/// A replica or injected flow originating *inside* a router (replication
+/// queue / NIC), which emits its packet's flits one per cycle starting at
+/// `ready` (the cycle the forking tail actually arrives at this router).
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    pkt: u32,
+    sent: u8,
+    ready: Cycle,
+}
+
+/// Per-router state.
+#[derive(Debug, Default)]
+struct Router {
+    /// Input buffers for the four direction ports (N, S, E, W order).
+    buf: [VecDeque<Flit>; 4],
+    /// Which packet currently owns each output port (wormhole allocation).
+    out_owner: [Option<u32>; 6],
+    /// Replication queue: multicast forks awaiting switch access.
+    repq: VecDeque<Flow>,
+    /// NIC injection queue (packet ids) and head-of-queue progress.
+    nicq: VecDeque<u32>,
+    nic_sent: u8,
+}
+
+impl Router {
+    fn has_work(&self) -> bool {
+        !self.repq.is_empty() || !self.nicq.is_empty() || self.buf.iter().any(|b| !b.is_empty())
+    }
+}
+
+/// Identifies which source inside a router a candidate flit comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// Input buffer for direction port (index 0..4).
+    In(usize),
+    /// NIC queue head.
+    Nic,
+    /// Replication queue entry at this index.
+    Rep(usize),
+}
+
+/// Maximum packets queued at a NIC before `try_send` exerts back-pressure.
+const NIC_CAP: usize = 16;
+/// Hub ejection buffer capacity in flits.
+const HUB_BUF_FLITS: u32 = 64;
+
+/// The cycle-level mesh.
+pub struct Mesh {
+    topo: Topology,
+    kind: MeshKind,
+    flit_width: u32,
+    buffer_depth: usize,
+    routers: Vec<Router>,
+    packets: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    /// Routers that may have work this tick (sorted before processing for
+    /// determinism).
+    active: Vec<u32>,
+    is_active: Vec<bool>,
+    deliveries: Vec<Delivery>,
+    /// Per-cluster hub ejection: assembled messages (with their original
+    /// injection cycle, for end-to-end latency) + flit occupancy.
+    hub_out: Vec<VecDeque<(Message, Cycle)>>,
+    hub_used: Vec<u32>,
+    /// Per-packet count of flits ejected locally (delivery assembly).
+    pub stats: NetStats,
+}
+
+impl Mesh {
+    /// Create a mesh network.
+    pub fn new(topo: Topology, kind: MeshKind, flit_width: u32, buffer_depth: usize) -> Self {
+        let n = topo.cores();
+        Mesh {
+            topo,
+            kind,
+            flit_width,
+            buffer_depth,
+            routers: (0..n).map(|_| Router::default()).collect(),
+            packets: Vec::new(),
+            free: Vec::new(),
+            active: Vec::new(),
+            is_active: vec![false; n],
+            deliveries: Vec::new(),
+            hub_out: (0..topo.clusters()).map(|_| VecDeque::new()).collect(),
+            hub_used: vec![0; topo.clusters()],
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The topology this mesh spans.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Flit width in bits.
+    pub fn flit_width(&self) -> u32 {
+        self.flit_width
+    }
+
+    /// The mesh flavor (broadcast handling).
+    pub fn kind(&self) -> MeshKind {
+        self.kind
+    }
+
+    fn alloc_packet(&mut self, p: Packet) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.packets[id as usize] = Some(p);
+            id
+        } else {
+            self.packets.push(Some(p));
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    fn free_packet(&mut self, id: u32) {
+        self.packets[id as usize] = None;
+        self.free.push(id);
+    }
+
+    fn activate(&mut self, r: usize) {
+        if !self.is_active[r] {
+            self.is_active[r] = true;
+            self.active.push(r as u32);
+        }
+    }
+
+    /// Number of flits a message occupies.
+    fn flits_of(&self, msg: &Message) -> u8 {
+        msg.class.flits(self.flit_width) as u8
+    }
+
+    /// Inject a message. Returns `false` (back-pressure) if the source NIC
+    /// queue is full; the caller must retry later.
+    ///
+    /// Self-sends (unicast to the sending core) bypass the network with a
+    /// 1-cycle latency, as a real NIC loopback would.
+    pub fn try_send(&mut self, msg: Message, now: Cycle) -> bool {
+        match msg.dest {
+            Dest::Unicast(dst) if dst == msg.src => {
+                self.stats.unicast_messages += 1;
+                self.stats.unicast_received += 1;
+                self.stats.latency_sum += 1;
+                self.stats.latency_count += 1;
+                self.deliveries.push(Delivery {
+                    msg,
+                    receiver: dst,
+                    at: now + 1,
+                });
+                true
+            }
+            Dest::Unicast(dst) => {
+                if self.routers[msg.src.idx()].nicq.len() >= NIC_CAP {
+                    return false;
+                }
+                let len = self.flits_of(&msg);
+                let id = self.alloc_packet(Packet {
+                    msg,
+                    route: Route::ToCore(dst),
+                    len,
+                    inject: now,
+                });
+                self.routers[msg.src.idx()].nicq.push_back(id);
+                self.activate(msg.src.idx());
+                self.stats.unicast_messages += 1;
+                self.stats.flits_injected += len as u64;
+                true
+            }
+            Dest::Broadcast => match self.kind {
+                MeshKind::Pure => self.inject_expanded_broadcast(msg, now),
+                MeshKind::BcastTree => self.inject_tree_broadcast(msg, now),
+            },
+        }
+    }
+
+    /// Inject a message destined for the *hub* of the sender's cluster
+    /// (ENet role inside ATAC). Same back-pressure contract as
+    /// [`Mesh::try_send`].
+    pub fn try_send_to_hub(&mut self, msg: Message, now: Cycle) -> bool {
+        let cluster = self.topo.cluster_of(msg.src);
+        let hub_tile = self.topo.hub_core(cluster);
+        if self.routers[msg.src.idx()].nicq.len() >= NIC_CAP {
+            return false;
+        }
+        let len = self.flits_of(&msg);
+        let id = self.alloc_packet(Packet {
+            msg,
+            route: Route::ToHub(hub_tile),
+            len,
+            inject: now,
+        });
+        self.routers[msg.src.idx()].nicq.push_back(id);
+        self.activate(msg.src.idx());
+        self.stats.flits_injected += len as u64;
+        true
+    }
+
+    /// Pop a message that finished ejecting into a cluster's hub buffer,
+    /// along with its original injection cycle.
+    pub fn pop_hub_out(&mut self, cluster: ClusterId) -> Option<(Message, Cycle)> {
+        let m = self.hub_out[cluster.idx()].pop_front();
+        if let Some((ref msg, _)) = m {
+            let len = self.flits_of(msg) as u32;
+            self.hub_used[cluster.idx()] -= len;
+        }
+        m
+    }
+
+    /// Peek whether a hub buffer holds a completed message.
+    pub fn hub_out_ready(&self, cluster: ClusterId) -> bool {
+        !self.hub_out[cluster.idx()].is_empty()
+    }
+
+    /// EMesh-Pure: a broadcast becomes `N−1` unicast packets queued at the
+    /// source NIC (bypassing the NIC cap — the expansion is a protocol
+    /// obligation, and back-pressure still applies to all later sends).
+    fn inject_expanded_broadcast(&mut self, msg: Message, now: Cycle) -> bool {
+        self.stats.broadcast_messages += 1;
+        let len = self.flits_of(&msg);
+        for c in 0..self.topo.cores() as u16 {
+            let dst = CoreId(c);
+            if dst == msg.src {
+                continue;
+            }
+            let id = self.alloc_packet(Packet {
+                msg,
+                route: Route::ToCore(dst),
+                len,
+                inject: now,
+            });
+            self.routers[msg.src.idx()].nicq.push_back(id);
+            self.stats.flits_injected += len as u64;
+        }
+        self.activate(msg.src.idx());
+        true
+    }
+
+    /// EMesh-BCast: seed the XY multicast tree (≤ 4 branch packets placed
+    /// in the source router's replication queue, as source-router
+    /// replication hardware would).
+    fn inject_tree_broadcast(&mut self, msg: Message, now: Cycle) -> bool {
+        // Broadcast replication happens in the router, but the message
+        // still enters through the single NIC port; apply the same cap.
+        if self.routers[msg.src.idx()].nicq.len() >= NIC_CAP {
+            return false;
+        }
+        self.stats.broadcast_messages += 1;
+        let len = self.flits_of(&msg);
+        let (x, y) = self.topo.xy(msg.src);
+        let mut branches: Vec<Route> = Vec::with_capacity(4);
+        if x + 1 < self.topo.width {
+            branches.push(Route::McastRow(Dir::East));
+        }
+        if x > 0 {
+            branches.push(Route::McastRow(Dir::West));
+        }
+        if y > 0 {
+            branches.push(Route::McastCol(Dir::North));
+        }
+        if y + 1 < self.topo.height {
+            branches.push(Route::McastCol(Dir::South));
+        }
+        for route in branches {
+            let id = self.alloc_packet(Packet {
+                msg,
+                route,
+                len,
+                inject: now,
+            });
+            self.routers[msg.src.idx()]
+                .repq
+                .push_back(Flow { pkt: id, sent: 0, ready: now });
+            self.stats.flits_injected += len as u64;
+        }
+        self.activate(msg.src.idx());
+        true
+    }
+
+    /// The output port a packet wants at router `here`.
+    fn route_port(&self, pkt: &Packet, here: CoreId) -> Port {
+        match pkt.route {
+            Route::ToCore(d) => xy_route(&self.topo, here, d),
+            Route::ToHub(h) => {
+                if here == h {
+                    Port::Hub
+                } else {
+                    xy_route(&self.topo, here, h)
+                }
+            }
+            Route::McastRow(d) | Route::McastCol(d) => d.port(),
+        }
+    }
+
+    /// Whether the network holds any traffic.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.hub_out.iter().all(|q| q.is_empty())
+    }
+
+    /// Move deliveries accumulated since the last call into `out`.
+    pub fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
+    }
+
+    /// Advance the mesh by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        // Deterministic processing order.
+        self.active.sort_unstable();
+        let work = std::mem::take(&mut self.active);
+        // Allow routers to be (re-)activated during processing, including
+        // by deposits into routers later in this very list.
+        for &r in &work {
+            self.is_active[r as usize] = false;
+        }
+        for &r in &work {
+            self.tick_router(r as usize, now);
+        }
+        for &r in &work {
+            if self.routers[r as usize].has_work() {
+                self.activate(r as usize);
+            }
+        }
+    }
+
+    /// Candidate sources at a router, rotated for round-robin fairness.
+    fn sources(&self, r: usize, now: Cycle) -> Vec<Src> {
+        let router = &self.routers[r];
+        let mut v: Vec<Src> = Vec::with_capacity(5 + router.repq.len());
+        for i in 0..4 {
+            if !router.buf[i].is_empty() {
+                v.push(Src::In(i));
+            }
+        }
+        if !router.nicq.is_empty() {
+            v.push(Src::Nic);
+        }
+        for i in 0..router.repq.len() {
+            v.push(Src::Rep(i));
+        }
+        if v.len() > 1 {
+            let rot = (now as usize + r) % v.len();
+            v.rotate_left(rot);
+        }
+        v
+    }
+
+    /// Peek the next flit a source would emit: (pkt, idx, head, tail).
+    fn peek(&self, r: usize, src: Src, now: Cycle) -> Option<(u32, u8, bool, bool)> {
+        let router = &self.routers[r];
+        match src {
+            Src::In(i) => {
+                let f = router.buf[i].front()?;
+                if f.arrival > now {
+                    return None;
+                }
+                let len = self.packets[f.pkt as usize].as_ref()?.len;
+                Some((f.pkt, f.idx, f.idx == 0, f.idx + 1 == len))
+            }
+            Src::Nic => {
+                let &pkt = router.nicq.front()?;
+                let len = self.packets[pkt as usize].as_ref()?.len;
+                let idx = router.nic_sent;
+                Some((pkt, idx, idx == 0, idx + 1 == len))
+            }
+            Src::Rep(i) => {
+                let flow = router.repq.get(i)?;
+                if flow.ready > now {
+                    return None;
+                }
+                let len = self.packets[flow.pkt as usize].as_ref()?.len;
+                Some((flow.pkt, flow.sent, flow.sent == 0, flow.sent + 1 == len))
+            }
+        }
+    }
+
+    fn tick_router(&mut self, r: usize, now: Cycle) {
+        let here = CoreId(r as u16);
+        let mut out_used = [false; 6];
+        let sources = self.sources(r, now);
+        // Track repq entries that completed, to remove after the loop.
+        let mut rep_done: Vec<usize> = Vec::new();
+
+        for src in sources {
+            let Some((pkt_id, idx, is_head, is_tail)) = self.peek(r, src, now) else {
+                continue;
+            };
+            let pkt = self.packets[pkt_id as usize].expect("live packet");
+            let out = self.route_port(&pkt, here);
+            let oi = out.idx();
+            if out_used[oi] {
+                continue;
+            }
+            // Switch allocation (wormhole: the head claims the output,
+            // the tail releases it).
+            match self.routers[r].out_owner[oi] {
+                Some(owner) if owner == pkt_id => {}
+                Some(_) => continue, // output held by another packet
+                None => {
+                    if !is_head {
+                        // A body flit whose allocation was lost can only
+                        // happen through a bug; wormhole keeps ownership.
+                        debug_assert!(false, "body flit without allocation");
+                        continue;
+                    }
+                    self.routers[r].out_owner[oi] = Some(pkt_id);
+                    self.stats.arbitrations += 1;
+                }
+            }
+
+            // Can the flit actually move?
+            let moved = match out {
+                Port::Local => {
+                    self.deliver_flit(pkt_id, is_tail, now);
+                    true
+                }
+                Port::Hub => self.eject_to_hub(pkt_id, here, is_tail),
+                Port::North | Port::South | Port::East | Port::West => {
+                    self.forward_flit(r, out, pkt_id, idx, is_tail, now)
+                }
+            };
+            if !moved {
+                continue;
+            }
+            out_used[oi] = true;
+            self.stats.xbar_traversals += 1;
+
+            // Consume from the source.
+            match src {
+                Src::In(i) => {
+                    self.routers[r].buf[i].pop_front();
+                    self.stats.buffer_reads += 1;
+                }
+                Src::Nic => {
+                    if is_tail {
+                        self.routers[r].nicq.pop_front();
+                        self.routers[r].nic_sent = 0;
+                    } else {
+                        self.routers[r].nic_sent += 1;
+                    }
+                }
+                Src::Rep(i) => {
+                    if is_tail {
+                        rep_done.push(i);
+                    } else {
+                        self.routers[r].repq[i].sent += 1;
+                    }
+                }
+            }
+            if is_tail {
+                self.routers[r].out_owner[oi] = None;
+            }
+        }
+
+        rep_done.sort_unstable_by(|a, b| b.cmp(a));
+        for i in rep_done {
+            self.routers[r].repq.remove(i);
+        }
+    }
+
+    /// Forward a flit out a direction port into the neighbouring router's
+    /// opposite input buffer (1-cycle router + 1-cycle link → visible at
+    /// `now + 2`). Returns `false` when the downstream buffer is full.
+    fn forward_flit(
+        &mut self,
+        r: usize,
+        out: Port,
+        pkt_id: u32,
+        idx: u8,
+        is_tail: bool,
+        now: Cycle,
+    ) -> bool {
+        let (x, y) = self.topo.xy(CoreId(r as u16));
+        let (nr, in_port) = match out {
+            Port::North => (self.topo.core_at(x, y - 1), 1), // enters from its South
+            Port::South => (self.topo.core_at(x, y + 1), 0),
+            Port::East => (self.topo.core_at(x + 1, y), 3), // enters from its West
+            Port::West => (self.topo.core_at(x - 1, y), 2),
+            _ => unreachable!(),
+        };
+        let nri = nr.idx();
+        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let continues = self.continues_at(&pkt, nr);
+        if continues && self.routers[nri].buf[in_port].len() >= self.buffer_depth {
+            return false;
+        }
+        self.stats.link_traversals += 1;
+        if continues {
+            self.routers[nri].buf[in_port].push_back(Flit {
+                pkt: pkt_id,
+                idx,
+                arrival: now + 2,
+            });
+            self.stats.buffer_writes += 1;
+        }
+        if is_tail {
+            self.on_tail_arrival(pkt_id, nr, continues, now + 2);
+        }
+        self.activate(nri);
+        true
+    }
+
+    /// Does this packet continue past router `at` (i.e. should its flits
+    /// be buffered there)? Multicast branches die at the mesh edge; their
+    /// flits still traverse the final link but are not re-buffered.
+    fn continues_at(&self, pkt: &Packet, at: CoreId) -> bool {
+        let (x, y) = self.topo.xy(at);
+        match pkt.route {
+            Route::ToCore(_) | Route::ToHub(_) => true, // terminate via ejection ports
+            Route::McastRow(Dir::East) => x + 1 < self.topo.width,
+            Route::McastRow(Dir::West) => x > 0,
+            Route::McastCol(Dir::North) => y > 0,
+            Route::McastCol(Dir::South) => y + 1 < self.topo.height,
+            Route::McastRow(_) | Route::McastCol(_) => unreachable!("invalid multicast direction"),
+        }
+    }
+
+    /// Handle a multicast tail arriving at router `at` (the arrival takes
+    /// effect at `ready`): spawn the local copy (and, for row branches,
+    /// the column branches); free the packet if the branch ends here.
+    fn on_tail_arrival(&mut self, pkt_id: u32, at: CoreId, continues: bool, ready: Cycle) {
+        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let (_, y) = self.topo.xy(at);
+        match pkt.route {
+            Route::ToCore(_) | Route::ToHub(_) => {}
+            Route::McastRow(_) => {
+                self.spawn(pkt_id, at, Route::ToCore(at), ready);
+                if y > 0 {
+                    self.spawn(pkt_id, at, Route::McastCol(Dir::North), ready);
+                }
+                if y + 1 < self.topo.height {
+                    self.spawn(pkt_id, at, Route::McastCol(Dir::South), ready);
+                }
+                if !continues {
+                    self.free_packet(pkt_id);
+                }
+            }
+            Route::McastCol(_) => {
+                self.spawn(pkt_id, at, Route::ToCore(at), ready);
+                if !continues {
+                    self.free_packet(pkt_id);
+                }
+            }
+        }
+    }
+
+    fn spawn(&mut self, parent: u32, at: CoreId, route: Route, ready: Cycle) {
+        let p = self.packets[parent as usize].expect("live packet");
+        let id = self.alloc_packet(Packet { route, ..p });
+        self.routers[at.idx()]
+            .repq
+            .push_back(Flow { pkt: id, sent: 0, ready });
+        self.activate(at.idx());
+    }
+
+    /// Deliver one flit at the local port; on the tail, record the
+    /// delivery and free the packet.
+    fn deliver_flit(&mut self, pkt_id: u32, is_tail: bool, now: Cycle) {
+        if !is_tail {
+            return;
+        }
+        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let receiver = match pkt.route {
+            Route::ToCore(d) => d,
+            _ => unreachable!("only ToCore ejects locally"),
+        };
+        match pkt.msg.dest {
+            Dest::Unicast(_) => self.stats.unicast_received += 1,
+            Dest::Broadcast => self.stats.broadcast_received += 1,
+        }
+        self.stats.latency_sum += now + 1 - pkt.inject;
+        self.stats.latency_count += 1;
+        self.deliveries.push(Delivery {
+            msg: pkt.msg,
+            receiver,
+            at: now + 1,
+        });
+        self.free_packet(pkt_id);
+    }
+
+    /// Eject a flit into the hub buffer of the cluster at `here`.
+    /// Returns `false` when the hub buffer is full (back-pressure).
+    fn eject_to_hub(&mut self, pkt_id: u32, here: CoreId, is_tail: bool) -> bool {
+        let cl = self.topo.cluster_of(here).idx();
+        if self.hub_used[cl] >= HUB_BUF_FLITS {
+            return false;
+        }
+        self.hub_used[cl] += 1;
+        self.stats.hub_buffer_writes += 1;
+        if is_tail {
+            let pkt = self.packets[pkt_id as usize].expect("live packet");
+            self.hub_out[cl].push_back((pkt.msg, pkt.inject));
+            self.free_packet(pkt_id);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MessageClass;
+
+    fn msg(src: u16, dest: Dest) -> Message {
+        Message {
+            src: CoreId(src),
+            dest,
+            class: MessageClass::Control,
+            token: 0,
+        }
+    }
+
+    fn run_until_idle(mesh: &mut Mesh, start: Cycle, max: u64) -> (Vec<Delivery>, Cycle) {
+        let mut out = Vec::new();
+        let mut now = start;
+        while !mesh.is_idle() {
+            mesh.tick(now);
+            mesh.drain_deliveries(&mut out);
+            now += 1;
+            assert!(now - start < max, "mesh did not drain in {max} cycles");
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn unicast_reaches_destination() {
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        let m = msg(0, Dest::Unicast(CoreId(63)));
+        assert!(mesh.try_send(m, 0));
+        let (out, _) = run_until_idle(&mut mesh, 0, 1000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].receiver, CoreId(63));
+        assert_eq!(out[0].msg, m);
+    }
+
+    #[test]
+    fn unicast_latency_matches_hop_count() {
+        // 2 cycles per hop + serialization (2 flits) + ejection.
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        let dst = topo.core_at(7, 7); // 14 hops from (0,0)
+        assert!(mesh.try_send(msg(0, Dest::Unicast(dst)), 0));
+        let (out, _) = run_until_idle(&mut mesh, 0, 1000);
+        let lat = out[0].at;
+        // zero-load: ~2 cycles/hop + flits + eject = 14*2 + 2 + small
+        assert!(lat >= 28, "latency {lat}");
+        assert!(lat <= 36, "latency {lat}");
+    }
+
+    #[test]
+    fn self_send_bypasses_network() {
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        assert!(mesh.try_send(msg(5, Dest::Unicast(CoreId(5))), 10));
+        let mut out = Vec::new();
+        mesh.drain_deliveries(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].at, 11);
+        assert!(mesh.is_idle());
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_everyone_once() {
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::BcastTree, 64, 4);
+        assert!(mesh.try_send(msg(27, Dest::Broadcast), 0));
+        let (out, _) = run_until_idle(&mut mesh, 0, 5000);
+        assert_eq!(out.len(), 63, "every core but the source, exactly once");
+        let mut seen = vec![false; 64];
+        for d in &out {
+            assert!(!seen[d.receiver.idx()], "duplicate to {:?}", d.receiver);
+            seen[d.receiver.idx()] = true;
+        }
+        assert!(!seen[27]);
+    }
+
+    #[test]
+    fn tree_broadcast_from_corner() {
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::BcastTree, 64, 4);
+        assert!(mesh.try_send(msg(0, Dest::Broadcast), 0));
+        let (out, _) = run_until_idle(&mut mesh, 0, 5000);
+        assert_eq!(out.len(), 63);
+    }
+
+    #[test]
+    fn pure_broadcast_is_serialized_unicasts() {
+        let topo = Topology::small(4, 2);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        assert!(mesh.try_send(msg(0, Dest::Broadcast), 0));
+        let (out, end) = run_until_idle(&mut mesh, 0, 10_000);
+        assert_eq!(out.len(), 15);
+        // Serialization: 15 packets × 2 flits from one NIC ≥ 30 cycles.
+        assert!(end >= 30, "end {end}");
+        assert_eq!(mesh.stats.broadcast_received, 15);
+    }
+
+    #[test]
+    fn pure_broadcast_much_slower_than_tree() {
+        let topo = Topology::small(8, 4);
+        let mut pure = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        let mut tree = Mesh::new(topo, MeshKind::BcastTree, 64, 4);
+        pure.try_send(msg(0, Dest::Broadcast), 0);
+        tree.try_send(msg(0, Dest::Broadcast), 0);
+        let (_, t_pure) = run_until_idle(&mut pure, 0, 10_000);
+        let (_, t_tree) = run_until_idle(&mut tree, 0, 10_000);
+        assert!(
+            t_pure > 2 * t_tree,
+            "pure {t_pure} should be ≫ tree {t_tree}"
+        );
+    }
+
+    #[test]
+    fn hub_ejection_and_pop() {
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        let m = msg(10, Dest::Unicast(CoreId(50))); // dest used by upper layer
+        assert!(mesh.try_send_to_hub(m, 0));
+        let mut now = 0;
+        let cl = topo.cluster_of(CoreId(10));
+        let mut got = None;
+        while got.is_none() && now < 200 {
+            mesh.tick(now);
+            got = mesh.pop_hub_out(cl);
+            now += 1;
+        }
+        assert_eq!(got, Some((m, 0)));
+        assert!(mesh.stats.hub_buffer_writes >= 2);
+    }
+
+    #[test]
+    fn nic_back_pressure_eventually_refuses() {
+        let topo = Topology::small(4, 2);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        let mut accepted = 0;
+        for _ in 0..100 {
+            if mesh.try_send(msg(0, Dest::Unicast(CoreId(15))), 0) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= NIC_CAP as u32);
+        assert!(accepted < 100, "NIC must exert back-pressure");
+        // Draining restores capacity.
+        let _ = run_until_idle(&mut mesh, 0, 20_000);
+        assert!(mesh.try_send(msg(0, Dest::Unicast(CoreId(15))), 1000));
+    }
+
+    #[test]
+    fn stats_count_flits_and_hops() {
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 64, 4);
+        let dst = topo.core_at(3, 0); // 3 hops straight east
+        assert!(mesh.try_send(msg(0, Dest::Unicast(dst)), 0));
+        let _ = run_until_idle(&mut mesh, 0, 1000);
+        // control = 2 flits; 3 link hops each.
+        assert_eq!(mesh.stats.flits_injected, 2);
+        assert_eq!(mesh.stats.link_traversals, 6);
+        assert_eq!(mesh.stats.unicast_received, 1);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let topo = Topology::small(8, 4);
+        let run = || {
+            let mut mesh = Mesh::new(topo, MeshKind::BcastTree, 64, 4);
+            for i in 0..32u16 {
+                mesh.try_send(msg(i, Dest::Unicast(CoreId(63 - i))), 0);
+            }
+            mesh.try_send(msg(5, Dest::Broadcast), 0);
+            let (mut out, end) = run_until_idle(&mut mesh, 0, 50_000);
+            out.sort_by_key(|d| (d.at, d.receiver.0, d.msg.src.0));
+            (out, end, mesh.stats.clone())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn heavy_random_traffic_drains() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let topo = Topology::small(8, 4);
+        let mut mesh = Mesh::new(topo, MeshKind::BcastTree, 64, 4);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut sent = 0u64;
+        let mut out = Vec::new();
+        for now in 0..2000u64 {
+            for c in 0..64u16 {
+                if rng.gen_bool(0.05) {
+                    let dest = if rng.gen_bool(0.01) {
+                        Dest::Broadcast
+                    } else {
+                        Dest::Unicast(CoreId(rng.gen_range(0..64)))
+                    };
+                    if mesh.try_send(msg(c, dest), now) {
+                        sent += 1;
+                    }
+                }
+            }
+            mesh.tick(now);
+            mesh.drain_deliveries(&mut out);
+        }
+        let (rest, _) = run_until_idle(&mut mesh, 2000, 3_000_000);
+        out.extend(rest);
+        assert!(sent > 1000);
+        // Every unicast delivered exactly once; broadcasts 63× each.
+        let bc = mesh.stats.broadcast_messages;
+        let uc = mesh.stats.unicast_messages;
+        assert_eq!(
+            out.len() as u64,
+            uc + bc * 63,
+            "uc={uc} bc={bc} out={}",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn wide_flits_reduce_flit_count() {
+        let topo = Topology::small(4, 2);
+        let mut mesh = Mesh::new(topo, MeshKind::Pure, 256, 4);
+        let m = Message {
+            src: CoreId(0),
+            dest: Dest::Unicast(CoreId(15)),
+            class: MessageClass::Data,
+            token: 0,
+        };
+        assert!(mesh.try_send(m, 0));
+        let _ = run_until_idle(&mut mesh, 0, 1000);
+        assert_eq!(mesh.stats.flits_injected, 3); // 616/256 → 3 flits
+    }
+}

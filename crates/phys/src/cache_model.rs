@@ -1,0 +1,278 @@
+//! Mini-McPAT/CACTI SRAM cache model.
+//!
+//! Produces area, per-access dynamic energy, leakage and idle clock power
+//! for the paper's cache configuration (private 32 KB L1-I, 32 KB L1-D,
+//! 256 KB L2, plus the ACKwise/Dir directory cache whose entry width
+//! scales with the hardware sharer count `k`).
+//!
+//! The model is the classic subarray decomposition: the bit array is
+//! partitioned into subarrays of at most 128 rows × 256 columns; a read
+//! decodes a row, swings the wordline, discharges the selected subarray's
+//! bitlines by a reduced sense swing, fires sense amps, and drives the
+//! result out. Writes swing the written columns full-rail. Leakage is the
+//! 6T subthreshold estimate times [`calib::SRAM_LEAKAGE_MULT`]
+//! (documented there).
+
+use crate::calib;
+use crate::stdcell::StdCellLib;
+use crate::units::{Farads, Joules, SquareMeters, Watts};
+
+/// Geometry of one SRAM-based cache structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total data capacity in *bits* (for a cache: bytes × 8; for a
+    /// directory: entries × entry bits).
+    pub data_bits: u64,
+    /// Tag + state bits stored alongside each row's data (0 for
+    /// structures whose `data_bits` already include everything).
+    pub tag_bits: u64,
+    /// Number of addressable rows (sets × ways for a serial-access model).
+    pub rows: u64,
+    /// Bits read or written per access.
+    pub access_bits: u64,
+}
+
+impl CacheGeometry {
+    /// A set-associative cache: `capacity` bytes, `assoc` ways, `line`
+    /// bytes per line, with tags for a 64-bit physical address space.
+    pub fn set_associative(capacity_bytes: u64, assoc: u64, line_bytes: u64) -> Self {
+        assert!(capacity_bytes.is_multiple_of(assoc * line_bytes));
+        let lines = capacity_bytes / line_bytes;
+        let sets = lines / assoc;
+        let offset_bits = line_bytes.trailing_zeros() as u64;
+        let index_bits = sets.trailing_zeros() as u64;
+        let tag = 64 - offset_bits - index_bits + 2; // +2 state bits (MSI)
+        CacheGeometry {
+            data_bits: capacity_bytes * 8,
+            tag_bits: lines * tag,
+            rows: sets,
+            // an access reads the selected set: `assoc` tags + one line
+            access_bits: line_bytes * 8 + assoc * tag,
+        }
+    }
+
+    /// The paper's 32 KB L1 (I or D): 4-way, 64-byte lines.
+    pub fn l1_32k() -> Self {
+        Self::set_associative(32 * 1024, 4, 64)
+    }
+
+    /// The paper's 256 KB private L2: 8-way, 64-byte lines.
+    pub fn l2_256k() -> Self {
+        Self::set_associative(256 * 1024, 8, 64)
+    }
+
+    /// A directory slice tracking `entries` cache lines with `k` hardware
+    /// sharer pointers (ACKwise_k / Dir_kB).
+    ///
+    /// Pointer storage saturates at a full-map bit vector: `min(k·⌈log2
+    /// cores⌉, cores)` bits, which is what makes ACKwise with small `k`
+    /// cheap and `k = cores` equivalent to full-map (paper Figs. 15/16).
+    pub fn directory(entries: u64, k: u64, cores: u64) -> Self {
+        let ptr_bits = (64 - (cores - 1).leading_zeros() as u64).max(1);
+        let sharer_bits = (k * ptr_bits).min(cores);
+        // entry: ~40-bit tag + 4 state/global bits + sharer field +
+        // 16-bit broadcast sequence number (ATAC+ §IV-C).
+        let entry_bits = 40 + 4 + sharer_bits + 16;
+        CacheGeometry {
+            data_bits: entries * entry_bits,
+            tag_bits: 0,
+            rows: entries,
+            access_bits: entry_bits,
+        }
+    }
+
+    /// Total stored bits.
+    pub fn total_bits(&self) -> u64 {
+        self.data_bits + self.tag_bits
+    }
+}
+
+/// Characterized SRAM structure.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    /// Geometry this model was built for.
+    pub geometry: CacheGeometry,
+    /// Dynamic energy of one read access.
+    pub read_energy: Joules,
+    /// Dynamic energy of one write access.
+    pub write_energy: Joules,
+    /// Static leakage power.
+    pub leakage: Watts,
+    /// Clock/precharge power burnt every cycle even without an access
+    /// (ungated-clock NDD contributor) at 1 GHz.
+    pub idle_clock_power: Watts,
+    /// Layout area (cells + periphery).
+    pub area: SquareMeters,
+}
+
+impl CacheModel {
+    /// Maximum subarray dimensions (CACTI-style partitioning).
+    const SUBARRAY_ROWS: u64 = 128;
+    const SUBARRAY_COLS: u64 = 256;
+
+    /// Build the model from the standard-cell library.
+    pub fn new(lib: &StdCellLib, geometry: CacheGeometry) -> Self {
+        let tech = &lib.tech;
+        let vdd = tech.vdd;
+        let total_bits = geometry.total_bits();
+
+        // ---- Partitioning: how tall is one subarray's bitline?
+        let rows_per_sub = geometry.rows.clamp(1, Self::SUBARRAY_ROWS);
+        let cell_height = 2.0 * tech.min_wire_pitch.value(); // bitline run per cell
+        let cell_width = 2.0 * tech.min_wire_pitch.value();
+
+        // Per-cell bitline loading: drain cap of the access transistor +
+        // wire capacitance of the cell-height bitline segment.
+        let bl_cell_cap = tech.drain_cap(tech.min_device_width).value()
+            + 0.2e-12 / 1e-3 * cell_height; // same 0.2 pF/mm wire constant
+        let bitline_cap = Farads(rows_per_sub as f64 * bl_cell_cap);
+        // Reads swing bitlines by a reduced sense swing (~0.1·VDD);
+        // precharge restores it: energy per column = C · VDD · ΔV.
+        let sense_swing = 0.1 * vdd.value();
+        let read_col_energy = Joules(bitline_cap.value() * vdd.value() * sense_swing);
+        // Writes swing the written columns full rail.
+        let write_col_energy = Joules(bitline_cap.value() * vdd.value() * vdd.value());
+
+        // Wordline: one row of cells' access-gate caps + the row wire.
+        let cols_per_sub = geometry.access_bits.clamp(1, Self::SUBARRAY_COLS);
+        let wl_cap = Farads(
+            cols_per_sub as f64
+                * (2.0 * tech.gate_cap(tech.min_device_width).value() + 0.2e-9 * cell_width),
+        );
+        let wordline_energy = wl_cap.switching_energy(vdd);
+
+        // Decoder: ~log2(rows) stages of a few gates driving the wordline
+        // driver; approximate with gate count × NAND energy.
+        let dec_levels = (64 - (geometry.rows.max(2) - 1).leading_zeros()) as f64;
+        let decoder_energy = Joules(
+            dec_levels * 8.0 * lib.nand2.switch_energy(vdd, lib.nand2.input_cap).value(),
+        );
+
+        // Sense amps + output drivers: per accessed bit.
+        let sense_energy = Joules(
+            geometry.access_bits as f64
+                * 2.0
+                * lib.inv.switch_energy(vdd, lib.inv.input_cap).value(),
+        );
+
+        let n_cols_accessed = geometry.access_bits as f64;
+        let read_energy = Joules(
+            decoder_energy.value()
+                + wordline_energy.value() * (n_cols_accessed / cols_per_sub as f64).ceil()
+                + n_cols_accessed * read_col_energy.value() * 2.0 // true+complement bitlines
+                + sense_energy.value(),
+        );
+        let write_energy = Joules(
+            decoder_energy.value()
+                + wordline_energy.value() * (n_cols_accessed / cols_per_sub as f64).ceil()
+                + n_cols_accessed * calib::DATA_ACTIVITY * write_col_energy.value()
+                + sense_energy.value() * 0.5,
+        );
+
+        // ---- Static.
+        let per_cell_leak = lib.sram_bitcell.leakage.value();
+        let leakage = Watts(total_bits as f64 * per_cell_leak * calib::SRAM_LEAKAGE_MULT);
+        let idle_clock_power = Watts(read_energy.value() * calib::CACHE_IDLE_CLOCK_FRACTION * 1.0e9);
+
+        // ---- Area: cells + 60 % periphery overhead (decoders, sense,
+        // repeaters, ECC) — the McPAT-class layout adder.
+        let area = SquareMeters(total_bits as f64 * lib.sram_bitcell.area.value() * 1.6);
+
+        CacheModel {
+            geometry,
+            read_energy,
+            write_energy,
+            leakage,
+            idle_clock_power,
+            area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::pj;
+
+    fn lib() -> StdCellLib {
+        StdCellLib::tri_gate_11nm()
+    }
+
+    #[test]
+    fn l1_read_energy_low_picojoules() {
+        let m = CacheModel::new(&lib(), CacheGeometry::l1_32k());
+        assert!(m.read_energy > pj(0.2), "{}", m.read_energy);
+        assert!(m.read_energy < pj(10.0), "{}", m.read_energy);
+    }
+
+    #[test]
+    fn l2_costs_more_than_l1() {
+        let l = lib();
+        let l1 = CacheModel::new(&l, CacheGeometry::l1_32k());
+        let l2 = CacheModel::new(&l, CacheGeometry::l2_256k());
+        assert!(l2.read_energy > l1.read_energy);
+        assert!(l2.leakage > l1.leakage);
+        assert!(l2.area > l1.area);
+    }
+
+    #[test]
+    fn l2_leakage_milliwatt_scale() {
+        // Calibration target (see calib::SRAM_LEAKAGE_MULT): a 256 KB L2
+        // leaks ~1–5 mW so that L2 energy splits roughly evenly between
+        // leakage and dynamic on SPLASH-class runs, as the paper reports.
+        let m = CacheModel::new(&lib(), CacheGeometry::l2_256k());
+        assert!(m.leakage.value() > 0.5e-3, "{}", m.leakage);
+        assert!(m.leakage.value() < 8e-3, "{}", m.leakage);
+    }
+
+    #[test]
+    fn directory_entry_width_saturates_at_full_map() {
+        let d4 = CacheGeometry::directory(4096, 4, 1024);
+        let d1024 = CacheGeometry::directory(4096, 1024, 1024);
+        let d2048 = CacheGeometry::directory(4096, 2048, 1024);
+        assert!(d1024.total_bits() > d4.total_bits());
+        // beyond full map, no further growth
+        assert_eq!(d1024.total_bits(), d2048.total_bits());
+    }
+
+    #[test]
+    fn sharer_scaling_doubles_sram_footprint() {
+        // Paper Figs. 15/16: total area/energy roughly 2× from k=4 to
+        // k=1024, driven by the directory. Check the SRAM bit budget.
+        let per_core_base = CacheGeometry::l1_32k().total_bits() * 2
+            + CacheGeometry::l2_256k().total_bits();
+        let dir4 = CacheGeometry::directory(4096, 4, 1024).total_bits();
+        let dir1024 = CacheGeometry::directory(4096, 1024, 1024).total_bits();
+        let ratio = (per_core_base + dir1024) as f64 / (per_core_base + dir4) as f64;
+        assert!(ratio > 1.6, "ratio {ratio}");
+        assert!(ratio < 2.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_core_cache_area_fraction_dominates() {
+        // Fig. 10: caches ≈ 90 % of chip area (network is the rest).
+        let l = lib();
+        let cache_area = CacheModel::new(&l, CacheGeometry::l1_32k()).area.value() * 2.0
+            + CacheModel::new(&l, CacheGeometry::l2_256k()).area.value()
+            + CacheModel::new(&l, CacheGeometry::directory(4096, 4, 1024)).area.value();
+        // vs a router + links per tile (rough: routers are ~10^-9 m²)
+        let tile_network = 4e-9;
+        let frac = cache_area / (cache_area + tile_network);
+        assert!(frac > 0.85, "cache fraction {frac}");
+    }
+
+    #[test]
+    fn write_and_read_energies_same_order() {
+        let m = CacheModel::new(&lib(), CacheGeometry::l2_256k());
+        let ratio = m.write_energy / m.read_energy;
+        assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn idle_clock_power_is_small_fraction_of_active() {
+        let m = CacheModel::new(&lib(), CacheGeometry::l2_256k());
+        // active at 1 access/ns would be read_energy × 1e9
+        let active = m.read_energy.value() * 1e9;
+        assert!(m.idle_clock_power.value() < 0.1 * active);
+    }
+}

@@ -1,0 +1,99 @@
+//! First-order in-order core power model (paper §V-G).
+//!
+//! The paper deliberately uses a *simple* core model: a 20 mW peak power
+//! for the single-issue in-order core (obtained by scaling the
+//! Galal-Horowitz FPU energy/flop to 11 nm and dividing by the FPU's
+//! typical share of core power), split into a **non-data-dependent (NDD)**
+//! part — leakage and ungated clocks, burnt every cycle regardless of
+//! activity — and a **data-dependent (DD)** part scaled by the measured
+//! IPC. Two NDD scenarios are studied: 10 % and 40 % of peak.
+//!
+//! The paper's closing insight depends on this model: because core NDD
+//! power dominates the chip, a faster network reduces *core* energy by
+//! shortening runtime, even if the network itself is not the most
+//! energy-efficient component.
+
+use crate::units::{Joules, Seconds, Watts};
+
+/// First-order core power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePowerModel {
+    /// Peak power of one core (paper: 20 mW at 11 nm).
+    pub peak_power: Watts,
+    /// Fraction of peak that is non-data-dependent (paper: 0.1 or 0.4).
+    pub ndd_fraction: f64,
+}
+
+impl CorePowerModel {
+    /// The paper's model with the given NDD fraction.
+    pub fn paper(ndd_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ndd_fraction));
+        CorePowerModel {
+            peak_power: Watts(20e-3),
+            ndd_fraction,
+        }
+    }
+
+    /// NDD energy of one core over `runtime` (burnt regardless of IPC).
+    pub fn ndd_energy(&self, runtime: Seconds) -> Joules {
+        self.peak_power * self.ndd_fraction * runtime
+    }
+
+    /// DD energy of one core over `runtime` at the measured `ipc`
+    /// ("if the IPC is 0.25, the runtime data-dependent power is 25 % of
+    /// the peak data-dependent power").
+    pub fn dd_energy(&self, runtime: Seconds, ipc: f64) -> Joules {
+        assert!((0.0..=1.0).contains(&ipc), "in-order single-issue IPC ≤ 1, got {ipc}");
+        self.peak_power * (1.0 - self.ndd_fraction) * ipc * runtime
+    }
+
+    /// Total core energy.
+    pub fn total_energy(&self, runtime: Seconds, ipc: f64) -> Joules {
+        self.ndd_energy(runtime) + self.dd_energy(runtime, ipc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndd_energy_independent_of_ipc() {
+        let m = CorePowerModel::paper(0.4);
+        let t = Seconds(1e-3);
+        assert_eq!(m.ndd_energy(t), m.peak_power * 0.4 * t);
+        // total differs with ipc, ndd does not
+        assert!(m.total_energy(t, 0.9) > m.total_energy(t, 0.1));
+    }
+
+    #[test]
+    fn dd_energy_scales_with_ipc() {
+        let m = CorePowerModel::paper(0.1);
+        let t = Seconds(1e-3);
+        let e25 = m.dd_energy(t, 0.25);
+        let e50 = m.dd_energy(t, 0.5);
+        assert!((e50.value() / e25.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_run_burns_less_ndd() {
+        // The paper's headline mechanism: completion time drives NDD.
+        let m = CorePowerModel::paper(0.4);
+        assert!(m.ndd_energy(Seconds(2e-3)) > m.ndd_energy(Seconds(1e-3)));
+    }
+
+    #[test]
+    fn peak_power_bound() {
+        let m = CorePowerModel::paper(0.4);
+        let t = Seconds(1.0);
+        let e = m.total_energy(t, 1.0);
+        assert!((e.value() - m.peak_power.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "IPC")]
+    fn superscalar_ipc_rejected() {
+        let m = CorePowerModel::paper(0.1);
+        let _ = m.dd_energy(Seconds(1.0), 1.5);
+    }
+}

@@ -1,0 +1,326 @@
+//! Electrical network component models (DSENT-style).
+//!
+//! A wormhole mesh router decomposes into input buffers (flip-flop FIFOs at
+//! these shallow depths), a crossbar, switch arbiters, and clocking. Each
+//! is expressed in standard-cell counts from [`crate::stdcell`]; links use
+//! [`crate::wires`]. The output of this module is a small set of
+//! *per-event energies* and *static powers* that `atac-sim` multiplies with
+//! event counters:
+//!
+//! * `buffer_write_energy` / `buffer_read_energy` — per flit
+//! * `crossbar_energy` — per flit traversal
+//! * `arbitration_energy` — per head flit
+//! * `link_energy` — per flit per hop
+//! * `leakage` / `clock_power` — static, × runtime
+
+use crate::calib;
+use crate::stdcell::StdCellLib;
+use crate::units::{Joules, Meters, SquareMeters, Watts};
+use crate::wires::WireModel;
+
+/// Parameters of an electrical wormhole router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterParams {
+    /// Number of ports (5 for a mesh: N/S/E/W/local).
+    pub ports: usize,
+    /// Flit width in bits.
+    pub flit_width: usize,
+    /// Input buffer depth in flits per port.
+    pub buffer_depth: usize,
+}
+
+impl RouterParams {
+    /// The paper's mesh router: 5 ports, 64-bit flits, 4-flit buffers.
+    pub fn mesh_default() -> Self {
+        RouterParams {
+            ports: 5,
+            flit_width: 64,
+            buffer_depth: 4,
+        }
+    }
+}
+
+/// Characterized electrical router.
+#[derive(Debug, Clone)]
+pub struct RouterModel {
+    /// Parameters this model was built for.
+    pub params: RouterParams,
+    /// Energy to write one flit into an input buffer.
+    pub buffer_write_energy: Joules,
+    /// Energy to read one flit out of an input buffer.
+    pub buffer_read_energy: Joules,
+    /// Energy for one flit to traverse the crossbar.
+    pub crossbar_energy: Joules,
+    /// Energy of one switch-allocation decision (per head flit).
+    pub arbitration_energy: Joules,
+    /// Static leakage power of the whole router.
+    pub leakage: Watts,
+    /// Clock distribution power of the router's sequential state (an NDD
+    /// contributor: burnt every cycle the router clock is ungated).
+    pub clock_power: Watts,
+    /// Layout area.
+    pub area: SquareMeters,
+}
+
+impl RouterModel {
+    /// Build a router model from the standard-cell library.
+    pub fn new(lib: &StdCellLib, params: RouterParams) -> Self {
+        let vdd = lib.tech.vdd;
+        let act = calib::DATA_ACTIVITY;
+        let bits = params.flit_width as f64;
+        let ports = params.ports as f64;
+        let depth = params.buffer_depth as f64;
+
+        // --- Input buffers: DFF-based FIFOs (shallow depths favour flops
+        // over SRAM at these sizes; DSENT makes the same choice < ~16
+        // entries). A write toggles `act` of the flit's flops plus the
+        // write-pointer decode; a read drives the read mux tree.
+        let dff_write = lib.dff_write_energy();
+        let buffer_write_energy = Joules(bits * act * dff_write.value() * 1.2); // +20% ptr/decode
+        // Read: per bit, a `depth:1` mux tree = (depth-1) mux2 stages worth
+        // of switched capacitance at activity `act`.
+        let mux_e = lib
+            .mux2
+            .switch_energy(vdd, lib.mux2.input_cap);
+        let buffer_read_energy = Joules(bits * act * (depth - 1.0).max(1.0) * mux_e.value() * 0.5);
+
+        // --- Crossbar: `ports × ports` matrix; a traversal drives one
+        // input bus across the crossbar span (~ports × flit-width wire
+        // tracks) plus the pass-gate caps of `ports` cross-points.
+        let xbar_span = Meters(
+            ports * bits * lib.tech.min_wire_pitch.value() * 4.0, // crossbar wiring pitch
+        );
+        let wire = WireModel::semi_global(lib);
+        let xbar_wire_e = wire.energy_per_bit(xbar_span); // per bit
+        let xpoint_e = lib.mux2.switch_energy(vdd, lib.mux2.input_cap);
+        let crossbar_energy = Joules(bits * act * (xbar_wire_e.value() * 0.5 + ports * 0.5 * xpoint_e.value()));
+
+        // --- Switch arbiter: ports × (ports-1) grant matrix of a few
+        // gates each, plus priority flops.
+        let arb_gates = ports * (ports - 1.0) * 4.0;
+        let arbitration_energy = Joules(
+            arb_gates * lib.nand2.switch_energy(vdd, lib.nand2.input_cap).value() * 0.5
+                + ports * lib.dff_write_energy().value(),
+        );
+
+        // --- Static: leakage of all buffer flops + crossbar + arbiter,
+        // with a control overhead factor; clock power of all flops.
+        let n_flops = ports * depth * bits + ports * 8.0; // data + control state
+        let leakage = Watts(
+            n_flops * lib.dff.leakage.value() * (1.0 + calib::ROUTER_CONTROL_OVERHEAD),
+        );
+        let clock_power = Watts(n_flops * lib.dff_clock_energy().value() * 1.0e9); // 1 GHz
+
+        let area = SquareMeters(
+            n_flops * lib.dff.area.value() * 1.5 // flops + wiring
+                + ports * ports * bits * lib.mux2.area.value(),
+        );
+
+        RouterModel {
+            params,
+            buffer_write_energy,
+            buffer_read_energy,
+            crossbar_energy,
+            arbitration_energy,
+            leakage,
+            clock_power,
+            area,
+        }
+    }
+
+    /// Total dynamic energy of a flit fully traversing this router
+    /// (buffer write + read + crossbar; arbitration charged separately per
+    /// head flit).
+    pub fn traversal_energy(&self) -> Joules {
+        self.buffer_write_energy + self.buffer_read_energy + self.crossbar_energy
+    }
+}
+
+/// Characterized inter-router link.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    /// Flit width in bits.
+    pub flit_width: usize,
+    /// Physical length of one hop.
+    pub hop_length: Meters,
+    /// Energy for one flit to traverse one hop.
+    pub flit_energy: Joules,
+    /// Repeater leakage power per hop (per link direction).
+    pub leakage: Watts,
+    /// Repeater area per hop.
+    pub area: SquareMeters,
+}
+
+impl LinkModel {
+    /// Build a link model for hops of length `hop_length`.
+    pub fn new(lib: &StdCellLib, flit_width: usize, hop_length: Meters) -> Self {
+        let wire = WireModel::semi_global(lib);
+        let per_bit = wire.energy_per_bit(hop_length);
+        let flit_energy = Joules(flit_width as f64 * calib::DATA_ACTIVITY * per_bit.value());
+        let leakage = Watts(flit_width as f64 * wire.leakage(hop_length).value());
+        let area = SquareMeters(flit_width as f64 * wire.repeater_area(hop_length).value());
+        LinkModel {
+            flit_width,
+            hop_length,
+            flit_energy,
+            leakage,
+            area,
+        }
+    }
+
+    /// A single mesh hop at the paper's tile size.
+    pub fn mesh_hop(lib: &StdCellLib, flit_width: usize) -> Self {
+        Self::new(lib, flit_width, Meters(calib::TILE_SIDE_M))
+    }
+}
+
+/// Model of the per-cluster electrical *receive* networks: the ATAC BNet
+/// (fan-out broadcast tree to all 16 cores) and the ATAC+ StarNet
+/// (1:16 demux + point-to-point links).
+///
+/// Both have single-cycle latency (the paper: the cluster is small enough
+/// for a flit to reach any core in a cycle at 11 nm). They differ only in
+/// energy: a BNet always drives the full tree; a StarNet unicast drives
+/// one demux path + one link (≈ 1/8th the BNet energy, per the paper), and
+/// a StarNet broadcast drives all 16 links (≈ 2× the BNet, tolerable since
+/// broadcasts are rare).
+#[derive(Debug, Clone)]
+pub struct ReceiveNetModel {
+    /// Energy of delivering one flit on the BNet (always full fan-out).
+    pub bnet_flit_energy: Joules,
+    /// Energy of a unicast flit on the StarNet (demux + one link).
+    pub starnet_unicast_energy: Joules,
+    /// Energy of a broadcast flit on the StarNet (all 16 links).
+    pub starnet_broadcast_energy: Joules,
+    /// Leakage of either network's repeaters (per cluster, per net).
+    pub leakage: Watts,
+    /// Area per cluster of one receive network.
+    pub area: SquareMeters,
+}
+
+impl ReceiveNetModel {
+    /// Build the model for clusters of `cores_per_cluster` cores laid out
+    /// in a square of `cluster_side` tiles on a side.
+    pub fn new(lib: &StdCellLib, flit_width: usize, cores_per_cluster: usize) -> Self {
+        let wire = WireModel::semi_global(lib);
+        let n = cores_per_cluster as f64;
+        let side = (n.sqrt()) * calib::TILE_SIDE_M;
+        let act = calib::DATA_ACTIVITY;
+        let bits = flit_width as f64;
+
+        // BNet: a fanout tree whose total wire length is ~2× the cluster
+        // H-tree span (≈ 2·n·tile/√n per level summed ≈ 3× cluster side
+        // for 16 leaves) and drives all 16 leaf receivers.
+        let bnet_wire = Meters(3.0 * side);
+        let bnet_flit_energy = Joules(
+            bits * act
+                * (wire.energy_per_bit(bnet_wire).value()
+                    + n * lib.dff_write_energy().value()),
+        );
+
+        // StarNet unicast: demux (log2 n stages of mux cells per bit) +
+        // one point-to-point link of ~half the cluster side + 1 receiver.
+        let hop = Meters(0.5 * side);
+        let demux_e = (n.log2()) * lib.mux2.switch_energy(lib.tech.vdd, lib.mux2.input_cap).value();
+        let starnet_unicast_energy = Joules(
+            bits * act * (wire.energy_per_bit(hop).value() + demux_e + lib.dff_write_energy().value()),
+        );
+
+        // StarNet broadcast: all 16 links (each ~avg half-side long).
+        let starnet_broadcast_energy = Joules(n * starnet_unicast_energy.value());
+
+        let leakage = Watts(bits * wire.leakage(bnet_wire).value());
+        let area = SquareMeters(bits * wire.repeater_area(bnet_wire).value());
+
+        ReceiveNetModel {
+            bnet_flit_energy,
+            starnet_unicast_energy,
+            starnet_broadcast_energy,
+            leakage,
+            area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::pj;
+
+    fn lib() -> StdCellLib {
+        StdCellLib::tri_gate_11nm()
+    }
+
+    #[test]
+    fn router_traversal_energy_sub_picojoule_scale() {
+        // DSENT-class 11 nm 5-port 64-bit router: ~0.05–0.5 pJ/flit.
+        let r = RouterModel::new(&lib(), RouterParams::mesh_default());
+        let e = r.traversal_energy();
+        assert!(e > pj(0.01), "{e}");
+        assert!(e < pj(1.0), "{e}");
+    }
+
+    #[test]
+    fn link_energy_about_a_picojoule_per_hop() {
+        // 64 bits × ~0.7 mm at activity 0.5 ≈ 1–3 pJ.
+        let l = LinkModel::mesh_hop(&lib(), 64);
+        assert!(l.flit_energy > pj(0.5), "{}", l.flit_energy);
+        assert!(l.flit_energy < pj(5.0), "{}", l.flit_energy);
+    }
+
+    #[test]
+    fn link_dominates_router_dynamic_energy() {
+        // The well-known result our distance-routing analysis depends on.
+        let r = RouterModel::new(&lib(), RouterParams::mesh_default());
+        let l = LinkModel::mesh_hop(&lib(), 64);
+        assert!(l.flit_energy > r.traversal_energy());
+    }
+
+    #[test]
+    fn wider_flits_cost_proportionally_more() {
+        let l = lib();
+        let e64 = LinkModel::mesh_hop(&l, 64).flit_energy.value();
+        let e256 = LinkModel::mesh_hop(&l, 256).flit_energy.value();
+        let ratio = e256 / e64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+
+        let r64 = RouterModel::new(&l, RouterParams { flit_width: 64, ..RouterParams::mesh_default() });
+        let r256 = RouterModel::new(&l, RouterParams { flit_width: 256, ..RouterParams::mesh_default() });
+        assert!(r256.traversal_energy() > r64.traversal_energy() * 2.0);
+        assert!(r256.leakage > r64.leakage * 2.0);
+    }
+
+    #[test]
+    fn starnet_unicast_much_cheaper_than_bnet() {
+        // Paper: StarNet unicast ≈ 1/8th of BNet flit energy.
+        let m = ReceiveNetModel::new(&lib(), 64, 16);
+        let ratio = m.bnet_flit_energy / m.starnet_unicast_energy;
+        assert!(ratio > 3.0, "ratio {ratio}");
+        assert!(ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn starnet_broadcast_about_twice_bnet() {
+        // Paper: StarNet broadcast ≈ 2× BNet.
+        let m = ReceiveNetModel::new(&lib(), 64, 16);
+        let ratio = m.starnet_broadcast_energy / m.bnet_flit_energy;
+        assert!(ratio > 1.0, "ratio {ratio}");
+        assert!(ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn router_area_is_small_fraction_of_tile() {
+        let r = RouterModel::new(&lib(), RouterParams::mesh_default());
+        let tile = calib::TILE_SIDE_M * calib::TILE_SIDE_M;
+        assert!(r.area.value() < 0.05 * tile, "router {} vs tile {tile}", r.area.value());
+    }
+
+    #[test]
+    fn deeper_buffers_increase_leakage_not_write_energy_much() {
+        let l = lib();
+        let shallow = RouterModel::new(&l, RouterParams { buffer_depth: 2, ..RouterParams::mesh_default() });
+        let deep = RouterModel::new(&l, RouterParams { buffer_depth: 8, ..RouterParams::mesh_default() });
+        assert!(deep.leakage > shallow.leakage);
+        assert!(deep.buffer_write_energy == shallow.buffer_write_energy);
+    }
+}

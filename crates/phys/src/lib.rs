@@ -1,0 +1,52 @@
+//! # atac-phys — device, circuit and memory physical models
+//!
+//! This crate is the reproduction's substitute for the authors' use of
+//! **DSENT** (electrical + photonic circuit energy/area/timing) and
+//! **McPAT** (cache/core area and power). It turns the paper's technology
+//! tables into *per-event energies*, *static powers* and *areas* that the
+//! full-system simulator (`atac-sim`) multiplies with event counters.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`units`] — thin newtypes over `f64` for SI quantities (J, W, s, m, F,
+//!   V, A, dB) so model code cannot accidentally mix units.
+//! * [`tech`] — the projected 11 nm tri-gate electrical technology node
+//!   (paper Table III) plus derived quantities (min-device capacitances,
+//!   leakage currents, wire parasitics).
+//! * [`stdcell`] — a tiny standard-cell library (INV/NAND/NOR/DFF/SRAM
+//!   bitcell) synthesized from [`tech`], in the spirit of DSENT's
+//!   standard-cell bootstrapping.
+//! * [`wires`] — repeated global/semi-global wire energy & delay models.
+//! * [`electrical`] — on-chip router, link, clock-tree and hub energy
+//!   models composed from [`stdcell`] and [`wires`].
+//! * [`photonics`] — nanophotonic link model (paper Table II): loss
+//!   budgets, laser wall-plug power per mode (idle / unicast / broadcast),
+//!   ring thermal tuning, modulator/receiver energies. Implements the four
+//!   technology flavors of Table IV.
+//! * [`serdes`] — serializer/deserializer overheads for wide optical
+//!   flits (the §V-D area-vs-energy/latency tradeoff).
+//! * [`cache_model`] — mini-CACTI/McPAT SRAM model: area, per-access
+//!   dynamic energy and leakage for the L1-I/L1-D/L2/directory caches.
+//! * [`core_model`] — the paper §V-G first-order in-order core power model
+//!   (20 mW peak, configurable non-data-dependent fraction).
+//!
+//! All models are deterministic pure functions of their parameter structs;
+//! every constant that is a *calibration* rather than a published parameter
+//! is defined in [`calib`] with a comment explaining its provenance.
+
+pub mod calib;
+pub mod cache_model;
+pub mod core_model;
+pub mod electrical;
+pub mod photonics;
+pub mod serdes;
+pub mod stdcell;
+pub mod tech;
+pub mod units;
+pub mod wires;
+
+pub use cache_model::{CacheGeometry, CacheModel};
+pub use core_model::CorePowerModel;
+pub use electrical::{LinkModel, RouterModel, RouterParams};
+pub use photonics::{OpticalLinkModel, PhotonicParams, PhotonicScenario};
+pub use tech::TechNode;

@@ -1,0 +1,533 @@
+//! Nanophotonic link models.
+//!
+//! Implements the optical side of the ATAC+ ONet: a WDM ring bus where
+//! each of the 64 hubs modulates its *own* wavelength onto every data
+//! waveguide (flit-width waveguides) and filters all other hubs'
+//! wavelengths at receive. The adaptive SWMR link adds a `log2(hubs)`-bit
+//! *select link* and a power-gateable on-chip Ge laser with three modes
+//! (idle / unicast / broadcast).
+//!
+//! The model follows the standard photonic link power methodology (per the
+//! Georgas et al. CICC'11 paper the authors cite): work backwards from
+//! receiver sensitivity through the worst-case optical loss budget to the
+//! required laser output power, then through laser wall-plug efficiency to
+//! electrical power. Broadcast provisioning is linear in the number of
+//! receivers because each receive ring taps `1/N` of the signal (paper
+//! §IV: "laser power provisioned for broadcasts is approximately a linear
+//! function of the number of receivers").
+//!
+//! Energies are reported per *cycle spent in a mode* so the network
+//! simulator can integrate them from its SWMR mode counters (Table V).
+
+use crate::calib;
+use crate::units::{um2, Decibels, Joules, Seconds, SquareMeters, Watts};
+
+/// Optical technology parameters (paper Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhotonicParams {
+    /// Laser wall-plug efficiency (0.30 in Table II).
+    pub laser_efficiency: f64,
+    /// Waveguide routing pitch (4 µm).
+    pub waveguide_pitch: f64, // metres
+    /// Waveguide propagation loss, dB per centimetre (0.2 dB/cm).
+    pub waveguide_loss_db_per_cm: f64,
+    /// Waveguide non-linearity power limit (30 mW).
+    pub waveguide_nonlinearity_limit: Watts,
+    /// Through (past) loss of one ring, dB (0.0001 dB).
+    pub ring_through_loss_db: f64,
+    /// Drop (into receiver) loss of one ring, dB (1.0 dB).
+    pub ring_drop_loss_db: f64,
+    /// Area of one ring resonator (100 µm²).
+    pub ring_area: SquareMeters,
+    /// Photodetector responsivity, A/W (1.1 A/W).
+    pub photodetector_responsivity: f64,
+}
+
+impl Default for PhotonicParams {
+    fn default() -> Self {
+        PhotonicParams {
+            laser_efficiency: 0.30,
+            waveguide_pitch: 4e-6,
+            waveguide_loss_db_per_cm: 0.2,
+            waveguide_nonlinearity_limit: Watts(30e-3),
+            ring_through_loss_db: 0.0001,
+            ring_drop_loss_db: 1.0,
+            ring_area: um2(100.0),
+            photodetector_responsivity: 1.1,
+        }
+    }
+}
+
+/// The four ATAC+ technology flavors of paper Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhotonicScenario {
+    /// Ideal (zero-loss) devices, 100 %-efficient power-gated laser,
+    /// athermal rings.
+    Ideal,
+    /// Practical devices, power-gated laser, athermal rings — "ATAC+".
+    Practical,
+    /// Practical devices, power-gated laser, thermally *tuned* rings.
+    RingTuned,
+    /// Practical devices, laser always at worst-case (broadcast) power,
+    /// thermally tuned rings — "ATAC+(Cons)".
+    Conservative,
+}
+
+impl PhotonicScenario {
+    /// All four flavors in Table IV order.
+    pub const ALL: [PhotonicScenario; 4] = [
+        PhotonicScenario::Ideal,
+        PhotonicScenario::Practical,
+        PhotonicScenario::RingTuned,
+        PhotonicScenario::Conservative,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhotonicScenario::Ideal => "ATAC+(Ideal)",
+            PhotonicScenario::Practical => "ATAC+",
+            PhotonicScenario::RingTuned => "ATAC+(RingTuned)",
+            PhotonicScenario::Conservative => "ATAC+(Cons)",
+        }
+    }
+
+    /// Can the laser be rapidly power gated / throttled?
+    pub fn laser_power_gated(self) -> bool {
+        !matches!(self, PhotonicScenario::Conservative)
+    }
+
+    /// Are the rings athermal (no tuning power)?
+    pub fn athermal(self) -> bool {
+        matches!(self, PhotonicScenario::Ideal | PhotonicScenario::Practical)
+    }
+
+    /// Are the optical devices ideal (zero loss, 100 % laser efficiency)?
+    pub fn ideal_devices(self) -> bool {
+        matches!(self, PhotonicScenario::Ideal)
+    }
+}
+
+/// Laser operating mode of an adaptive SWMR link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwmrMode {
+    /// Laser off (power-gated scenarios) or at broadcast power (Cons).
+    Idle,
+    /// Laser throttled for a single receiver.
+    Unicast,
+    /// Laser at full power for all receivers.
+    Broadcast,
+}
+
+/// Characterized adaptive SWMR optical link (one sender hub's data +
+/// select channels) plus ONet chip-level aggregates.
+#[derive(Debug, Clone)]
+pub struct OpticalLinkModel {
+    /// Technology parameters used.
+    pub params: PhotonicParams,
+    /// Scenario (Table IV flavor).
+    pub scenario: PhotonicScenario,
+    /// Number of hubs on the ring (64).
+    pub n_hubs: usize,
+    /// Data-link width = flit width (waveguide count).
+    pub data_width: usize,
+    /// Select-link width = ⌈log2(hubs)⌉ bits.
+    pub select_width: usize,
+    /// Worst-case optical path loss (sender modulator → farthest
+    /// receiver's detector), excluding the 1/N receive split.
+    pub path_loss: Decibels,
+    /// Laser wall-plug power of one sender's *data* link in unicast mode.
+    pub unicast_laser_power: Watts,
+    /// Laser wall-plug power of one sender's *data* link in broadcast mode.
+    pub broadcast_laser_power: Watts,
+    /// Laser wall-plug power of one sender's *select* link while
+    /// signalling (always addresses all hubs, i.e. broadcast-provisioned).
+    pub select_laser_power: Watts,
+    /// Modulator dynamic energy per bit.
+    pub modulator_energy_per_bit: Joules,
+    /// Receiver dynamic energy per bit (per receiving hub).
+    pub receiver_energy_per_bit: Joules,
+    /// Static receiver bias power of permanently tuned-in select receivers,
+    /// whole chip.
+    pub select_receiver_bias: Watts,
+    /// Ring thermal tuning power, whole chip (0 if athermal).
+    pub ring_tuning_power: Watts,
+    /// Total ring count on the chip (data + select, modulators + filters).
+    pub total_rings: usize,
+    /// Total waveguide + ring area on the die.
+    pub optical_area: SquareMeters,
+    /// Whether the broadcast channel power hit the waveguide
+    /// non-linearity limit (the link would be error-limited in practice).
+    pub power_clamped: bool,
+}
+
+impl OpticalLinkModel {
+    /// Build the model for `n_hubs` hubs and a `data_width`-bit data link,
+    /// using the waveguide length from [`calib::ONET_WAVEGUIDE_LENGTH_M`].
+    pub fn new(params: PhotonicParams, scenario: PhotonicScenario, n_hubs: usize, data_width: usize) -> Self {
+        let length_cm = calib::ONET_WAVEGUIDE_LENGTH_M * 100.0;
+        let wg_loss = Decibels(params.waveguide_loss_db_per_cm * length_cm);
+        Self::with_waveguide_loss(params, scenario, n_hubs, data_width, wg_loss)
+    }
+
+    /// Build with an explicit *total* worst-case waveguide propagation loss
+    /// (used by the Fig. 9 sensitivity sweep, whose x-axis is total dB).
+    pub fn with_waveguide_loss(
+        params: PhotonicParams,
+        scenario: PhotonicScenario,
+        n_hubs: usize,
+        data_width: usize,
+        waveguide_loss: Decibels,
+    ) -> Self {
+        assert!(n_hubs >= 2, "an SWMR link needs at least 2 hubs");
+        assert!(data_width >= 1);
+        let select_width = (usize::BITS - (n_hubs - 1).leading_zeros()) as usize;
+
+        // Worst-case path loss: full waveguide + through losses of all
+        // other hubs' rings + the drop into the receiver + modulator
+        // insertion + misc. The 1/N broadcast split is modeled by the
+        // linear receiver-count factor, not as a dB term.
+        let path_loss = if scenario.ideal_devices() {
+            Decibels::ZERO
+        } else {
+            waveguide_loss
+                + Decibels(params.ring_through_loss_db * (n_hubs as f64 - 1.0))
+                + Decibels(params.ring_drop_loss_db)
+                + Decibels(calib::MODULATOR_INSERTION_LOSS_DB)
+                + Decibels(calib::MISC_PATH_LOSS_DB)
+        };
+        let efficiency = if scenario.ideal_devices() {
+            1.0
+        } else {
+            params.laser_efficiency
+        };
+
+        // Per-wavelength-channel optical output power for R receivers,
+        // clamped at the waveguide non-linearity limit (Table II: 30 mW):
+        // above that power the waveguide distorts the signal, so no
+        // physical design can inject more — the clamp is what bounds the
+        // laser-power blow-up at extreme waveguide losses (Fig. 9's tail).
+        let limit = params.waveguide_nonlinearity_limit;
+        let channel_optical = |receivers: f64| -> Watts {
+            Watts(
+                (receivers * calib::RECEIVER_SENSITIVITY_W * path_loss.linear_factor())
+                    .min(limit.value()),
+            )
+        };
+        let bcast_rx = (n_hubs - 1) as f64;
+        let bcast_opt = channel_optical(bcast_rx);
+        let power_clamped = bcast_opt >= limit;
+
+        let wallplug = |p: Watts| Watts(p.value() / efficiency);
+        let unicast_laser_power = wallplug(channel_optical(1.0)) * data_width as f64;
+        let broadcast_laser_power = wallplug(bcast_opt) * data_width as f64;
+        let select_laser_power = wallplug(bcast_opt) * select_width as f64;
+
+        // Ring census (see DESIGN.md): every hub modulates its own λ on
+        // every waveguide and filters every other hub's λ on every
+        // waveguide, for both data and select links.
+        let n = n_hubs;
+        let wavegs = data_width + select_width;
+        let modulators = n * wavegs;
+        let filters = n * (n - 1) * wavegs;
+        let total_rings = modulators + filters;
+
+        let ring_tuning_power = if scenario.athermal() {
+            Watts::ZERO
+        } else {
+            Watts(total_rings as f64 * calib::RING_TUNING_W_PER_RING)
+        };
+
+        // Select receivers are permanently tuned in (the mechanism that
+        // lets the link change modes dynamically) and burn bias power.
+        let select_receivers = n * (n - 1) * select_width;
+        let select_receiver_bias = Watts(select_receivers as f64 * calib::RECEIVER_BIAS_W);
+
+        let (mod_e, rx_e) = (
+            Joules(calib::MODULATOR_ENERGY_PER_BIT_J),
+            Joules(calib::RECEIVER_ENERGY_PER_BIT_J),
+        );
+
+        let wg_area = SquareMeters(
+            wavegs as f64 * calib::ONET_WAVEGUIDE_LENGTH_M * params.waveguide_pitch,
+        );
+        let ring_area = SquareMeters(total_rings as f64 * params.ring_area.value());
+        let optical_area = SquareMeters(wg_area.value() + ring_area.value());
+
+        OpticalLinkModel {
+            params,
+            scenario,
+            n_hubs,
+            data_width,
+            select_width,
+            path_loss,
+            unicast_laser_power,
+            broadcast_laser_power,
+            select_laser_power,
+            modulator_energy_per_bit: mod_e,
+            receiver_energy_per_bit: rx_e,
+            select_receiver_bias,
+            ring_tuning_power,
+            total_rings,
+            optical_area,
+            power_clamped,
+        }
+    }
+
+    /// Laser wall-plug power of one sender's data link in `mode`.
+    ///
+    /// In the Conservative scenario the laser cannot be throttled or
+    /// gated, so every mode costs broadcast power.
+    pub fn laser_power(&self, mode: SwmrMode) -> Watts {
+        if !self.scenario.laser_power_gated() {
+            return self.broadcast_laser_power;
+        }
+        match mode {
+            SwmrMode::Idle => Watts::ZERO,
+            SwmrMode::Unicast => self.unicast_laser_power,
+            SwmrMode::Broadcast => self.broadcast_laser_power,
+        }
+    }
+
+    /// Laser energy of one sender's data link spending `cycles` cycles of
+    /// `cycle_time` in `mode`.
+    pub fn laser_energy(&self, mode: SwmrMode, cycles: u64, cycle_time: Seconds) -> Joules {
+        self.laser_power(mode) * (cycle_time * cycles as f64)
+    }
+
+    /// Dynamic energy to *send* one flit (modulate `data_width` bits at
+    /// the data activity factor).
+    pub fn flit_modulation_energy(&self) -> Joules {
+        self.modulator_energy_per_bit * (self.data_width as f64 * calib::DATA_ACTIVITY)
+    }
+
+    /// Dynamic energy for `receivers` hubs to each *receive* one flit.
+    pub fn flit_receive_energy(&self, receivers: usize) -> Joules {
+        self.receiver_energy_per_bit
+            * (receivers as f64 * self.data_width as f64 * calib::DATA_ACTIVITY)
+    }
+
+    /// Energy of one select-link notification: a `select_width`-bit symbol
+    /// modulated once and received by all other hubs, plus one cycle of
+    /// select-link laser power.
+    pub fn select_notification_energy(&self, cycle_time: Seconds) -> Joules {
+        let bits = self.select_width as f64;
+        let modulate = self.modulator_energy_per_bit * (bits * calib::DATA_ACTIVITY);
+        let receive = self.receiver_energy_per_bit
+            * ((self.n_hubs - 1) as f64 * bits * calib::DATA_ACTIVITY);
+        let laser = if self.scenario.laser_power_gated() {
+            self.select_laser_power * cycle_time
+        } else {
+            // Cons: select laser is rolled into the static budget below.
+            Joules::ZERO
+        };
+        modulate + receive + laser
+    }
+
+    /// Energy of one laser power transition (on/off or level change).
+    ///
+    /// §II-A: the on-chip Ge laser settles within 1 ns; during the settle
+    /// the bias current ramps, dissipating roughly the target mode's
+    /// wall-plug power for that nanosecond. Charged per transition from
+    /// the network's `laser_transitions` counter (gated scenarios only —
+    /// the Conservative laser never transitions).
+    pub fn transition_energy(&self) -> Joules {
+        if !self.scenario.laser_power_gated() {
+            return Joules::ZERO;
+        }
+        const SETTLE: Seconds = Seconds(1e-9);
+        // Transitions are dominated by unicast setups (Table V).
+        self.unicast_laser_power * SETTLE
+    }
+
+    /// Total *static* (non-data-dependent) power of the entire ONet in
+    /// this scenario: ring tuning + permanently tuned-in select-receiver
+    /// bias, plus — only when the laser cannot be gated — all hubs' data
+    /// and select lasers at worst-case power.
+    pub fn static_power(&self) -> Watts {
+        let mut p = self.ring_tuning_power + self.select_receiver_bias;
+        if !self.scenario.laser_power_gated() {
+            p += (self.broadcast_laser_power + self.select_laser_power) * self.n_hubs as f64;
+        }
+        p
+    }
+
+    /// Static power attributable to ring tuning only (Fig. 7 breakdown).
+    pub fn tuning_power(&self) -> Watts {
+        self.ring_tuning_power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::ns;
+
+    fn model(s: PhotonicScenario) -> OpticalLinkModel {
+        OpticalLinkModel::new(PhotonicParams::default(), s, 64, 64)
+    }
+
+    #[test]
+    fn select_width_is_log2_hubs() {
+        assert_eq!(model(PhotonicScenario::Practical).select_width, 6);
+        let m8 = OpticalLinkModel::new(PhotonicParams::default(), PhotonicScenario::Practical, 8, 64);
+        assert_eq!(m8.select_width, 3);
+    }
+
+    #[test]
+    fn ring_census_matches_paper_magnitude() {
+        // Paper: "~260K rings" for the data network; our census including
+        // the select link lands within ~15 % of 260 K.
+        let m = model(PhotonicScenario::Practical);
+        assert!(m.total_rings > 250_000, "{}", m.total_rings);
+        assert!(m.total_rings < 300_000, "{}", m.total_rings);
+    }
+
+    #[test]
+    fn broadcast_laser_is_about_receivers_times_unicast() {
+        let m = model(PhotonicScenario::Practical);
+        let ratio = m.broadcast_laser_power / m.unicast_laser_power;
+        assert!((ratio - 63.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ideal_devices_are_lossless_and_efficient() {
+        let ideal = model(PhotonicScenario::Ideal);
+        let practical = model(PhotonicScenario::Practical);
+        assert_eq!(ideal.path_loss, Decibels::ZERO);
+        assert!(ideal.broadcast_laser_power < practical.broadcast_laser_power);
+        // Ideal removes both the loss factor and the 70 % efficiency hit.
+        let ratio = practical.broadcast_laser_power / ideal.broadcast_laser_power;
+        assert!(ratio > 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn conservative_laser_cannot_idle() {
+        let cons = model(PhotonicScenario::Conservative);
+        assert_eq!(cons.laser_power(SwmrMode::Idle), cons.broadcast_laser_power);
+        assert_eq!(cons.laser_power(SwmrMode::Unicast), cons.broadcast_laser_power);
+        let prac = model(PhotonicScenario::Practical);
+        assert_eq!(prac.laser_power(SwmrMode::Idle), Watts::ZERO);
+        assert!(prac.laser_power(SwmrMode::Unicast) < prac.laser_power(SwmrMode::Broadcast));
+    }
+
+    #[test]
+    fn tuning_power_only_for_tuned_scenarios() {
+        assert_eq!(model(PhotonicScenario::Ideal).tuning_power(), Watts::ZERO);
+        assert_eq!(model(PhotonicScenario::Practical).tuning_power(), Watts::ZERO);
+        assert!(model(PhotonicScenario::RingTuned).tuning_power().value() > 1.0);
+        assert!(model(PhotonicScenario::Conservative).tuning_power().value() > 1.0);
+    }
+
+    #[test]
+    fn static_power_ordering_matches_fig7() {
+        // Cons (ungated laser + tuning) > RingTuned (tuning) > Practical
+        // (bias only) >= Ideal.
+        let p = |s| model(s).static_power().value();
+        assert!(p(PhotonicScenario::Conservative) > p(PhotonicScenario::RingTuned));
+        assert!(p(PhotonicScenario::RingTuned) > p(PhotonicScenario::Practical));
+        assert!(p(PhotonicScenario::Practical) >= p(PhotonicScenario::Ideal));
+    }
+
+    #[test]
+    fn cons_static_laser_is_watts_scale() {
+        // The un-gateable laser across 64 hubs should be a many-watt
+        // chip-level budget — the effect Fig. 7 visualizes.
+        let cons = model(PhotonicScenario::Conservative);
+        let laser_part = cons.static_power() - cons.ring_tuning_power - cons.select_receiver_bias;
+        assert!(laser_part.value() > 1.0, "{laser_part}");
+        assert!(laser_part.value() < 100.0, "{laser_part}");
+    }
+
+    #[test]
+    fn optical_area_matches_paper_magnitude() {
+        // Paper Fig. 10: waveguides + optical devices ≈ 40 mm².
+        let m = model(PhotonicScenario::Practical);
+        let mm2 = m.optical_area.value() * 1e6;
+        assert!(mm2 > 20.0, "{mm2} mm^2");
+        assert!(mm2 < 80.0, "{mm2} mm^2");
+    }
+
+    #[test]
+    fn area_grows_with_flit_width() {
+        // Paper Fig. 11 discussion: 256-bit flits cost ~160 mm² of optics.
+        let m64 = model(PhotonicScenario::Practical);
+        let m256 =
+            OpticalLinkModel::new(PhotonicParams::default(), PhotonicScenario::Practical, 64, 256);
+        let ratio = m256.optical_area.value() / m64.optical_area.value();
+        assert!(ratio > 3.0, "ratio {ratio}");
+        let mm2 = m256.optical_area.value() * 1e6;
+        assert!(mm2 > 100.0 && mm2 < 300.0, "{mm2} mm^2");
+    }
+
+    #[test]
+    fn laser_energy_integrates_power_over_cycles() {
+        let m = model(PhotonicScenario::Practical);
+        let e = m.laser_energy(SwmrMode::Unicast, 10, ns(1.0));
+        let expect = m.unicast_laser_power * ns(10.0);
+        assert!((e.value() - expect.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn waveguide_loss_sweep_monotonic() {
+        let mut last = 0.0;
+        for db in [0.2, 0.5, 1.0, 2.0, 4.0] {
+            let m = OpticalLinkModel::with_waveguide_loss(
+                PhotonicParams::default(),
+                PhotonicScenario::Practical,
+                64,
+                64,
+                Decibels(db),
+            );
+            assert!(m.broadcast_laser_power.value() > last);
+            last = m.broadcast_laser_power.value();
+        }
+    }
+
+    #[test]
+    fn transition_energy_gated_only() {
+        let prac = model(PhotonicScenario::Practical);
+        assert!(prac.transition_energy().value() > 0.0);
+        // ~1 ns at unicast power
+        let expect = prac.unicast_laser_power.value() * 1e-9;
+        assert!((prac.transition_energy().value() - expect).abs() < 1e-18);
+        assert_eq!(
+            model(PhotonicScenario::Conservative).transition_energy(),
+            Joules::ZERO,
+            "an un-gateable laser never transitions"
+        );
+    }
+
+    #[test]
+    fn select_notification_has_energy() {
+        let m = model(PhotonicScenario::Practical);
+        let e = m.select_notification_energy(ns(1.0));
+        assert!(e.value() > 0.0);
+        // Select is narrow: far cheaper than a broadcast data flit +
+        // 63 receivers.
+        assert!(e < m.flit_modulation_energy() + m.flit_receive_energy(63));
+    }
+
+    #[test]
+    fn nonlinearity_limit_clamps_power() {
+        // At absurd waveguide losses the per-channel power saturates at
+        // the 30 mW non-linearity limit instead of growing exponentially.
+        let m = OpticalLinkModel::with_waveguide_loss(
+            PhotonicParams::default(),
+            PhotonicScenario::Practical,
+            64,
+            64,
+            Decibels(80.0),
+        );
+        assert!(m.power_clamped);
+        let per_channel = m.broadcast_laser_power.value()
+            / m.data_width as f64
+            * PhotonicParams::default().laser_efficiency;
+        assert!(
+            (per_channel - 30e-3).abs() < 1e-6,
+            "per-channel optical power {per_channel} should be clamped at 30 mW"
+        );
+        // the default configuration is far below the limit
+        assert!(!model(PhotonicScenario::Practical).power_clamped);
+    }
+}

@@ -1,0 +1,193 @@
+//! Serializer/deserializer (SerDes) model for wide optical flits.
+//!
+//! Paper §V-D closes the flit-width study with: *"though higher link
+//! data-rates and SerDes can be used to decrease the number of photonic
+//! devices (and hence area) for wide flit-widths, the SerDes power
+//! overhead and latency overcomes the marginal gain in performance."*
+//! This module makes that argument quantitative: given a logical flit
+//! width and a serialization factor `S`, the optical link needs `1/S`
+//! the waveguides/rings (area win) but must run its lanes at `S×` the
+//! core clock, paying mux/demux trees, lane clocking, and `S−1` extra
+//! cycles of serialization latency per flit.
+
+use crate::calib;
+use crate::photonics::{OpticalLinkModel, PhotonicParams, PhotonicScenario};
+use crate::stdcell::StdCellLib;
+use crate::units::{Joules, SquareMeters, Watts};
+
+/// A SerDes-equipped optical data link configuration.
+#[derive(Debug, Clone)]
+pub struct SerdesLink {
+    /// Logical flit width in bits (what the router sees).
+    pub flit_width: usize,
+    /// Serialization factor (1 = no SerDes; 4 = quarter the waveguides
+    /// at 4× the lane rate).
+    pub factor: usize,
+    /// Physical lane count (`flit_width / factor`).
+    pub lanes: usize,
+    /// Extra flit latency in core cycles introduced by (de)serialization.
+    pub extra_latency_cycles: u32,
+    /// Dynamic energy added per flit by the mux/demux trees and the
+    /// high-rate lane clocking, at every sender + receiver pair.
+    pub energy_per_flit: Joules,
+    /// Static power of the per-lane clock multiplication (PLL/CDR
+    /// share), per hub.
+    pub static_power_per_hub: Watts,
+    /// Optical area of the serialized link (waveguides + rings shrink by
+    /// the factor).
+    pub optical_area: SquareMeters,
+}
+
+impl SerdesLink {
+    /// Characterize a SerDes configuration for the ONet.
+    ///
+    /// `factor` must divide `flit_width`. Energy model: serializing one
+    /// flit toggles a `factor:1` mux tree per lane per bit-time
+    /// (`flit_width` total mux-bit events at the data activity factor),
+    /// mirrored by the deserializer; lane clocking runs `factor×` faster,
+    /// charged as DFF clock energy per lane per bit-time. CDR/PLL static
+    /// power is taken at 1 mW per 10 Gb/s of aggregate lane rate per hub
+    /// — a standard wireline figure of merit scaled to 11 nm.
+    pub fn new(
+        lib: &StdCellLib,
+        params: PhotonicParams,
+        scenario: PhotonicScenario,
+        n_hubs: usize,
+        flit_width: usize,
+        factor: usize,
+        core_clock_hz: f64,
+    ) -> Self {
+        assert!(factor >= 1, "serialization factor must be ≥ 1");
+        assert!(
+            flit_width.is_multiple_of(factor),
+            "factor {factor} must divide flit width {flit_width}"
+        );
+        let lanes = flit_width / factor;
+        let optics = OpticalLinkModel::new(params, scenario, n_hubs, lanes);
+
+        // Mux/demux trees: log2(factor) stages of 2:1 muxes per lane,
+        // each bit of the flit passing through one path end-to-end.
+        let stages = (factor as f64).log2().ceil().max(0.0);
+        let mux_e = lib.mux2.switch_energy(lib.tech.vdd, lib.mux2.input_cap);
+        let tree = flit_width as f64 * calib::DATA_ACTIVITY * stages * mux_e.value();
+        // Lane clocking at factor× rate: one DFF clock event per lane per
+        // bit-time, at both ends.
+        let lane_clk = lanes as f64 * factor as f64 * lib.dff_clock_energy().value();
+        let energy_per_flit = Joules(2.0 * (tree + lane_clk));
+
+        // CDR/PLL static: 1 mW per 10 Gb/s aggregate, per hub.
+        let aggregate_rate = lanes as f64 * factor as f64 * core_clock_hz;
+        let static_power_per_hub = Watts(if factor > 1 {
+            aggregate_rate / 10e9 * 1e-3
+        } else {
+            0.0
+        });
+
+        SerdesLink {
+            flit_width,
+            factor,
+            lanes,
+            extra_latency_cycles: (factor as u32).saturating_sub(1),
+            energy_per_flit,
+            static_power_per_hub,
+            optical_area: optics.optical_area,
+        }
+    }
+}
+
+/// The §V-D verdict, computed: does serializing a wide flit pay off in
+/// energy-latency terms once SerDes overheads are charged?
+///
+/// Returns `(area_saved_mm2, extra_energy_per_flit, extra_latency)` for
+/// the comparison the paper narrates.
+pub fn serdes_tradeoff(
+    lib: &StdCellLib,
+    n_hubs: usize,
+    flit_width: usize,
+    factor: usize,
+) -> (f64, Joules, u32) {
+    let base = SerdesLink::new(
+        lib,
+        PhotonicParams::default(),
+        PhotonicScenario::Practical,
+        n_hubs,
+        flit_width,
+        1,
+        1.0e9,
+    );
+    let ser = SerdesLink::new(
+        lib,
+        PhotonicParams::default(),
+        PhotonicScenario::Practical,
+        n_hubs,
+        flit_width,
+        factor,
+        1.0e9,
+    );
+    (
+        (base.optical_area.value() - ser.optical_area.value()) * 1e6,
+        ser.energy_per_flit - base.energy_per_flit,
+        ser.extra_latency_cycles,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> StdCellLib {
+        StdCellLib::tri_gate_11nm()
+    }
+
+    fn mk(flit: usize, factor: usize) -> SerdesLink {
+        SerdesLink::new(
+            &lib(),
+            PhotonicParams::default(),
+            PhotonicScenario::Practical,
+            64,
+            flit,
+            factor,
+            1.0e9,
+        )
+    }
+
+    #[test]
+    fn factor_one_is_a_plain_link() {
+        let s = mk(64, 1);
+        assert_eq!(s.lanes, 64);
+        assert_eq!(s.extra_latency_cycles, 0);
+        assert_eq!(s.static_power_per_hub, Watts(0.0));
+    }
+
+    #[test]
+    fn serialization_shrinks_optics() {
+        let s1 = mk(256, 1);
+        let s4 = mk(256, 4);
+        assert_eq!(s4.lanes, 64);
+        assert!(s4.optical_area.value() < 0.5 * s1.optical_area.value());
+    }
+
+    #[test]
+    fn serialization_costs_latency_and_energy() {
+        let s4 = mk(256, 4);
+        assert_eq!(s4.extra_latency_cycles, 3);
+        assert!(s4.energy_per_flit.value() > mk(256, 1).energy_per_flit.value());
+        assert!(s4.static_power_per_hub.value() > 0.0);
+    }
+
+    #[test]
+    fn paper_verdict_area_for_energy_latency() {
+        // §V-D: serializing a 256-bit flit 4× saves real area but costs
+        // energy and cycles — the tradeoff the paper declines.
+        let (area_saved, extra_e, extra_lat) = serdes_tradeoff(&lib(), 64, 256, 4);
+        assert!(area_saved > 50.0, "area saved {area_saved} mm^2");
+        assert!(extra_e.value() > 0.0);
+        assert_eq!(extra_lat, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn factor_must_divide_width() {
+        let _ = mk(64, 3);
+    }
+}

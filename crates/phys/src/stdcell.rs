@@ -1,0 +1,175 @@
+//! A miniature standard-cell library synthesized from a [`TechNode`].
+//!
+//! DSENT bootstraps all of its circuit models from a handful of
+//! characterized standard cells; we do the same at coarser granularity.
+//! Each [`Cell`] carries input capacitance, internal (output + wiring)
+//! capacitance, leakage power and layout area, all derived from the
+//! transistor-level parameters of the node. Composite models (routers,
+//! arbiters, SRAM periphery) are then expressed as *cell counts × activity*.
+
+use crate::tech::TechNode;
+use crate::units::{Farads, Joules, Meters, SquareMeters, Watts};
+
+/// A characterized standard cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Capacitance presented to the driver of each input pin.
+    pub input_cap: Farads,
+    /// Internal capacitance switched when the output toggles
+    /// (drain caps + estimated intra-cell wiring).
+    pub internal_cap: Farads,
+    /// Static leakage power (state-averaged).
+    pub leakage: Watts,
+    /// Layout area.
+    pub area: SquareMeters,
+}
+
+impl Cell {
+    /// Energy of one full output transition pair with an external `load`.
+    #[inline]
+    pub fn switch_energy(&self, vdd: crate::units::Volts, load: Farads) -> Joules {
+        Farads(self.internal_cap.value() + load.value()).switching_energy(vdd)
+    }
+}
+
+/// The library: the small set of cells all electrical models compose.
+#[derive(Debug, Clone)]
+pub struct StdCellLib {
+    /// The technology the library was synthesized from.
+    pub tech: TechNode,
+    /// Minimum-size inverter.
+    pub inv: Cell,
+    /// 2-input NAND.
+    pub nand2: Cell,
+    /// 2-input NOR.
+    pub nor2: Cell,
+    /// 2:1 multiplexer (transmission-gate style).
+    pub mux2: Cell,
+    /// XOR2 gate (used in comparators / ECC estimates).
+    pub xor2: Cell,
+    /// Positive-edge D flip-flop with clock gating support.
+    pub dff: Cell,
+    /// 6T SRAM bitcell (storage only; periphery modeled separately).
+    pub sram_bitcell: Cell,
+}
+
+impl StdCellLib {
+    /// Synthesize the library for a node.
+    ///
+    /// Transistor counts per cell follow standard static-CMOS topologies:
+    /// INV=2, NAND2/NOR2=4, MUX2=8 (2 transmission gates + inverters),
+    /// XOR2=10, DFF=20 (master/slave + local clock buffers), SRAM=6.
+    /// Intra-cell wiring adds ~30 % to device capacitance (DSENT uses a
+    /// comparable layout-parasitic adder).
+    pub fn new(tech: TechNode) -> Self {
+        let wiring_factor = 1.3;
+        let site = tech.device_site_area();
+        let make = |n_inputs: f64, n_devices: f64, drive_mult: f64| -> Cell {
+            let wn = Meters(tech.min_device_width.value() * drive_mult);
+            let wp = tech.pmos_width_for(wn);
+            let pair_gate = Farads(tech.gate_cap(wn).value() + tech.gate_cap(wp).value());
+            let pair_drain = Farads(tech.drain_cap(wn).value() + tech.drain_cap(wp).value());
+            let input_cap = Farads(pair_gate.value() * n_inputs.max(1.0) / n_inputs.max(1.0));
+            // each input pin sees one p/n pair's worth of gate cap
+            let internal_cap = Farads(pair_drain.value() * (n_devices / 2.0) * wiring_factor);
+            let leak_w = Meters(wn.value() + wp.value());
+            let leakage = Watts(
+                0.5 * tech.leakage_current(leak_w).value() * tech.vdd.value() * (n_devices / 2.0),
+            );
+            let area = SquareMeters(site.value() * (n_devices / 2.0) * drive_mult);
+            Cell {
+                input_cap,
+                internal_cap,
+                leakage,
+                area,
+            }
+        };
+
+        StdCellLib {
+            inv: make(1.0, 2.0, 1.0),
+            nand2: make(2.0, 4.0, 1.0),
+            nor2: make(2.0, 4.0, 1.0),
+            mux2: make(3.0, 8.0, 1.0),
+            xor2: make(2.0, 10.0, 1.0),
+            dff: make(2.0, 20.0, 1.0),
+            sram_bitcell: {
+                // SRAM cells use near-minimum devices and an extremely
+                // dense layout: ~0.040 µm² at 11 nm class nodes
+                // (≈ 20 × pitch² for a 6T cell including well spacing).
+                let mut c = make(1.0, 6.0, 0.7);
+                let pitch = tech.contacted_gate_pitch.value();
+                c.area = SquareMeters(20.0 * pitch * pitch);
+                c
+            },
+            tech,
+        }
+    }
+
+    /// The paper's node.
+    pub fn tri_gate_11nm() -> Self {
+        Self::new(TechNode::tri_gate_11nm())
+    }
+
+    /// Energy to toggle a DFF (clock + data transition, internal caps).
+    pub fn dff_write_energy(&self) -> Joules {
+        self.dff
+            .switch_energy(self.tech.vdd, self.dff.input_cap)
+    }
+
+    /// Clock energy per DFF per cycle even when data is idle (clock pin
+    /// cap). This is the "ungated clock" contributor to NDD energy.
+    pub fn dff_clock_energy(&self) -> Joules {
+        self.dff.input_cap.switching_energy(self.tech.vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Joules, SquareMeters};
+
+    fn lib() -> StdCellLib {
+        StdCellLib::tri_gate_11nm()
+    }
+
+    #[test]
+    fn cells_have_positive_characteristics() {
+        let l = lib();
+        for c in [l.inv, l.nand2, l.nor2, l.mux2, l.xor2, l.dff, l.sram_bitcell] {
+            assert!(c.input_cap.value() > 0.0);
+            assert!(c.internal_cap.value() > 0.0);
+            assert!(c.leakage.value() > 0.0);
+            assert!(c.area.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn bigger_cells_cost_more() {
+        let l = lib();
+        assert!(l.dff.internal_cap.value() > l.inv.internal_cap.value());
+        assert!(l.dff.leakage.value() > l.nand2.leakage.value());
+        assert!(l.dff.area.value() > l.nand2.area.value());
+    }
+
+    #[test]
+    fn dff_write_energy_sub_femtojoule() {
+        // An 11 nm flop toggle should cost ~0.1–1 fJ.
+        let e = lib().dff_write_energy();
+        assert!(e > Joules(0.02e-15), "{e}");
+        assert!(e < Joules(2e-15), "{e}");
+    }
+
+    #[test]
+    fn sram_cell_area_matches_density_projections() {
+        // 11 nm-class 6T SRAM ≈ 0.03–0.06 µm².
+        let a = lib().sram_bitcell.area;
+        assert!(a > SquareMeters(0.02e-12), "{a}");
+        assert!(a < SquareMeters(0.08e-12), "{a}");
+    }
+
+    #[test]
+    fn clock_energy_below_write_energy() {
+        let l = lib();
+        assert!(l.dff_clock_energy() < l.dff_write_energy());
+    }
+}

@@ -1,0 +1,233 @@
+//! Electrical technology node models.
+//!
+//! The paper projects an **11 nm tri-gate** technology using the
+//! virtual-source transport model of Khakifirooz et al. and the parasitic
+//! capacitance model of Wei et al., summarized in Table III:
+//!
+//! | Parameter | Value |
+//! |---|---|
+//! | Supply voltage (VDD)            | 0.6 V |
+//! | Gate length                     | 14 nm |
+//! | Contacted gate pitch            | 44 nm |
+//! | Gate cap / width                | 2.420 fF/µm |
+//! | Drain cap / width               | 1.150 fF/µm |
+//! | Effective on current / width    | 739 / 668 µA/µm (N/P) |
+//! | Off current / width             | 1 nA/µm |
+//!
+//! [`TechNode`] stores these as fields and derives the quantities the
+//! circuit models need (minimum-device capacitances, per-device leakage,
+//! FO4-style delay estimates). High-threshold (HVT) devices are assumed,
+//! as in the paper, because the 1 GHz clock is slow for the node.
+
+use crate::units::{Amps, Farads, Meters, Seconds, SquareMeters, Volts};
+
+/// An electrical CMOS technology node, in the style of a (much smaller)
+/// DSENT technology file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechNode {
+    /// Human-readable name, e.g. `"11nm tri-gate HVT"`.
+    pub name: &'static str,
+    /// Nominal supply voltage.
+    pub vdd: Volts,
+    /// Physical gate length.
+    pub gate_length: Meters,
+    /// Contacted gate pitch (the layout "grid" for device area estimates).
+    pub contacted_gate_pitch: Meters,
+    /// Minimum metal pitch for local wiring (used for cell area estimates).
+    pub min_wire_pitch: Meters,
+    /// Gate capacitance per unit device width.
+    pub gate_cap_per_width: Farads, // per metre of width
+    /// Drain (parasitic) capacitance per unit device width.
+    pub drain_cap_per_width: Farads, // per metre of width
+    /// Effective NMOS on-current per unit width.
+    pub on_current_n: Amps, // per metre of width
+    /// Effective PMOS on-current per unit width.
+    pub on_current_p: Amps, // per metre of width
+    /// Sub-threshold + gate leakage per unit width (HVT).
+    pub off_current: Amps, // per metre of width
+    /// Minimum usable device width (one fin's effective width at this node).
+    pub min_device_width: Meters,
+}
+
+impl TechNode {
+    /// The paper's projected 11 nm tri-gate node (Table III).
+    ///
+    /// `min_device_width` is the effective conduction width of a single
+    /// fin: tri-gate conduction width ≈ 2·fin-height + fin-width; with a
+    /// projected 18 nm fin height and 6 nm fin width this is ≈ 42 nm. The
+    /// local wire pitch is taken as 1.5× the contacted gate pitch,
+    /// consistent with scaled-interconnect projections.
+    pub fn tri_gate_11nm() -> Self {
+        TechNode {
+            name: "11nm tri-gate HVT",
+            vdd: Volts(0.6),
+            gate_length: Meters(14e-9),
+            contacted_gate_pitch: Meters(44e-9),
+            min_wire_pitch: Meters(66e-9),
+            gate_cap_per_width: Farads(2.420e-15 / 1e-6), // 2.420 fF/µm
+            drain_cap_per_width: Farads(1.150e-15 / 1e-6), // 1.150 fF/µm
+            on_current_n: Amps(739e-6 / 1e-6),            // 739 µA/µm
+            on_current_p: Amps(668e-6 / 1e-6),            // 668 µA/µm
+            off_current: Amps(1e-9 / 1e-6),               // 1 nA/µm
+            min_device_width: Meters(42e-9),
+        }
+    }
+
+    /// A 45 nm-class bulk node, used only by tests and ablation benches to
+    /// check that the models scale sensibly with technology (bigger caps,
+    /// higher VDD ⇒ more energy per event).
+    pub fn bulk_45nm() -> Self {
+        TechNode {
+            name: "45nm bulk",
+            vdd: Volts(1.0),
+            gate_length: Meters(40e-9),
+            contacted_gate_pitch: Meters(160e-9),
+            min_wire_pitch: Meters(160e-9),
+            gate_cap_per_width: Farads(1.7e-15 / 1e-6),
+            drain_cap_per_width: Farads(1.0e-15 / 1e-6),
+            on_current_n: Amps(1000e-6 / 1e-6),
+            on_current_p: Amps(700e-6 / 1e-6),
+            off_current: Amps(10e-9 / 1e-6),
+            min_device_width: Meters(120e-9),
+        }
+    }
+
+    /// Gate capacitance of a device of width `w`.
+    #[inline]
+    pub fn gate_cap(&self, w: Meters) -> Farads {
+        Farads(self.gate_cap_per_width.value() * w.value())
+    }
+
+    /// Drain capacitance of a device of width `w`.
+    #[inline]
+    pub fn drain_cap(&self, w: Meters) -> Farads {
+        Farads(self.drain_cap_per_width.value() * w.value())
+    }
+
+    /// Leakage current of a device of width `w` (HVT off-state).
+    #[inline]
+    pub fn leakage_current(&self, w: Meters) -> Amps {
+        Amps(self.off_current.value() * w.value())
+    }
+
+    /// Input capacitance of a minimum-size inverter
+    /// (NMOS of `min_device_width`, PMOS sized for drive balance).
+    pub fn min_inverter_input_cap(&self) -> Farads {
+        let wn = self.min_device_width;
+        let wp = self.pmos_width_for(wn);
+        Farads(self.gate_cap(wn).value() + self.gate_cap(wp).value())
+    }
+
+    /// Output (drain) capacitance of a minimum-size inverter.
+    pub fn min_inverter_output_cap(&self) -> Farads {
+        let wn = self.min_device_width;
+        let wp = self.pmos_width_for(wn);
+        Farads(self.drain_cap(wn).value() + self.drain_cap(wp).value())
+    }
+
+    /// PMOS width that matches the drive strength of an NMOS of width `wn`.
+    #[inline]
+    pub fn pmos_width_for(&self, wn: Meters) -> Meters {
+        Meters(wn.value() * self.on_current_n.value() / self.on_current_p.value())
+    }
+
+    /// Approximate switching delay of a minimum inverter driving `load`:
+    /// `t ≈ C·VDD / I_on` (virtual-source saturation approximation).
+    pub fn inverter_delay(&self, load: Farads) -> Seconds {
+        let i_on = Amps(self.on_current_n.value() * self.min_device_width.value());
+        Seconds(load.value() * self.vdd.value() / i_on.value())
+    }
+
+    /// FO4 delay: a minimum inverter driving four copies of itself.
+    pub fn fo4_delay(&self) -> Seconds {
+        let load = Farads(
+            4.0 * self.min_inverter_input_cap().value() + self.min_inverter_output_cap().value(),
+        );
+        self.inverter_delay(load)
+    }
+
+    /// Layout area of a single transistor pair (one p/n device site):
+    /// contacted gate pitch × (device width + diffusion spacing). Used for
+    /// coarse logic-area estimates.
+    pub fn device_site_area(&self) -> SquareMeters {
+        let height = Meters(self.min_device_width.value() * 4.0);
+        self.contacted_gate_pitch * height
+    }
+
+    /// Leakage power of a minimum inverter (one device leaking at a time,
+    /// averaged over input states).
+    pub fn min_inverter_leakage(&self) -> crate::units::Watts {
+        let wn = self.min_device_width;
+        let wp = self.pmos_width_for(wn);
+        let avg_leak = Amps(0.5 * (self.leakage_current(wn).value() + self.leakage_current(wp).value()));
+        avg_leak * self.vdd
+    }
+}
+
+/// Quick sanity numbers exposed for documentation and the `tables` binary.
+impl TechNode {
+    /// Switching energy of a minimum inverter (input + output cap, full
+    /// transition pair).
+    pub fn min_inverter_switch_energy(&self) -> crate::units::Joules {
+        let c = Farads(self.min_inverter_input_cap().value() + self.min_inverter_output_cap().value());
+        c.switching_energy(self.vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{um, Joules};
+
+    #[test]
+    fn table_iii_values_survive() {
+        let t = TechNode::tri_gate_11nm();
+        assert_eq!(t.vdd, Volts(0.6));
+        assert!((t.gate_cap(um(1.0)).value() - 2.420e-15).abs() < 1e-21);
+        assert!((t.drain_cap(um(1.0)).value() - 1.150e-15).abs() < 1e-21);
+        assert!((t.leakage_current(um(1.0)).value() - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_inverter_energy_is_tens_of_zeptojoules() {
+        // At 11 nm / 0.6 V a minimum inverter switch should cost on the
+        // order of 0.05–0.2 fJ — the scale all our gate models build on.
+        let t = TechNode::tri_gate_11nm();
+        let e = t.min_inverter_switch_energy();
+        assert!(e > Joules(0.02e-15), "too small: {e}");
+        assert!(e < Joules(0.5e-15), "too large: {e}");
+    }
+
+    #[test]
+    fn pmos_upsized_for_weaker_drive() {
+        let t = TechNode::tri_gate_11nm();
+        let wp = t.pmos_width_for(Meters(42e-9));
+        assert!(wp.value() > 42e-9);
+        assert!(wp.value() < 2.0 * 42e-9);
+    }
+
+    #[test]
+    fn fo4_delay_is_low_picoseconds() {
+        let t = TechNode::tri_gate_11nm();
+        let d = t.fo4_delay();
+        assert!(d.value() > 1e-13, "{d}");
+        assert!(d.value() < 3e-11, "{d}");
+    }
+
+    #[test]
+    fn node_scaling_direction() {
+        // 45 nm must cost more energy per inverter switch than 11 nm.
+        let new = TechNode::tri_gate_11nm().min_inverter_switch_energy();
+        let old = TechNode::bulk_45nm().min_inverter_switch_energy();
+        assert!(old > new);
+        // and leak more per minimum inverter.
+        assert!(TechNode::bulk_45nm().min_inverter_leakage() > TechNode::tri_gate_11nm().min_inverter_leakage());
+    }
+
+    #[test]
+    fn hvt_leakage_is_tiny() {
+        let t = TechNode::tri_gate_11nm();
+        // a min inverter should leak well under a nanowatt at HVT.
+        assert!(t.min_inverter_leakage().value() < 1e-9);
+    }
+}

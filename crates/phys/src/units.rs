@@ -1,0 +1,468 @@
+//! SI unit newtypes.
+//!
+//! Every physical model in this crate computes with these thin wrappers
+//! over `f64` rather than bare floats, so a Joule cannot silently be added
+//! to a Watt. Only the operations that are dimensionally meaningful are
+//! implemented (e.g. `Watts * Seconds -> Joules`, `Farads * Volts^2 ->
+//! Joules`), which catches most unit mistakes at compile time while staying
+//! zero-cost at run time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Raw `f64` value in base SI units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Maximum of two quantities.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Minimum of two quantities.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Dimensionless ratio of two like quantities.
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4e} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Length in metres.
+    Meters,
+    "m"
+);
+unit!(
+    /// Area in square metres.
+    SquareMeters,
+    "m^2"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+
+/// Optical power ratio expressed in decibels (positive = loss).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Decibels(pub f64);
+
+impl Decibels {
+    /// No loss.
+    pub const ZERO: Decibels = Decibels(0.0);
+
+    /// The linear power ratio `10^(dB/10)` this loss multiplies input power by.
+    ///
+    /// A *loss* of `x` dB means the required input power is
+    /// `output * 10^(x/10)`.
+    #[inline]
+    pub fn linear_factor(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Construct from a linear power ratio (> 0).
+    #[inline]
+    pub fn from_linear(ratio: f64) -> Decibels {
+        assert!(ratio > 0.0, "linear power ratio must be positive");
+        Decibels(10.0 * ratio.log10())
+    }
+
+    /// Raw dB value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Decibels {
+    type Output = Decibels;
+    #[inline]
+    fn add(self, rhs: Decibels) -> Decibels {
+        Decibels(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Decibels {
+    type Output = Decibels;
+    #[inline]
+    fn sub(self, rhs: Decibels) -> Decibels {
+        Decibels(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Decibels {
+    #[inline]
+    fn add_assign(&mut self, rhs: Decibels) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Decibels {
+    type Output = Decibels;
+    #[inline]
+    fn mul(self, rhs: f64) -> Decibels {
+        Decibels(self.0 * rhs)
+    }
+}
+
+impl Sum for Decibels {
+    fn sum<I: Iterator<Item = Decibels>>(iter: I) -> Decibels {
+        Decibels(iter.map(|x| x.0).sum())
+    }
+}
+
+impl fmt::Display for Decibels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} dB", self.0)
+    }
+}
+
+// ------------------------------------------------------------------
+// Cross-unit arithmetic (only the physically meaningful products).
+// ------------------------------------------------------------------
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Meters> for Meters {
+    type Output = SquareMeters;
+    #[inline]
+    fn mul(self, rhs: Meters) -> SquareMeters {
+        SquareMeters(self.0 * rhs.0)
+    }
+}
+
+impl Farads {
+    /// Switching energy `C * V^2` of a full-swing transition on this
+    /// capacitance (charged then discharged; the canonical CMOS dynamic
+    /// energy accounting where each complete charge/discharge pair draws
+    /// `C*V^2` from the supply).
+    #[inline]
+    pub fn switching_energy(self, vdd: Volts) -> Joules {
+        Joules(self.0 * vdd.0 * vdd.0)
+    }
+
+    /// Energy drawn from the supply for a single low→high transition,
+    /// `1/2 C V^2` stored on the cap (the other half is dissipated in the
+    /// pull-up; both halves are eventually heat, so for energy accounting
+    /// per *transition pair* use [`Farads::switching_energy`]).
+    #[inline]
+    pub fn half_cv2(self, vdd: Volts) -> Joules {
+        Joules(0.5 * self.0 * vdd.0 * vdd.0)
+    }
+}
+
+// ------------------------------------------------------------------
+// Convenience constructors.
+// ------------------------------------------------------------------
+
+/// Femtofarads.
+#[inline]
+pub fn ff(v: f64) -> Farads {
+    Farads(v * 1e-15)
+}
+
+/// Picojoules.
+#[inline]
+pub fn pj(v: f64) -> Joules {
+    Joules(v * 1e-12)
+}
+
+/// Femtojoules.
+#[inline]
+pub fn fj(v: f64) -> Joules {
+    Joules(v * 1e-15)
+}
+
+/// Milliwatts.
+#[inline]
+pub fn mw(v: f64) -> Watts {
+    Watts(v * 1e-3)
+}
+
+/// Microwatts.
+#[inline]
+pub fn uw(v: f64) -> Watts {
+    Watts(v * 1e-6)
+}
+
+/// Nanoseconds.
+#[inline]
+pub fn ns(v: f64) -> Seconds {
+    Seconds(v * 1e-9)
+}
+
+/// Micrometres.
+#[inline]
+pub fn um(v: f64) -> Meters {
+    Meters(v * 1e-6)
+}
+
+/// Millimetres.
+#[inline]
+pub fn mm(v: f64) -> Meters {
+    Meters(v * 1e-3)
+}
+
+/// Square millimetres.
+#[inline]
+pub fn mm2(v: f64) -> SquareMeters {
+    SquareMeters(v * 1e-6)
+}
+
+/// Square micrometres.
+#[inline]
+pub fn um2(v: f64) -> SquareMeters {
+    SquareMeters(v * 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_power_time_algebra() {
+        let p = Watts(2.0);
+        let t = Seconds(3.0);
+        assert_eq!(p * t, Joules(6.0));
+        assert_eq!(t * p, Joules(6.0));
+        assert_eq!(Joules(6.0) / t, p);
+        assert_eq!(Joules(6.0) / p, t);
+    }
+
+    #[test]
+    fn decibel_roundtrip() {
+        for loss in [0.0, 0.2, 1.0, 3.0103, 10.0] {
+            let db = Decibels(loss);
+            let back = Decibels::from_linear(db.linear_factor());
+            assert!((back.value() - loss).abs() < 1e-9, "{loss}");
+        }
+        // 3.0103 dB is a factor of ~2.
+        assert!((Decibels(3.0102999566).linear_factor() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decibel_addition_is_linear_multiplication() {
+        let a = Decibels(1.5);
+        let b = Decibels(2.5);
+        let combined = (a + b).linear_factor();
+        assert!((combined - a.linear_factor() * b.linear_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_switching_energy() {
+        // 1 fF at 0.6 V -> 0.36 fJ per full transition pair.
+        let e = ff(1.0).switching_energy(Volts(0.6));
+        assert!((e.value() - 0.36e-15).abs() < 1e-24);
+        assert!((ff(1.0).half_cv2(Volts(0.6)).value() - 0.18e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn unit_sums_and_ordering() {
+        let total: Joules = [pj(1.0), pj(2.0), pj(3.0)].into_iter().sum();
+        assert!((total.value() - 6e-12).abs() < 1e-21);
+        assert!(pj(2.0) > pj(1.0));
+        assert_eq!(pj(2.0).max(pj(5.0)), pj(5.0));
+        assert_eq!(pj(2.0).min(pj(5.0)), pj(2.0));
+    }
+
+    #[test]
+    fn scalar_scaling() {
+        assert_eq!(Watts(2.0) * 3.0, Watts(6.0));
+        assert_eq!(3.0 * Watts(2.0), Watts(6.0));
+        assert_eq!(Watts(6.0) / 3.0, Watts(2.0));
+        assert!((Watts(6.0) / Watts(3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_from_lengths() {
+        let a = mm(2.0) * mm(3.0);
+        assert!((a.value() - 6e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_formats_contain_suffix() {
+        assert!(format!("{}", Joules(1.0)).contains('J'));
+        assert!(format!("{}", Decibels(1.0)).contains("dB"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn decibel_from_nonpositive_ratio_panics() {
+        let _ = Decibels::from_linear(0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! On-chip wire energy / delay models.
+//!
+//! Global and semi-global on-chip wires are the dominant cost of the
+//! electrical mesh: every flit-hop drives `flit_width` wires of roughly one
+//! tile length. We model a repeated wire in the standard way: capacitance
+//! per unit length (conductor-to-ground + coupling), optimally-inserted
+//! repeaters, and a velocity set by the repeater RC product.
+//!
+//! Wire capacitance per unit length is nearly constant across technology
+//! nodes (geometric scaling cancels) at roughly 0.2 pF/mm for semi-global
+//! layers; DSENT's defaults are in the same range.
+
+use crate::stdcell::StdCellLib;
+use crate::units::{Farads, Joules, Meters, Seconds, SquareMeters, Watts};
+
+/// A repeated (buffered) wire class.
+#[derive(Debug, Clone)]
+pub struct WireModel {
+    /// Capacitance per metre (including coupling; worst-case neighbours
+    /// are accounted via the activity factor at the call site).
+    pub cap_per_meter: Farads,
+    /// Repeater spacing.
+    pub repeater_spacing: Meters,
+    /// Repeater size relative to a minimum inverter.
+    pub repeater_size: f64,
+    /// Signal velocity (m/s) of the repeated wire.
+    pub velocity: f64,
+    /// Wire pitch (for area/bisection estimates).
+    pub pitch: Meters,
+    /// Library used for repeater energetics.
+    lib: StdCellLib,
+}
+
+impl WireModel {
+    /// Semi-global wire class used for mesh links, per DSENT-style defaults:
+    /// 0.2 pF/mm, 4× min-pitch routing, repeaters every 250 µm sized 24×.
+    /// Velocity ≈ 1.5 mm per 1 GHz cycle at 11 nm with these repeaters —
+    /// comfortably covering one tile per cycle, matching the paper's
+    /// 1-cycle link delay.
+    pub fn semi_global(lib: &StdCellLib) -> Self {
+        WireModel {
+            cap_per_meter: Farads(0.2e-12 / 1e-3), // 0.2 pF/mm
+            repeater_spacing: Meters(250e-6),
+            repeater_size: 24.0,
+            velocity: 1.5e-3 / 1e-9, // 1.5 mm/ns
+            pitch: Meters(lib.tech.min_wire_pitch.value() * 4.0),
+            lib: lib.clone(),
+        }
+    }
+
+    /// Energy to send one bit transition over a wire of length `len`
+    /// (wire cap + repeater caps, full transition pair).
+    pub fn energy_per_bit(&self, len: Meters) -> Joules {
+        let wire_cap = Farads(self.cap_per_meter.value() * len.value());
+        let n_repeaters = (len.value() / self.repeater_spacing.value()).ceil();
+        let rep_cap = Farads(
+            n_repeaters
+                * self.repeater_size
+                * (self.lib.inv.input_cap.value() + self.lib.inv.internal_cap.value()),
+        );
+        Farads(wire_cap.value() + rep_cap.value()).switching_energy(self.lib.tech.vdd)
+    }
+
+    /// Propagation delay over length `len`.
+    pub fn delay(&self, len: Meters) -> Seconds {
+        Seconds(len.value() / self.velocity)
+    }
+
+    /// Leakage power of the repeaters on a wire of length `len`.
+    pub fn leakage(&self, len: Meters) -> Watts {
+        let n_repeaters = (len.value() / self.repeater_spacing.value()).ceil();
+        Watts(n_repeaters * self.repeater_size * self.lib.inv.leakage.value())
+    }
+
+    /// Area of the repeaters of one wire of length `len` (the wire itself
+    /// lives on metal above active area).
+    pub fn repeater_area(&self, len: Meters) -> SquareMeters {
+        let n_repeaters = (len.value() / self.repeater_spacing.value()).ceil();
+        SquareMeters(n_repeaters * self.repeater_size * self.lib.inv.area.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{mm, pj};
+
+    fn wire() -> WireModel {
+        WireModel::semi_global(&StdCellLib::tri_gate_11nm())
+    }
+
+    #[test]
+    fn millimetre_bit_energy_is_tens_of_femtojoules() {
+        // 0.2 pF/mm at 0.6 V -> 72 fJ/mm wire alone; repeaters add a bit.
+        let e = wire().energy_per_bit(mm(1.0));
+        assert!(e > pj(0.05), "{e}");
+        assert!(e < pj(0.2), "{e}");
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_length() {
+        let w = wire();
+        let e1 = w.energy_per_bit(mm(1.0)).value();
+        let e4 = w.energy_per_bit(mm(4.0)).value();
+        let ratio = e4 / e1;
+        assert!((ratio - 4.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn one_tile_fits_in_one_cycle() {
+        // A ~0.7 mm tile must be traversable in < 1 ns for the paper's
+        // 1-cycle link delay at 1 GHz.
+        let d = wire().delay(mm(0.7));
+        assert!(d.value() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn leakage_and_area_grow_with_length() {
+        let w = wire();
+        assert!(w.leakage(mm(4.0)).value() > w.leakage(mm(1.0)).value());
+        assert!(w.repeater_area(mm(4.0)).value() > w.repeater_area(mm(1.0)).value());
+    }
+}

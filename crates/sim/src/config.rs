@@ -1,0 +1,169 @@
+//! Full-system simulation configuration (the knobs of the paper's
+//! Tables I–IV plus the sweep parameters of §V).
+
+use atac_coherence::ProtocolKind;
+use atac_net::{AtacNet, Mesh, MeshKind, Network, ReceiveNet, RoutingPolicy, Topology};
+use atac_phys::PhotonicScenario;
+
+/// Which interconnect architecture to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Plain electrical mesh (broadcasts become serialized unicasts).
+    EMeshPure,
+    /// Electrical mesh with router multicast.
+    EMeshBcast,
+    /// ATAC family: ENet + ONet with the given routing policy and
+    /// receive network. Baseline ATAC is `(Cluster, BNet)`; ATAC+ is
+    /// `(Distance(15), StarNet)`.
+    Atac(RoutingPolicy, ReceiveNet),
+}
+
+impl Arch {
+    /// The paper's ATAC+ configuration (§V-E: Distance-15 + StarNet).
+    pub fn atac_plus() -> Self {
+        Arch::Atac(RoutingPolicy::Distance(15), ReceiveNet::StarNet)
+    }
+
+    /// The baseline ATAC configuration (Cluster routing + BNet).
+    pub fn atac_baseline() -> Self {
+        Arch::Atac(RoutingPolicy::Cluster, ReceiveNet::BNet)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Arch::EMeshPure => "EMesh-Pure".into(),
+            Arch::EMeshBcast => "EMesh-BCast".into(),
+            Arch::Atac(RoutingPolicy::Cluster, ReceiveNet::BNet) => "ATAC".into(),
+            Arch::Atac(p, _) => format!("ATAC+ ({})", p.name()),
+        }
+    }
+
+    /// Does this architecture use the optical network?
+    pub fn is_optical(&self) -> bool {
+        matches!(self, Arch::Atac(..))
+    }
+}
+
+/// One full-system run's configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Chip topology (default: the paper's 32×32 = 1024 cores).
+    pub topo: Topology,
+    /// Interconnect architecture.
+    pub arch: Arch,
+    /// Flit width in bits (Table I: 64; Fig. 11 sweeps 16–256).
+    pub flit_width: u32,
+    /// Router input-buffer depth in flits.
+    pub buffer_depth: usize,
+    /// Coherence protocol (default ACKwise4; Fig. 14 compares Dir4B;
+    /// Figs. 15/16 sweep k).
+    pub protocol: ProtocolKind,
+    /// Photonic technology flavor (Table IV) — affects energy only.
+    pub scenario: PhotonicScenario,
+    /// Core clock frequency in Hz (Table I: 1 GHz).
+    pub frequency_hz: f64,
+    /// Fraction of core peak power that is non-data-dependent
+    /// (§V-G studies 0.1 and 0.4).
+    pub core_ndd_fraction: f64,
+    /// Override the worst-case ONet waveguide propagation loss in dB
+    /// (Fig. 9 sweeps 0.2–4 dB); `None` uses the Table II default
+    /// (0.2 dB/cm × the calibrated serpentine length).
+    pub waveguide_loss_db: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            topo: Topology::atac_1024(),
+            arch: Arch::atac_plus(),
+            flit_width: 64,
+            buffer_depth: 4,
+            protocol: ProtocolKind::AckWise { k: 4 },
+            scenario: PhotonicScenario::Practical,
+            frequency_hz: 1.0e9,
+            core_ndd_fraction: 0.1,
+            waveguide_loss_db: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small-chip config for fast tests (64 cores, 4 clusters).
+    pub fn small() -> Self {
+        SimConfig {
+            topo: Topology::small(8, 4),
+            ..Default::default()
+        }
+    }
+
+    /// Instantiate the configured network.
+    pub fn build_network(&self) -> Box<dyn Network> {
+        match self.arch {
+            Arch::EMeshPure => Box::new(Mesh::new(
+                self.topo,
+                MeshKind::Pure,
+                self.flit_width,
+                self.buffer_depth,
+            )),
+            Arch::EMeshBcast => Box::new(Mesh::new(
+                self.topo,
+                MeshKind::BcastTree,
+                self.flit_width,
+                self.buffer_depth,
+            )),
+            Arch::Atac(policy, recv) => Box::new(AtacNet::new(
+                self.topo,
+                self.flit_width,
+                self.buffer_depth,
+                policy,
+                recv,
+            )),
+        }
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_time(&self) -> atac_phys::units::Seconds {
+        atac_phys::units::Seconds(1.0 / self.frequency_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_tables() {
+        let c = SimConfig::default();
+        assert_eq!(c.topo.cores(), 1024);
+        assert_eq!(c.flit_width, 64);
+        assert_eq!(c.frequency_hz, 1.0e9);
+        assert_eq!(c.protocol, ProtocolKind::AckWise { k: 4 });
+    }
+
+    #[test]
+    fn arch_names() {
+        assert_eq!(Arch::EMeshPure.name(), "EMesh-Pure");
+        assert_eq!(Arch::EMeshBcast.name(), "EMesh-BCast");
+        assert_eq!(Arch::atac_baseline().name(), "ATAC");
+        assert!(Arch::atac_plus().name().starts_with("ATAC+"));
+    }
+
+    #[test]
+    fn builds_all_networks() {
+        for arch in [
+            Arch::EMeshPure,
+            Arch::EMeshBcast,
+            Arch::atac_plus(),
+            Arch::atac_baseline(),
+        ] {
+            let cfg = SimConfig {
+                arch,
+                ..SimConfig::small()
+            };
+            let net = cfg.build_network();
+            assert_eq!(net.cores(), 64);
+            assert_eq!(net.flit_width(), 64);
+        }
+    }
+}

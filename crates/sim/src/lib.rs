@@ -1,0 +1,24 @@
+//! # atac-sim — execution-driven full-system simulator
+//!
+//! The reproduction's Graphite substitute: runs the `atac-workloads`
+//! application kernels on 1024 in-order single-issue cores (Table I) over
+//! the `atac-coherence` memory subsystem and an `atac-net` interconnect,
+//! then integrates event counters with the `atac-phys` device models into
+//! a chip-level energy breakdown — the paper's §V-A toolflow, end to end.
+//!
+//! * [`config`] — run configuration ([`config::SimConfig`]) covering the
+//!   paper's architecture matrix (EMesh-Pure / EMesh-BCast / ATAC /
+//!   ATAC+), the Table IV photonic scenarios, flit-width and protocol
+//!   sweeps.
+//! * [`engine`] — the cycle-driven (+ idle skip-ahead) simulation loop
+//!   with execution-driven back-pressure; produces
+//!   [`engine::SimResult`].
+//! * [`energy`] — the cross-layer energy integration
+//!   ([`energy::EnergyBreakdown`]) with the paper's DD/NDD split.
+pub mod config;
+pub mod energy;
+pub mod engine;
+
+pub use config::{Arch, SimConfig};
+pub use energy::EnergyBreakdown;
+pub use engine::{run, SimResult};

@@ -1,0 +1,61 @@
+//! Coherence-protocol audit: compare ACKwise_k against Dir_kB on the
+//! same application and inspect the protocol-level counters the paper's
+//! §V-F argues from — invalidation broadcasts, acknowledgement volume,
+//! eviction styles, and the ATAC+ sequence-number machinery that keeps
+//! split-path routing coherent.
+//!
+//! ```sh
+//! cargo run --release --example coherence_audit
+//! ```
+
+use atac::prelude::*;
+
+fn main() {
+    let topo = Topology::small(16, 4); // 256 cores
+    let benchmark = Benchmark::Fmm;
+    println!(
+        "auditing {} on ATAC+ with {} cores\n",
+        benchmark.name(),
+        topo.cores()
+    );
+
+    for protocol in [ProtocolKind::AckWise { k: 4 }, ProtocolKind::DirB { k: 4 }] {
+        let cfg = SimConfig {
+            topo,
+            protocol,
+            ..SimConfig::default()
+        };
+        let r = atac::run_benchmark(&cfg, benchmark, Scale::Paper);
+        let c = &r.coh;
+        println!("--- {} ---", protocol.name());
+        println!("  completion time         {:>10} cycles", r.cycles);
+        println!("  L1-D miss rate          {:>10.2} %", c.l1d_miss_rate() * 100.0);
+        println!("  invalidation unicasts   {:>10}", c.inv_unicasts);
+        println!("  invalidation broadcasts {:>10}", c.inv_broadcasts);
+        println!(
+            "  acks per broadcast      {:>10.1}   (ACKwise: only true sharers; Dir_kB: all cores)",
+            if c.inv_broadcasts == 0 {
+                0.0
+            } else {
+                // unicast invs are acked 1:1; the rest of the acks answer
+                // broadcasts.
+                (c.inv_acks.saturating_sub(c.inv_unicasts)) as f64 / c.inv_broadcasts as f64
+            }
+        );
+        println!(
+            "  evictions clean/dirty/silent {:>6}/{}/{}",
+            c.evictions_clean, c.evictions_dirty, c.evictions_silent
+        );
+        println!(
+            "  seq-number machinery: {} unicasts held, {} broadcasts buffered, {} stale drops",
+            c.seq_buffered_unicasts, c.seq_buffered_broadcasts, c.seq_dropped_broadcasts
+        );
+        println!();
+    }
+
+    println!(
+        "ACKwise needs dramatically fewer acknowledgements per broadcast,\n\
+         which is why it scales to 1000 cores where Dir_kB's all-core ack\n\
+         collection melts down (paper Fig. 14)."
+    );
+}

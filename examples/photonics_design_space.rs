@@ -1,0 +1,62 @@
+//! Photonics design-space exploration: which optical device features
+//! matter?
+//!
+//! The paper's §V-C asks where nanophotonics research effort should go:
+//! power-gateable on-chip lasers? athermal rings? ultra-low-loss
+//! waveguides? This example answers it the way an architect would — run
+//! the application *once*, then re-integrate the energy under every
+//! technology scenario and a waveguide-loss sweep (energy integration is
+//! a pure function of the run's event counters, so no re-simulation is
+//! needed).
+//!
+//! ```sh
+//! cargo run --release --example photonics_design_space
+//! ```
+
+use atac::prelude::*;
+use atac::sim::energy::integrate;
+
+fn main() {
+    let topo = Topology::small(16, 4); // 256 cores
+    let base = SimConfig {
+        topo,
+        ..SimConfig::default()
+    };
+    let benchmark = Benchmark::Barnes;
+
+    println!("simulating {} once on ATAC+ ({} cores)...", benchmark.name(), topo.cores());
+    let r = atac::run_benchmark(&base, benchmark, Scale::Paper);
+    println!("done: {} cycles, SWMR links busy {:.1}% of the time\n", r.cycles, r.net.swmr_utilization(topo.clusters()) * 100.0);
+
+    println!("--- Table IV technology flavors (network energy, J) ---");
+    for scenario in PhotonicScenario::ALL {
+        let cfg = SimConfig {
+            scenario,
+            ..base.clone()
+        };
+        let e = integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc);
+        println!(
+            "{:<18} laser {:>10.3e}  ring-tuning {:>10.3e}  total network {:>10.3e}",
+            scenario.name(),
+            e.laser.value(),
+            e.ring_tuning.value(),
+            e.network().value(),
+        );
+    }
+
+    println!("\n--- waveguide-loss sensitivity (ATAC+, network energy, J) ---");
+    for loss in [0.2, 0.5, 1.0, 2.0, 4.0] {
+        let cfg = SimConfig {
+            waveguide_loss_db: Some(loss),
+            ..base.clone()
+        };
+        let e = integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc);
+        println!("  {loss:>4.1} dB: {:>10.3e}", e.network().value());
+    }
+
+    println!(
+        "\nConclusion (matching the paper): laser power gating and athermal\n\
+         rings are worth the research investment; moderate waveguide losses\n\
+         are tolerable once the laser can be gated."
+    );
+}
