@@ -1,0 +1,753 @@
+//! Project-specific static analysis for the ATAC+ workspace.
+//!
+//! Four rules, all enforced line/token-wise on the raw source text (so
+//! they see code inside macro invocations, which `syn`-style tooling
+//! would not without expansion — and this crate must build with zero
+//! dependencies):
+//!
+//! 1. **`raw-f64`** — public functions in `crates/phys` and `crates/sim`
+//!    whose name (or a parameter name) speaks of energy, power, or time
+//!    must not traffic in bare `f64`; they must use the unit newtypes
+//!    from `atac_phys::units`. Waive with `// audit: allow(raw-f64)`.
+//! 2. **`counter-coverage`** — every counter field of `CoherenceStats`
+//!    and `NetStats` must either be read by the energy integration in
+//!    `crates/sim/src/energy.rs` or carry an explicit
+//!    `// audit: non-energy` waiver explaining why it carries no energy.
+//!    This catches the classic drift bug where an event is counted but
+//!    silently never charged.
+//! 3. **`wildcard-arm`** — the protocol/network state machines must
+//!    match exhaustively: no `_ =>` (or `_ if … =>`) arms in the listed
+//!    files, so adding a message kind or route forces every handler to
+//!    be revisited.
+//! 4. **`hot-path`** — `unwrap()`, `expect()`, and lossy `as` casts in
+//!    simulator hot paths need a same-line or line-above
+//!    `// audit: allow(unwrap|expect|cast) <reason>` waiver naming the
+//!    invariant that makes them safe.
+//!
+//! The binary (`cargo run -p atac-audit`) exits non-zero on any
+//! violation; the same pass runs under `cargo test` via
+//! [`tests::shipped_tree_is_clean`].
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`raw-f64`, `counter-coverage`, `wildcard-arm`,
+    /// `hot-path`).
+    pub rule: &'static str,
+    /// Human-readable description of the problem and the fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files whose `match` statements must be exhaustive (rule 3).
+const EXHAUSTIVE_MATCH_FILES: &[&str] = &[
+    "crates/coherence/src/protocol.rs",
+    "crates/coherence/src/directory.rs",
+    "crates/coherence/src/system.rs",
+    "crates/net/src/mesh.rs",
+    "crates/net/src/onet.rs",
+    "crates/net/src/atac.rs",
+];
+
+/// Simulator hot paths where panics and lossy casts need waivers
+/// (rule 4).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/net/src/mesh.rs",
+    "crates/net/src/onet.rs",
+    "crates/net/src/atac.rs",
+    "crates/coherence/src/system.rs",
+    "crates/coherence/src/directory.rs",
+    "crates/coherence/src/protocol.rs",
+    "crates/coherence/src/cache.rs",
+    "crates/coherence/src/memctrl.rs",
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/energy.rs",
+];
+
+/// Keywords marking a function (or parameter) as an energy/power/time
+/// API for rule 1.
+const UNIT_KEYWORDS: &[&str] = &[
+    "energy", "power", "edp", "runtime", "latency", "delay", "time", "watts", "joule",
+];
+
+/// Run every rule against the workspace rooted at `root`.
+///
+/// # Panics
+/// Panics if a source file listed by the rules cannot be read — the
+/// audit is meaningless against a partial tree.
+pub fn audit_workspace(root: &Path) -> Vec<Violation> {
+    let mut v = Vec::new();
+
+    // Rule 1 over every source file of the unit-bearing crates.
+    for dir in ["crates/phys/src", "crates/sim/src"] {
+        for file in rust_files(&root.join(dir)) {
+            let rel = rel_path(root, &file);
+            let text = read(&file);
+            check_raw_f64(&rel, &text, &mut v);
+        }
+    }
+
+    // Rule 2: counter structs vs the energy integration.
+    let energy = read(&root.join("crates/sim/src/energy.rs"));
+    let energy_tokens = token_set(&energy);
+    for (rel, struct_name) in [
+        ("crates/coherence/src/stats.rs", "CoherenceStats"),
+        ("crates/net/src/stats.rs", "NetStats"),
+    ] {
+        let text = read(&root.join(rel));
+        check_counter_coverage(rel, &text, struct_name, &energy_tokens, &mut v);
+    }
+
+    // Rule 3.
+    for rel in EXHAUSTIVE_MATCH_FILES {
+        let text = read(&root.join(rel));
+        check_wildcard_arms(rel, &text, &mut v);
+    }
+
+    // Rule 4.
+    for rel in HOT_PATH_FILES {
+        let text = read(&root.join(rel));
+        check_hot_path(rel, &text, &mut v);
+    }
+
+    v.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    v
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+// ----------------------------------------------------------------------
+// Shared text machinery
+// ----------------------------------------------------------------------
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("audit: cannot read {}: {e}", path.display()))
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = std::fs::read_dir(&d)
+            .unwrap_or_else(|e| panic!("audit: cannot list {}: {e}", d.display()));
+        for entry in entries {
+            let p = entry.expect("readable dir entry").path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Split a line into its code part and its `//` comment part, ignoring
+/// `//` sequences inside string literals.
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// 0-based index of the first line of the file's trailing `#[cfg(test)]`
+/// region, or `len` if there is none. By workspace convention the test
+/// module is the last item in a file.
+fn test_region_start(lines: &[&str]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len())
+}
+
+/// Does line `idx` (or the full line above it) carry an
+/// `audit: allow(<kind>)` waiver?
+fn has_waiver(lines: &[&str], idx: usize, kind: &str) -> bool {
+    let marker = format!("audit: allow({kind})");
+    let (_, comment) = split_comment(lines[idx]);
+    if comment.contains(&marker) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].contains(&marker)
+}
+
+/// All identifier-like tokens in `text` (word characters split on
+/// everything else), for cheap "is this name mentioned" queries.
+fn token_set(text: &str) -> std::collections::BTreeSet<String> {
+    let mut set = std::collections::BTreeSet::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            set.insert(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        set.insert(cur);
+    }
+    set
+}
+
+fn name_has_unit_keyword(name: &str) -> bool {
+    UNIT_KEYWORDS.iter().any(|k| name.contains(k))
+}
+
+// ----------------------------------------------------------------------
+// Rule 1: no bare f64 in public unit-bearing signatures
+// ----------------------------------------------------------------------
+
+fn check_raw_f64(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let test_start = test_region_start(&lines);
+    let mut i = 0;
+    while i < test_start {
+        let (code, _) = split_comment(lines[i]);
+        if !(code.trim_start().starts_with("pub fn ")
+            || code.trim_start().starts_with("pub const fn "))
+        {
+            i += 1;
+            continue;
+        }
+        // Join the signature until its body/terminator appears.
+        let first = i;
+        let mut sig = String::new();
+        while i < test_start {
+            let (code, _) = split_comment(lines[i]);
+            sig.push_str(code);
+            sig.push(' ');
+            i += 1;
+            if code.contains('{') || code.contains(';') {
+                break;
+            }
+        }
+        if has_waiver(&lines, first, "raw-f64") {
+            continue;
+        }
+        check_signature(rel, first + 1, &sig, out);
+    }
+}
+
+fn check_signature(rel: &str, line: usize, sig: &str, out: &mut Vec<Violation>) {
+    let Some(name) = fn_name(sig) else { return };
+    let params = param_list(sig);
+
+    // Return type: `-> f64` on a unit-keyword function.
+    if name_has_unit_keyword(name) {
+        if let Some(ret) = sig.split("->").nth(1) {
+            let ret = ret
+                .trim()
+                .trim_end_matches('{')
+                .trim_end_matches(';')
+                .trim();
+            if ret == "f64" {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line,
+                    rule: "raw-f64",
+                    message: format!(
+                        "pub fn `{name}` returns bare f64; return a unit newtype from \
+                         atac_phys::units (or waive with `// audit: allow(raw-f64)`)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Parameters: `energyish_name: f64`.
+    for (pname, ptype) in params {
+        if ptype == "f64" && name_has_unit_keyword(&pname) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: "raw-f64",
+                message: format!(
+                    "pub fn `{name}` takes `{pname}: f64`; use a unit newtype from \
+                     atac_phys::units (or waive with `// audit: allow(raw-f64)`)"
+                ),
+            });
+        }
+    }
+}
+
+fn fn_name(sig: &str) -> Option<&str> {
+    let after = sig.split("fn ").nth(1)?;
+    let end = after.find(|c: char| c == '(' || c == '<' || c.is_whitespace())?;
+    Some(&after[..end])
+}
+
+/// `(param_name, flattened_type)` pairs from the top-level parameter
+/// list. Nested commas (generics, tuples) are handled by depth tracking.
+fn param_list(sig: &str) -> Vec<(String, String)> {
+    let open = match sig.find('(') {
+        Some(p) => p + 1,
+        None => return Vec::new(),
+    };
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut cur = String::new();
+    for c in sig[open..].chars() {
+        match c {
+            '(' | '<' | '[' => depth += 1,
+            ')' | '>' | ']' => {
+                // `->` arrows never appear inside the param list; `>`
+                // here only closes generics.
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            ',' if depth == 1 => {
+                params.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        params.push(cur);
+    }
+    params
+        .iter()
+        .filter_map(|p| {
+            let (name, ty) = p.split_once(':')?;
+            Some((
+                name.trim().trim_start_matches("mut ").trim().to_string(),
+                ty.split_whitespace().collect::<String>(),
+            ))
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Rule 2: every stats counter feeds the energy model or is waived
+// ----------------------------------------------------------------------
+
+fn check_counter_coverage(
+    rel: &str,
+    text: &str,
+    struct_name: &str,
+    energy_tokens: &std::collections::BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    let lines: Vec<&str> = text.lines().collect();
+    let header = format!("pub struct {struct_name}");
+    let Some(start) = lines.iter().position(|l| l.contains(&header)) else {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: 1,
+            rule: "counter-coverage",
+            message: format!("expected `pub struct {struct_name}` in this file"),
+        });
+        return;
+    };
+
+    let mut fields = 0usize;
+    let mut depth = 0i32;
+    for (idx, raw) in lines.iter().enumerate().skip(start) {
+        let (code, _) = split_comment(raw);
+        depth += i32::try_from(code.matches('{').count()).expect("line length");
+        let closes = i32::try_from(code.matches('}').count()).expect("line length");
+
+        if let Some(field) = counter_field(code) {
+            fields += 1;
+            let waived = comment_block_above(&lines, idx)
+                .iter()
+                .any(|l| l.contains("audit: non-energy"));
+            if !waived && !energy_tokens.contains(field) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "counter-coverage",
+                    message: format!(
+                        "`{struct_name}::{field}` is counted but never read by \
+                         crates/sim/src/energy.rs; charge it or waive with \
+                         `// audit: non-energy — <why>`"
+                    ),
+                });
+            }
+        }
+
+        depth -= closes;
+        if depth <= 0 && idx > start {
+            break;
+        }
+    }
+
+    if fields == 0 {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: start + 1,
+            rule: "counter-coverage",
+            message: format!(
+                "`{struct_name}` declares no `pub <name>: u64` counter fields — parser drift?"
+            ),
+        });
+    }
+}
+
+/// If `code` declares a `pub <ident>: u64,` counter field, return the
+/// field name.
+fn counter_field(code: &str) -> Option<&str> {
+    let t = code.trim();
+    let rest = t.strip_prefix("pub ")?;
+    let (name, ty) = rest.split_once(':')?;
+    let name = name.trim();
+    let ty = ty.trim().trim_end_matches(',').trim();
+    let ident = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    (ident && ty == "u64").then_some(name)
+}
+
+/// The contiguous run of pure-comment lines immediately above `idx`.
+fn comment_block_above<'a>(lines: &[&'a str], idx: usize) -> Vec<&'a str> {
+    let mut block = Vec::new();
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            block.push(lines[i]);
+        } else {
+            break;
+        }
+    }
+    block
+}
+
+// ----------------------------------------------------------------------
+// Rule 3: exhaustive matches in the state machines
+// ----------------------------------------------------------------------
+
+fn check_wildcard_arms(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    for (idx, raw) in text.lines().enumerate() {
+        let (code, _) = split_comment(raw);
+        if is_wildcard_arm(code) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "wildcard-arm",
+                message: "wildcard `_ =>` arm in a protocol/network state machine; \
+                          list the variants explicitly so new message kinds fail to compile"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Detect a bare `_ =>` / `_ if … =>` match arm in the code part of a
+/// line. Binding patterns like `(s, _) =>` or `Some(_) =>` are fine —
+/// those still name the variant.
+fn is_wildcard_arm(code: &str) -> bool {
+    let t = code.trim_start();
+    if t.starts_with("_ if ") {
+        return true;
+    }
+    for (pos, _) in code.match_indices("_ =>") {
+        let before = code[..pos].chars().next_back();
+        if matches!(before, None | Some(' ') | Some('\t') | Some('|')) {
+            return true;
+        }
+    }
+    false
+}
+
+// ----------------------------------------------------------------------
+// Rule 4: hot-path panic/cast hygiene
+// ----------------------------------------------------------------------
+
+/// Lossy `as` targets: narrowing integer casts and f32. Widening or
+/// same-width casts (`as u64`, `as usize`, `as f64`) are conventional in
+/// counter arithmetic and excluded.
+const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+fn check_hot_path(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let test_start = test_region_start(&lines);
+    for idx in 0..test_start {
+        let (code, _) = split_comment(lines[idx]);
+
+        for (token, kind) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
+            if code.contains(token) && !has_waiver(&lines, idx, kind) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "hot-path",
+                    message: format!(
+                        "`{kind}` in a simulator hot path; justify the invariant with \
+                         `// audit: allow({kind}) <reason>` or handle the None/Err case"
+                    ),
+                });
+            }
+        }
+
+        if has_lossy_cast(code) && !has_waiver(&lines, idx, "cast") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "hot-path",
+                message: "lossy `as` cast in a simulator hot path; use `From`/`try_from` \
+                          or justify with `// audit: allow(cast) <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn has_lossy_cast(code: &str) -> bool {
+    for (pos, _) in code.match_indices(" as ") {
+        let after = &code[pos + 4..];
+        for target in LOSSY_CAST_TARGETS {
+            if let Some(rest) = after.strip_prefix(target) {
+                let boundary = rest
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+                if boundary {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// ----------------------------------------------------------------------
+// Tests: each rule must fire on a seeded violation and stay quiet on
+// clean input; the shipped tree must audit clean.
+// ----------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_tree_is_clean() {
+        let violations = audit_workspace(&workspace_root());
+        assert!(
+            violations.is_empty(),
+            "audit violations:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    // ---- rule 1 ----
+
+    #[test]
+    fn raw_f64_return_fires() {
+        let src = "pub fn laser_energy(&self) -> f64 {\n";
+        let mut v = Vec::new();
+        check_raw_f64("x.rs", src, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "raw-f64");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn raw_f64_param_fires_across_lines() {
+        let src = "pub fn charge(\n    &mut self,\n    idle_power: f64,\n) -> Joules {\n";
+        let mut v = Vec::new();
+        check_raw_f64("x.rs", src, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("idle_power"));
+    }
+
+    #[test]
+    fn raw_f64_respects_waiver_and_units() {
+        let clean = "\
+// audit: allow(raw-f64) plotting helper, dimensionless by design\n\
+pub fn energy_ratio(&self) -> f64 { 0.0 }\n\
+pub fn laser_energy(&self) -> Joules { Joules(0.0) }\n\
+pub fn value(self) -> f64 { self.0 }\n\
+pub fn scale(&self, ipc: f64) -> Joules { Joules(ipc) }\n";
+        let mut v = Vec::new();
+        check_raw_f64("x.rs", clean, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_f64_skips_test_module() {
+        let src = "#[cfg(test)]\nmod tests {\n    pub fn fake_energy() -> f64 { 0.0 }\n}\n";
+        let mut v = Vec::new();
+        check_raw_f64("x.rs", src, &mut v);
+        assert!(v.is_empty());
+    }
+
+    // ---- rule 2 ----
+
+    fn toy_energy_tokens() -> std::collections::BTreeSet<String> {
+        token_set("e.dyn = net.charged_events as f64;")
+    }
+
+    #[test]
+    fn orphan_counter_fires() {
+        let src = "\
+counters_struct! {\n\
+    pub struct NetStats {\n\
+        /// Charged.\n\
+        pub charged_events: u64,\n\
+        /// Forgotten.\n\
+        pub orphan_events: u64,\n\
+    }\n\
+}\n";
+        let mut v = Vec::new();
+        check_counter_coverage("s.rs", src, "NetStats", &toy_energy_tokens(), &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("orphan_events"));
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn non_energy_waiver_is_honored() {
+        let src = "\
+pub struct NetStats {\n\
+    /// Diagnostic only.\n\
+    // audit: non-energy — congestion diagnostic, no energy event\n\
+    pub orphan_events: u64,\n\
+}\n";
+        let mut v = Vec::new();
+        check_counter_coverage("s.rs", src, "NetStats", &toy_energy_tokens(), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_struct_is_reported() {
+        let mut v = Vec::new();
+        check_counter_coverage(
+            "s.rs",
+            "fn nothing() {}",
+            "NetStats",
+            &toy_energy_tokens(),
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    // ---- rule 3 ----
+
+    #[test]
+    fn wildcard_arm_detection() {
+        assert!(is_wildcard_arm("            _ => self.drop(),"));
+        assert!(is_wildcard_arm("_ => {}"));
+        assert!(is_wildcard_arm("            _ if x > 0 => step(),"));
+        assert!(is_wildcard_arm("            Kind::A | _ => step(),"));
+        // Variant-naming patterns are fine.
+        assert!(!is_wildcard_arm("            (s, _) => step(),"));
+        assert!(!is_wildcard_arm("            Some(_) => step(),"));
+        assert!(!is_wildcard_arm("            let _ = consume();"));
+        assert!(!is_wildcard_arm("            Kind::A => step(),"));
+    }
+
+    #[test]
+    fn wildcard_in_comment_does_not_fire() {
+        let mut v = Vec::new();
+        check_wildcard_arms("m.rs", "// never write `_ =>` here\nx => y,\n", &mut v);
+        assert!(v.is_empty());
+    }
+
+    // ---- rule 4 ----
+
+    #[test]
+    fn hot_path_unwrap_fires_and_waives() {
+        let bad = "let x = q.pop().unwrap();\n";
+        let mut v = Vec::new();
+        check_hot_path("h.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+
+        let waived = "let x = q.pop().unwrap(); // audit: allow(unwrap) queue checked non-empty\n";
+        let mut v = Vec::new();
+        check_hot_path("h.rs", waived, &mut v);
+        assert!(v.is_empty());
+
+        let waived_above =
+            "// audit: allow(expect) slot is live by refcount\nlet x = s.expect(\"live\");\n";
+        let mut v = Vec::new();
+        check_hot_path("h.rs", waived_above, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_detection() {
+        assert!(has_lossy_cast("let x = n as u16;"));
+        assert!(has_lossy_cast("f(len as u32)"));
+        assert!(has_lossy_cast("let y = big as i32 + 1;"));
+        assert!(!has_lossy_cast("let x = n as u64;"));
+        assert!(!has_lossy_cast("let x = n as usize;"));
+        assert!(!has_lossy_cast("let x = n as f64;"));
+        assert!(!has_lossy_cast("let x = n as u160;")); // not a real type, but boundary-checked
+    }
+
+    #[test]
+    fn hot_path_skips_test_module() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { q.pop().unwrap(); }\n}\n";
+        let mut v = Vec::new();
+        check_hot_path("h.rs", src, &mut v);
+        assert!(v.is_empty());
+    }
+
+    // ---- shared machinery ----
+
+    #[test]
+    fn comment_splitter_respects_strings() {
+        assert_eq!(split_comment("let x = 1; // tail").0, "let x = 1; ");
+        assert_eq!(split_comment("let s = \"a // b\";").1, "");
+        assert_eq!(split_comment("let s = \"a // b\"; // real").1, "// real");
+    }
+
+    #[test]
+    fn param_parser_handles_nesting() {
+        let p = param_list("pub fn f(a: Vec<(u32, f64)>, tuning_power: f64) -> X {");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[1], ("tuning_power".to_string(), "f64".to_string()));
+    }
+}

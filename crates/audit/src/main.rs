@@ -1,0 +1,20 @@
+//! Workspace invariant linter. `cargo run -p atac-audit` from anywhere
+//! in the repo; exits 0 on a clean tree, 1 with a violation listing
+//! otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = atac_audit::workspace_root();
+    let violations = atac_audit::audit_workspace(&root);
+    if violations.is_empty() {
+        println!("atac-audit: clean ({} rules, 0 violations)", 4);
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("atac-audit: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,11 +1,15 @@
-//! Criterion microbenchmarks of the simulator's hot paths.
+//! Microbenchmarks of the simulator's hot paths (self-contained harness).
 //!
 //! These are performance-regression guards for the reproduction's own
 //! infrastructure (the figure harness runs hundreds of 1024-core
 //! simulations; per-cycle costs matter), not paper results. Figure/table
 //! regeneration lives in the `src/bin/figNN_*` binaries.
+//!
+//! The harness is deliberately minimal — wall-clock medians over a fixed
+//! iteration budget — so the workspace carries no external benchmarking
+//! dependency and builds offline. Run with `cargo bench -p atac-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use atac::coherence::{Addr, LineState, MemorySystem, ProtocolKind, SetAssocCache};
 use atac::net::harness::{run_synthetic, SyntheticConfig};
@@ -16,142 +20,141 @@ use atac::phys::stdcell::StdCellLib;
 use atac::prelude::*;
 use atac::sim::energy::integrate;
 
-fn bench_cache_access(c: &mut Criterion) {
+/// Time `f` over `samples` batches of `iters` calls; report the median
+/// per-call latency. Returns the median in nanoseconds.
+fn bench(name: &str, samples: usize, iters: u64, mut f: impl FnMut()) -> f64 {
+    // One warm-up batch.
+    for _ in 0..iters {
+        f();
+    }
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    let median = per_call[per_call.len() / 2];
+    let (value, unit) = if median >= 1e6 {
+        (median / 1e6, "ms")
+    } else if median >= 1e3 {
+        (median / 1e3, "µs")
+    } else {
+        (median, "ns")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({samples} samples × {iters} iters)");
+    median
+}
+
+fn bench_cache_access() {
     let mut cache = SetAssocCache::l2();
     for i in 0..4096u64 {
         cache.fill(Addr(i * 64), LineState::S);
     }
     let mut i = 0u64;
-    c.bench_function("cache/l2_hit_access", |b| {
-        b.iter(|| {
-            i = (i + 1) % 4096;
-            std::hint::black_box(cache.access(Addr(i * 64)))
-        })
+    bench("cache/l2_hit_access", 20, 100_000, || {
+        i = (i + 1) % 4096;
+        std::hint::black_box(cache.access(Addr(i * 64)));
     });
 }
 
-fn bench_mesh_tick_loaded(c: &mut Criterion) {
+fn bench_mesh_tick_loaded() {
     // A 16×16 mesh with continuous random traffic: the cost of one tick.
     let topo = Topology::small(16, 4);
-    c.bench_function("net/mesh_tick_256c_loaded", |b| {
-        b.iter_batched(
-            || {
-                let mut mesh = Mesh::new(topo, MeshKind::BcastTree, 64, 4);
-                for s in 0..128u16 {
-                    let _ = mesh.try_send(
-                        Message {
-                            src: CoreId(s),
-                            dest: Dest::Unicast(CoreId(255 - s)),
-                            class: MessageClass::Data,
-                            token: 0,
-                        },
-                        0,
-                    );
-                }
-                mesh
-            },
-            |mut mesh| {
-                for now in 0..50u64 {
-                    mesh.tick(now);
-                }
-                std::hint::black_box(mesh.stats.link_traversals)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("net/mesh_tick_256c_loaded", 10, 20, || {
+        let mut mesh = Mesh::new(topo, MeshKind::BcastTree, 64, 4);
+        for s in 0..128u16 {
+            let _ = mesh.try_send(
+                Message {
+                    src: CoreId(s),
+                    dest: Dest::Unicast(CoreId(255 - s)),
+                    class: MessageClass::Data,
+                    token: 0,
+                },
+                0,
+            );
+        }
+        for now in 0..50u64 {
+            mesh.tick(now);
+        }
+        std::hint::black_box(mesh.stats.link_traversals);
     });
 }
 
-fn bench_onet_transit(c: &mut Criterion) {
+fn bench_onet_transit() {
     let topo = Topology::small(16, 4);
-    c.bench_function("net/atac_broadcast_transit_256c", |b| {
-        b.iter_batched(
-            || AtacNet::atac_plus(topo),
-            |mut net| {
-                let _ = net.try_send(
-                    Message {
-                        src: CoreId(0),
-                        dest: Dest::Broadcast,
-                        class: MessageClass::Control,
-                        token: 0,
-                    },
-                    0,
-                );
-                let mut out = Vec::new();
-                let mut now = 0;
-                while !net.is_idle() {
-                    net.tick(now);
-                    net.drain_deliveries(&mut out);
-                    now += 1;
-                }
-                std::hint::black_box(out.len())
+    bench("net/atac_broadcast_transit_256c", 10, 50, || {
+        let mut net = AtacNet::atac_plus(topo);
+        let _ = net.try_send(
+            Message {
+                src: CoreId(0),
+                dest: Dest::Broadcast,
+                class: MessageClass::Control,
+                token: 0,
             },
-            BatchSize::SmallInput,
-        )
+            0,
+        );
+        let mut out = Vec::new();
+        let mut now = 0;
+        while !net.is_idle() {
+            net.tick(now);
+            net.drain_deliveries(&mut out);
+            now += 1;
+        }
+        std::hint::black_box(out.len());
     });
 }
 
-fn bench_coherence_miss_path(c: &mut Criterion) {
+fn bench_coherence_miss_path() {
     // One full read-miss transaction over a real network.
     let topo = Topology::small(8, 4);
-    c.bench_function("coherence/read_miss_roundtrip", |b| {
-        let mut addr = 0u64;
-        b.iter_batched(
-            || {
-                (
-                    MemorySystem::new(topo, ProtocolKind::AckWise { k: 4 }),
-                    AtacNet::atac_plus(topo),
-                )
-            },
-            |(mut ms, mut net)| {
-                addr += 64;
-                let _ = ms.access(CoreId(0), Addr(addr), false);
-                let mut deliveries = Vec::new();
-                let mut done = Vec::new();
-                let mut now = 0u64;
-                while done.is_empty() {
-                    ms.flush_outbox(&mut net, now);
-                    net.tick(now);
-                    net.drain_deliveries(&mut deliveries);
-                    for d in deliveries.drain(..) {
-                        ms.handle_delivery(&d, now);
-                    }
-                    ms.memctrl_tick(now);
-                    ms.drain_completions(&mut done);
-                    now += 1;
-                    assert!(now < 10_000);
-                }
-                std::hint::black_box(now)
-            },
-            BatchSize::SmallInput,
-        )
+    let mut addr = 0u64;
+    bench("coherence/read_miss_roundtrip", 10, 20, || {
+        let mut ms = MemorySystem::new(topo, ProtocolKind::AckWise { k: 4 });
+        let mut net = AtacNet::atac_plus(topo);
+        addr += 64;
+        let _ = ms.access(CoreId(0), Addr(addr), false);
+        let mut deliveries = Vec::new();
+        let mut done = Vec::new();
+        let mut now = 0u64;
+        while done.is_empty() {
+            ms.flush_outbox(&mut net, now);
+            net.tick(now);
+            net.drain_deliveries(&mut deliveries);
+            for d in deliveries.drain(..) {
+                ms.handle_delivery(&d, now);
+            }
+            ms.memctrl_tick(now);
+            ms.drain_completions(&mut done);
+            now += 1;
+            assert!(now < 10_000);
+        }
+        std::hint::black_box(now);
     });
 }
 
-fn bench_workload_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads");
-    group.sample_size(10);
-    group.bench_function("build_radix_1024c", |b| {
-        b.iter(|| std::hint::black_box(Benchmark::Radix.build(1024, Scale::Paper)))
+fn bench_workload_build() {
+    bench("workloads/build_radix_1024c", 5, 3, || {
+        std::hint::black_box(Benchmark::Radix.build(1024, Scale::Paper));
     });
-    group.finish();
 }
 
-fn bench_full_system_small(c: &mut Criterion) {
+fn bench_full_system_small() {
     // A complete 64-core run — the unit of work behind every figure.
-    let mut group = c.benchmark_group("sim");
-    group.sample_size(10);
-    group.bench_function("full_system_lu_64c", |b| {
-        let cfg = SimConfig {
-            topo: Topology::small(8, 4),
-            ..SimConfig::default()
-        };
-        let w = Benchmark::LuContig.build(64, Scale::Test);
-        b.iter(|| std::hint::black_box(atac::sim::run(&cfg, &w).cycles))
+    let cfg = SimConfig {
+        topo: Topology::small(8, 4),
+        ..SimConfig::default()
+    };
+    let w = Benchmark::LuContig.build(64, Scale::Test);
+    bench("sim/full_system_lu_64c", 5, 2, || {
+        std::hint::black_box(atac::sim::run(&cfg, &w).cycles);
     });
-    group.finish();
 }
 
-fn bench_energy_integration(c: &mut Criterion) {
+fn bench_energy_integration() {
     let cfg = SimConfig::default();
     let small_cfg = SimConfig {
         topo: Topology::small(8, 4),
@@ -159,64 +162,52 @@ fn bench_energy_integration(c: &mut Criterion) {
     };
     let w = Benchmark::LuContig.build(64, Scale::Test);
     let r = atac::sim::run(&small_cfg, &w);
-    c.bench_function("energy/integrate", |b| {
-        b.iter(|| std::hint::black_box(integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc).total()))
+    bench("energy/integrate", 20, 1_000, || {
+        std::hint::black_box(integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc).total());
     });
 }
 
-fn bench_phys_models(c: &mut Criterion) {
-    c.bench_function("phys/cache_model_build", |b| {
+fn bench_phys_models() {
+    bench("phys/cache_model_build", 20, 1_000, || {
         let lib = StdCellLib::tri_gate_11nm();
-        b.iter(|| std::hint::black_box(CacheModel::new(&lib, CacheGeometry::l2_256k()).read_energy))
+        std::hint::black_box(CacheModel::new(&lib, CacheGeometry::l2_256k()).read_energy);
     });
-    c.bench_function("phys/optical_link_model_build", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                OpticalLinkModel::new(
-                    PhotonicParams::default(),
-                    PhotonicScenario::Practical,
-                    64,
-                    64,
-                )
-                .broadcast_laser_power,
+    bench("phys/optical_link_model_build", 20, 1_000, || {
+        std::hint::black_box(
+            OpticalLinkModel::new(
+                PhotonicParams::default(),
+                PhotonicScenario::Practical,
+                64,
+                64,
             )
-        })
+            .broadcast_laser_power,
+        );
     });
 }
 
-fn bench_synthetic_harness(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net");
-    group.sample_size(10);
-    group.bench_function("synthetic_traffic_64c", |b| {
-        b.iter(|| {
-            let mut net = AtacNet::atac_plus(Topology::small(8, 4));
-            let cfg = SyntheticConfig {
-                load: 0.05,
-                warmup: 100,
-                measure: 400,
-                drain: 10_000,
-                ..Default::default()
-            };
-            std::hint::black_box(run_synthetic(&mut net, &cfg).avg_latency)
-        })
+fn bench_synthetic_harness() {
+    bench("net/synthetic_traffic_64c", 5, 3, || {
+        let mut net = AtacNet::atac_plus(Topology::small(8, 4));
+        let cfg = SyntheticConfig {
+            load: 0.05,
+            warmup: 100,
+            measure: 400,
+            drain: 10_000,
+            ..Default::default()
+        };
+        std::hint::black_box(run_synthetic(&mut net, &cfg).avg_latency);
     });
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets =
-        bench_cache_access,
-        bench_mesh_tick_loaded,
-        bench_onet_transit,
-        bench_coherence_miss_path,
-        bench_workload_build,
-        bench_full_system_small,
-        bench_energy_integration,
-        bench_phys_models,
-        bench_synthetic_harness
-);
-criterion_main!(benches);
+fn main() {
+    println!("atac microbenchmarks (median wall-clock per iteration)\n");
+    bench_cache_access();
+    bench_mesh_tick_loaded();
+    bench_onet_transit();
+    bench_coherence_miss_path();
+    bench_workload_build();
+    bench_full_system_small();
+    bench_energy_integration();
+    bench_phys_models();
+    bench_synthetic_harness();
+}

@@ -20,7 +20,10 @@ use atac_bench::{base_config, header, run_cached, Table};
 
 fn main() {
     // ------------------------------------------------------------------
-    header("Ablation 1", "router input-buffer depth (runtime normalized to depth 4)");
+    header(
+        "Ablation 1",
+        "router input-buffer depth (runtime normalized to depth 4)",
+    );
     let benches = [Benchmark::Radix, Benchmark::OceanNonContig];
     let depths = [2usize, 4, 8];
     let mut t = Table::new(&["depth 2", "depth 4", "depth 8"]).precision(3);
@@ -43,7 +46,10 @@ fn main() {
     t.print();
 
     // ------------------------------------------------------------------
-    header("Ablation 2", "per-event energies: 11 nm tri-gate vs 45 nm bulk");
+    header(
+        "Ablation 2",
+        "per-event energies: 11 nm tri-gate vs 45 nm bulk",
+    );
     for node in [TechNode::tri_gate_11nm(), TechNode::bulk_45nm()] {
         let name = node.name;
         let lib = StdCellLib::new(node);

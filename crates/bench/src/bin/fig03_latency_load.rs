@@ -25,7 +25,8 @@ fn main() {
         "latency (cycles) vs offered load (flits/cycle/core), uniform random + 0.1% broadcast",
     );
     let cols: Vec<String> = loads.iter().map(|l| format!("{l:.2}")).collect();
-    let mut table = atac_bench::Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(1);
+    let mut table =
+        atac_bench::Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(1);
     for policy in policies {
         let mut row = Vec::new();
         for &load in &loads {

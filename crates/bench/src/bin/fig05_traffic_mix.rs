@@ -7,7 +7,10 @@
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
-    header("Fig. 5", "% unicast vs broadcast traffic (measured at the receiver)");
+    header(
+        "Fig. 5",
+        "% unicast vs broadcast traffic (measured at the receiver)",
+    );
     let mut table = Table::new(&["unicast %", "broadcast %"]).precision(1);
     for b in benchmarks() {
         let rec = run_cached(&base_config(), b);

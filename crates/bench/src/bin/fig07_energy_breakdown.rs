@@ -7,7 +7,9 @@
 //! every bar.
 
 use atac::prelude::*;
-use atac_bench::{average_maps, base_config, benchmarks, fig7_categories, header, run_cached, Table};
+use atac_bench::{
+    average_maps, base_config, benchmarks, fig7_categories, header, run_cached, Table,
+};
 
 fn main() {
     header(
@@ -65,7 +67,13 @@ fn main() {
     table.print();
     // cache fraction sanity line
     let (name, m) = &averaged[1]; // ATAC+
-    let caches: f64 = ["l1i", "l1d", "l2", "directory"].iter().map(|k| m[*k]).sum();
+    let caches: f64 = ["l1i", "l1d", "l2", "directory"]
+        .iter()
+        .map(|k| m[*k])
+        .sum();
     let total: f64 = m.values().sum();
-    println!("({name}: caches are {:.0}% of network+cache energy)", 100.0 * caches / total);
+    println!(
+        "({name}: caches are {:.0}% of network+cache energy)",
+        100.0 * caches / total
+    );
 }

@@ -9,8 +9,14 @@ use atac::prelude::*;
 use atac_bench::{base_config, benchmarks, geomean, header, run_cached, Table};
 
 fn main() {
-    header("Fig. 8", "normalized energy-delay product (network+cache energy × runtime)");
-    let mut cols: Vec<String> = PhotonicScenario::ALL.iter().map(|s| s.name().to_string()).collect();
+    header(
+        "Fig. 8",
+        "normalized energy-delay product (network+cache energy × runtime)",
+    );
+    let mut cols: Vec<String> = PhotonicScenario::ALL
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
     cols.push("EMesh-BCast".into());
     cols.push("EMesh-Pure".into());
     let mut table = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(2);
@@ -25,7 +31,7 @@ fn main() {
                 ..base_config()
             };
             let rec = run_cached(&cfg, b);
-            edps.push(rec.energy(&cfg).network_and_caches().value() * rec.runtime(&cfg));
+            edps.push((rec.energy(&cfg).network_and_caches() * rec.runtime(&cfg)).value());
         }
         for arch in [Arch::EMeshBcast, Arch::EMeshPure] {
             let cfg = SimConfig {
@@ -33,7 +39,7 @@ fn main() {
                 ..base_config()
             };
             let rec = run_cached(&cfg, b);
-            edps.push(rec.energy(&cfg).network_and_caches().value() * rec.runtime(&cfg));
+            edps.push((rec.energy(&cfg).network_and_caches() * rec.runtime(&cfg)).value());
         }
         let ideal = edps[0];
         let atac_plus = edps[1];

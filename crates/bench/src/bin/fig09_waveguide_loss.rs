@@ -10,7 +10,10 @@ use atac::prelude::*;
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
-    header("Fig. 9", "energy vs waveguide loss, normalized to EMesh-BCast");
+    header(
+        "Fig. 9",
+        "energy vs waveguide loss, normalized to EMesh-BCast",
+    );
     // dB/cm sweep points; the model takes the total worst-case path loss.
     let losses_per_cm = [0.2, 0.5, 1.0, 2.0, 4.0];
     let length_cm = atac::phys::calib::ONET_WAVEGUIDE_LENGTH_M * 100.0;
@@ -24,7 +27,12 @@ fn main() {
     };
     let mesh_e: Vec<f64> = benches
         .iter()
-        .map(|&b| run_cached(&mesh_cfg, b).energy(&mesh_cfg).network_and_caches().value())
+        .map(|&b| {
+            run_cached(&mesh_cfg, b)
+                .energy(&mesh_cfg)
+                .network_and_caches()
+                .value()
+        })
         .collect();
 
     let cols: Vec<String> = losses_per_cm.iter().map(|l| format!("{l} dB/cm")).collect();
@@ -38,7 +46,10 @@ fn main() {
                 waveguide_loss_db: Some(loss),
                 ..base_config()
             };
-            let e = run_cached(&cfg, b).energy(&cfg).network_and_caches().value();
+            let e = run_cached(&cfg, b)
+                .energy(&cfg)
+                .network_and_caches()
+                .value();
             let norm = e / mesh_e[bi];
             avg[li] += norm / benches.len() as f64;
             row.push(norm);

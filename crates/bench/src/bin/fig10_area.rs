@@ -30,8 +30,8 @@ fn main() {
         topo.clusters(),
         64,
     );
-    let w = topo.width as f64;
-    let h = topo.height as f64;
+    let w = f64::from(topo.width);
+    let h = f64::from(topo.height);
     let n_links = 2.0 * (w * (h - 1.0) + h * (w - 1.0));
 
     let caches = [
@@ -45,7 +45,10 @@ fn main() {
         ("Links", mm2(link.area) * n_links),
     ];
     let optical = [
-        ("ReceiveNets (StarNet)", mm2(recv.area) * 2.0 * topo.clusters() as f64),
+        (
+            "ReceiveNets (StarNet)",
+            mm2(recv.area) * 2.0 * topo.clusters() as f64,
+        ),
         ("Hubs", mm2(router.area) * 2.0 * topo.clusters() as f64),
         ("Waveguides + rings", mm2(optics.optical_area)),
     ];
@@ -69,6 +72,11 @@ fn main() {
     }
     table.row("TOTAL", vec![tot_atac, tot_mesh]);
     table.print();
-    let cache_total: f64 = [mm2(l1.area) * 2.0 * n, mm2(l2.area) * n, mm2(dir.area) * n].iter().sum();
-    println!("(caches are {:.0}% of the ATAC+ total)", 100.0 * cache_total / tot_atac);
+    let cache_total: f64 = [mm2(l1.area) * 2.0 * n, mm2(l2.area) * n, mm2(dir.area) * n]
+        .iter()
+        .sum();
+    println!(
+        "(caches are {:.0}% of the ATAC+ total)",
+        100.0 * cache_total / tot_atac
+    );
 }

@@ -48,18 +48,18 @@ fn main() {
             atac_bench::topology().clusters(),
             wdt as usize,
         );
-        println!("  {:4} bits: {:6.1} mm^2", wdt, o.optical_area.value() * 1e6);
+        println!(
+            "  {:4} bits: {:6.1} mm^2",
+            wdt,
+            o.optical_area.value() * 1e6
+        );
     }
 
     // §V-D's closing argument: SerDes could shrink the 256-bit optics,
     // but the paper rejects it for power/latency. Quantified:
     let lib = atac::phys::stdcell::StdCellLib::tri_gate_11nm();
-    let (area_saved, extra_e, extra_lat) = atac::phys::serdes::serdes_tradeoff(
-        &lib,
-        atac_bench::topology().clusters(),
-        256,
-        4,
-    );
+    let (area_saved, extra_e, extra_lat) =
+        atac::phys::serdes::serdes_tradeoff(&lib, atac_bench::topology().clusters(), 256, 4);
     println!(
         "\nSerDes check (256-bit flit, 4:1): saves {area_saved:.0} mm^2 of optics but adds \
          {:.1} pJ/flit and {extra_lat} cycles/flit — the overhead the paper declines (§V-D).",

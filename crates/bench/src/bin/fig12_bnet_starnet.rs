@@ -14,7 +14,10 @@ use atac::prelude::*;
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
-    header("Fig. 12", "BNet vs StarNet energy (cluster routing), normalized to BNet");
+    header(
+        "Fig. 12",
+        "BNet vs StarNet energy (cluster routing), normalized to BNet",
+    );
     let mut table = Table::new(&["BNet", "StarNet"]).precision(3);
     let mut avg = 0.0;
     let benches = benchmarks();

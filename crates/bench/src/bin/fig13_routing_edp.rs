@@ -28,7 +28,7 @@ fn main() {
                     arch: Arch::Atac(p, ReceiveNet::StarNet),
                     ..base_config()
                 };
-                run_cached(&cfg, b).edp(&cfg)
+                run_cached(&cfg, b).edp(&cfg).value()
             })
             .collect();
         let base = edps[0];
@@ -38,9 +38,6 @@ fn main() {
         }
         table.row(b.name(), row);
     }
-    table.row(
-        "GEOMEAN",
-        per_policy.iter().map(|v| geomean(v)).collect(),
-    );
+    table.row("GEOMEAN", per_policy.iter().map(|v| geomean(v)).collect());
     table.print();
 }

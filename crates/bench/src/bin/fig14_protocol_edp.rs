@@ -9,14 +9,30 @@ use atac::prelude::*;
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
-    header("Fig. 14", "EDP: ACKwise4 vs Dir4B on ATAC+ and EMesh-BCast (normalized)");
+    header(
+        "Fig. 14",
+        "EDP: ACKwise4 vs Dir4B on ATAC+ and EMesh-BCast (normalized)",
+    );
     let variants: [(&str, Arch, ProtocolKind); 4] = [
-        ("ATAC+/ACKwise4", Arch::atac_plus(), ProtocolKind::AckWise { k: 4 }),
-        ("ATAC+/Dir4B", Arch::atac_plus(), ProtocolKind::DirB { k: 4 }),
-        ("EMesh/ACKwise4", Arch::EMeshBcast, ProtocolKind::AckWise { k: 4 }),
+        (
+            "ATAC+/ACKwise4",
+            Arch::atac_plus(),
+            ProtocolKind::AckWise { k: 4 },
+        ),
+        (
+            "ATAC+/Dir4B",
+            Arch::atac_plus(),
+            ProtocolKind::DirB { k: 4 },
+        ),
+        (
+            "EMesh/ACKwise4",
+            Arch::EMeshBcast,
+            ProtocolKind::AckWise { k: 4 },
+        ),
         ("EMesh/Dir4B", Arch::EMeshBcast, ProtocolKind::DirB { k: 4 }),
     ];
-    let mut table = Table::new(&variants.iter().map(|(n, _, _)| *n).collect::<Vec<_>>()).precision(2);
+    let mut table =
+        Table::new(&variants.iter().map(|(n, _, _)| *n).collect::<Vec<_>>()).precision(2);
     for b in benchmarks() {
         let edps: Vec<f64> = variants
             .iter()
@@ -26,7 +42,7 @@ fn main() {
                     protocol,
                     ..base_config()
                 };
-                run_cached(&cfg, b).edp(&cfg)
+                run_cached(&cfg, b).edp(&cfg).value()
             })
             .collect();
         table.row(b.name(), edps.iter().map(|e| e / edps[0]).collect());

@@ -9,7 +9,10 @@ use atac::prelude::*;
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
-    header("Fig. 15", "completion time vs ACKwise sharers (normalized to k=4)");
+    header(
+        "Fig. 15",
+        "completion time vs ACKwise sharers (normalized to k=4)",
+    );
     let ks = [4usize, 8, 16, 32, 1024];
     let cols: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
     let mut table = Table::new(&cols.iter().map(String::as_str).collect::<Vec<_>>()).precision(3);

@@ -6,10 +6,15 @@
 
 use atac::coherence::ProtocolKind;
 use atac::prelude::*;
-use atac_bench::{average_maps, base_config, benchmarks, fig7_categories, header, run_cached, Table};
+use atac_bench::{
+    average_maps, base_config, benchmarks, fig7_categories, header, run_cached, Table,
+};
 
 fn main() {
-    header("Fig. 16", "energy breakdown vs ACKwise sharers (benchmark average, normalized to k=4)");
+    header(
+        "Fig. 16",
+        "energy breakdown vs ACKwise sharers (benchmark average, normalized to k=4)",
+    );
     let ks = [4usize, 8, 16, 32, 1024];
     let mut per_k = Vec::new();
     for &k in &ks {

@@ -12,11 +12,20 @@ fn main() {
     for ndd in [0.1, 0.4] {
         header(
             "Fig. 17",
-            &format!("chip energy breakdown at {}% core NDD power (normalized to ATAC+ total)", (ndd * 100.0) as u32),
+            &format!(
+                "chip energy breakdown at {}% core NDD power (normalized to ATAC+ total)",
+                (ndd * 100.0) as u32
+            ),
         );
         let mut table = Table::new(&[
-            "A+ core-ndd", "A+ core-dd", "A+ cache", "A+ net",
-            "EM core-ndd", "EM core-dd", "EM cache", "EM net",
+            "A+ core-ndd",
+            "A+ core-dd",
+            "A+ cache",
+            "A+ net",
+            "EM core-ndd",
+            "EM core-dd",
+            "EM cache",
+            "EM net",
         ])
         .precision(3);
         for b in benchmarks() {

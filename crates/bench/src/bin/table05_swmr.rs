@@ -8,7 +8,10 @@
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
-    header("Table V", "adaptive SWMR link utilization; unicasts between broadcasts");
+    header(
+        "Table V",
+        "adaptive SWMR link utilization; unicasts between broadcasts",
+    );
     let hubs = atac_bench::topology().clusters();
     let mut table = Table::new(&["utilization %", "unicasts/broadcast"]).precision(1);
     for b in benchmarks() {

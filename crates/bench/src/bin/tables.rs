@@ -7,48 +7,123 @@ use atac::prelude::*;
 fn main() {
     atac_bench::header("Table I", "Network parameters");
     let cfg = SimConfig::default();
-    println!("  Frequency (cores and network)   {} GHz", cfg.frequency_hz / 1e9);
+    println!(
+        "  Frequency (cores and network)   {} GHz",
+        cfg.frequency_hz / 1e9
+    );
     println!("  Core type                       in-order, single-issue");
     println!("  L1-I / L1-D cache               private, 32 KB, 4-way, 64 B lines");
     println!("  L2 cache                        private, 256 KB, 8-way, 64 B lines");
     println!("  Total memory controllers        {}", cfg.topo.clusters());
-    println!("  Bandwidth per mem. controller   5 GBps (64 B / {} cycles)", atac::coherence::memctrl::SERVICE_CYCLES);
-    println!("  Memory latency                  {} ns", atac::coherence::memctrl::MEM_LATENCY);
+    println!(
+        "  Bandwidth per mem. controller   5 GBps (64 B / {} cycles)",
+        atac::coherence::memctrl::SERVICE_CYCLES
+    );
+    println!(
+        "  Memory latency                  {} ns",
+        atac::coherence::memctrl::MEM_LATENCY
+    );
     println!("  Router delay / link delay       1 cycle / 1 cycle");
-    println!("  ONet link delay                 {} cycles", atac::net::onet::ONET_LINK_DELAY);
-    println!("  ONet select-data lag            {} cycle", atac::net::onet::SELECT_DATA_LAG);
-    println!("  StarNet link delay              {} cycle", atac::net::onet::RECEIVE_NET_DELAY);
-    println!("  StarNets per cluster            {}", atac::net::onet::RECEIVE_NETS_PER_CLUSTER);
+    println!(
+        "  ONet link delay                 {} cycles",
+        atac::net::onet::ONET_LINK_DELAY
+    );
+    println!(
+        "  ONet select-data lag            {} cycle",
+        atac::net::onet::SELECT_DATA_LAG
+    );
+    println!(
+        "  StarNet link delay              {} cycle",
+        atac::net::onet::RECEIVE_NET_DELAY
+    );
+    println!(
+        "  StarNets per cluster            {}",
+        atac::net::onet::RECEIVE_NETS_PER_CLUSTER
+    );
     println!("  Flit size                       {} bits", cfg.flit_width);
 
     atac_bench::header("Table II", "Optical technology parameters");
     let p = PhotonicParams::default();
-    println!("  Laser efficiency                {} %", p.laser_efficiency * 100.0);
-    println!("  Waveguide pitch                 {} um", p.waveguide_pitch * 1e6);
-    println!("  Waveguide loss                  {} dB/cm", p.waveguide_loss_db_per_cm);
-    println!("  Waveguide non-linearity limit   {} mW", p.waveguide_nonlinearity_limit.value() * 1e3);
-    println!("  Ring through loss               {} dB", p.ring_through_loss_db);
-    println!("  Ring drop loss                  {} dB", p.ring_drop_loss_db);
-    println!("  Ring area                       {} um^2", p.ring_area.value() * 1e12);
-    println!("  Photodetector responsivity      {} A/W", p.photodetector_responsivity);
+    println!(
+        "  Laser efficiency                {} %",
+        p.laser_efficiency * 100.0
+    );
+    println!(
+        "  Waveguide pitch                 {} um",
+        p.waveguide_pitch * 1e6
+    );
+    println!(
+        "  Waveguide loss                  {} dB/cm",
+        p.waveguide_loss_db_per_cm
+    );
+    println!(
+        "  Waveguide non-linearity limit   {} mW",
+        p.waveguide_nonlinearity_limit.value() * 1e3
+    );
+    println!(
+        "  Ring through loss               {} dB",
+        p.ring_through_loss_db
+    );
+    println!(
+        "  Ring drop loss                  {} dB",
+        p.ring_drop_loss_db
+    );
+    println!(
+        "  Ring area                       {} um^2",
+        p.ring_area.value() * 1e12
+    );
+    println!(
+        "  Photodetector responsivity      {} A/W",
+        p.photodetector_responsivity
+    );
 
-    atac_bench::header("Table III", "Projected 11 nm tri-gate transistor parameters");
+    atac_bench::header(
+        "Table III",
+        "Projected 11 nm tri-gate transistor parameters",
+    );
     let t = TechNode::tri_gate_11nm();
     println!("  Supply voltage (VDD)            {} V", t.vdd.value());
-    println!("  Gate length                     {} nm", t.gate_length.value() * 1e9);
-    println!("  Contacted gate pitch            {} nm", t.contacted_gate_pitch.value() * 1e9);
-    println!("  Gate cap / width                {:.3} fF/um", t.gate_cap_per_width.value() * 1e15 / 1e6);
-    println!("  Drain cap / width               {:.3} fF/um", t.drain_cap_per_width.value() * 1e15 / 1e6);
-    println!("  On current / width (N/P)        {:.0}/{:.0} uA/um", t.on_current_n.value() * 1e6 / 1e6, t.on_current_p.value() * 1e6 / 1e6);
-    println!("  Off current / width             {:.0} nA/um", t.off_current.value() * 1e9 / 1e6);
+    println!(
+        "  Gate length                     {} nm",
+        t.gate_length.value() * 1e9
+    );
+    println!(
+        "  Contacted gate pitch            {} nm",
+        t.contacted_gate_pitch.value() * 1e9
+    );
+    println!(
+        "  Gate cap / width                {:.3} fF/um",
+        t.gate_cap_per_width.value() * 1e15 / 1e6
+    );
+    println!(
+        "  Drain cap / width               {:.3} fF/um",
+        t.drain_cap_per_width.value() * 1e15 / 1e6
+    );
+    println!(
+        "  On current / width (N/P)        {:.0}/{:.0} uA/um",
+        t.on_current_n.value() * 1e6 / 1e6,
+        t.on_current_p.value() * 1e6 / 1e6
+    );
+    println!(
+        "  Off current / width             {:.0} nA/um",
+        t.off_current.value() * 1e9 / 1e6
+    );
 
     atac_bench::header("Table IV", "ATAC+ architecture flavors");
     for s in PhotonicScenario::ALL {
         println!(
             "  {:18} devices={:9} laser={:12} rings={}",
             s.name(),
-            if s.ideal_devices() { "ideal" } else { "practical" },
-            if s.laser_power_gated() { "power-gated" } else { "standard" },
+            if s.ideal_devices() {
+                "ideal"
+            } else {
+                "practical"
+            },
+            if s.laser_power_gated() {
+                "power-gated"
+            } else {
+                "standard"
+            },
             if s.athermal() { "athermal" } else { "tuned" },
         );
     }

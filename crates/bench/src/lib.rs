@@ -8,24 +8,27 @@
 //! persisted as JSON under `target/atac-results/` and reused across
 //! binaries. Delete that directory to force re-simulation.
 //!
-//! `serde_json` is used for the cache files (justified in DESIGN.md: the
-//! cache is what makes regenerating all ~20 figures tractable on one
-//! machine; JSON keeps it human-inspectable).
+//! The cache files are JSON (justified in DESIGN.md: the cache is what
+//! makes regenerating all ~20 figures tractable on one machine; JSON
+//! keeps it human-inspectable), written and parsed by the in-tree
+//! [`runjson`] module — the workspace builds offline with no external
+//! crates.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
-use serde::{Deserialize, Serialize};
-
 use atac::coherence::{CoherenceStats, ProtocolKind};
 use atac::net::NetStats;
+use atac::phys::units::{JouleSeconds, Seconds};
 use atac::prelude::*;
 use atac::sim::energy::integrate;
 
+pub mod runjson;
+
 /// A cached full-system run: everything needed to recompute energy under
 /// any photonic scenario / receive-net flavor without re-simulating.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Completion time in cycles.
     pub cycles: u64,
@@ -48,14 +51,14 @@ impl RunRecord {
         integrate(cfg, &self.net, &self.coh, self.cycles, self.ipc)
     }
 
-    /// Runtime in seconds under `cfg`'s clock.
-    pub fn runtime(&self, cfg: &SimConfig) -> f64 {
-        self.cycles as f64 / cfg.frequency_hz
+    /// Runtime under `cfg`'s clock.
+    pub fn runtime(&self, cfg: &SimConfig) -> Seconds {
+        cfg.cycle_time() * self.cycles as f64
     }
 
     /// Energy-delay product under `cfg`.
-    pub fn edp(&self, cfg: &SimConfig) -> f64 {
-        self.energy(cfg).total().value() * self.runtime(cfg)
+    pub fn edp(&self, cfg: &SimConfig) -> JouleSeconds {
+        self.energy(cfg).total() * self.runtime(cfg)
     }
 }
 
@@ -95,15 +98,19 @@ fn cache_path(key: &str) -> PathBuf {
 pub fn run_cached(cfg: &SimConfig, bench: Benchmark) -> RunRecord {
     let key = run_key(cfg, bench);
     let path = cache_path(&key);
-    if let Ok(bytes) = fs::read(&path) {
-        if let Ok(rec) = serde_json::from_slice::<RunRecord>(&bytes) {
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Some(rec) = runjson::decode(&text) {
             return rec;
         }
     }
     eprintln!("  [sim] {key}");
     let start = std::time::Instant::now();
     let result = atac::run_benchmark(cfg, bench, Scale::Paper);
-    eprintln!("  [sim] {key} done in {:.1}s ({} cycles)", start.elapsed().as_secs_f64(), result.cycles);
+    eprintln!(
+        "  [sim] {key} done in {:.1}s ({} cycles)",
+        start.elapsed().as_secs_f64(),
+        result.cycles
+    );
     let rec = RunRecord {
         cycles: result.cycles,
         instructions: result.instructions,
@@ -112,7 +119,7 @@ pub fn run_cached(cfg: &SimConfig, bench: Benchmark) -> RunRecord {
         coh: result.coh,
     };
     let _ = fs::create_dir_all(cache_dir());
-    let _ = fs::write(&path, serde_json::to_vec_pretty(&rec).expect("serializable"));
+    let _ = fs::write(&path, runjson::encode(&rec));
     rec
 }
 
@@ -159,6 +166,7 @@ pub fn header(id: &str, caption: &str) {
 }
 
 /// A simple aligned table printer: rows of (label, values).
+#[derive(Debug)]
 pub struct Table {
     columns: Vec<String>,
     rows: Vec<(String, Vec<f64>)>,

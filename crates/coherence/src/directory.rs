@@ -33,7 +33,7 @@ impl SharerSet {
     /// Number of sharers.
     pub fn count(&self) -> u32 {
         match self {
-            SharerSet::Ptrs(v) => v.len() as u32,
+            SharerSet::Ptrs(v) => v.len() as u32, // audit: allow(cast) sharer list ≤ cores ≤ 1024
             SharerSet::Overflow { count } => *count,
         }
     }
@@ -48,6 +48,13 @@ impl SharerSet {
     pub fn add(&mut self, c: CoreId, k: usize) -> bool {
         match self {
             SharerSet::Ptrs(v) => {
+                // Sanitizer: exact pointer storage must never exceed the
+                // hardware budget before the global-bit regime engages.
+                debug_assert!(
+                    v.len() <= k,
+                    "{} sharer pointers stored with a k={k} budget",
+                    v.len()
+                );
                 if v.contains(&c) {
                     return false;
                 }
@@ -56,7 +63,7 @@ impl SharerSet {
                     false
                 } else {
                     *self = SharerSet::Overflow {
-                        count: v.len() as u32 + 1,
+                        count: v.len() as u32 + 1, // audit: allow(cast) sharer list ≤ cores ≤ 1024
                     };
                     true
                 }

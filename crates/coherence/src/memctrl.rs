@@ -77,7 +77,7 @@ impl<T> MemCtrl<T> {
             if done > now {
                 break;
             }
-            out.push(self.inflight.pop_front().expect("front exists").1);
+            out.push(self.inflight.pop_front().expect("front exists").1); // audit: allow(expect) pop follows the front() readiness check
         }
     }
 
@@ -134,7 +134,7 @@ mod tests {
             0,
         );
         assert_eq!(d2 - d1, SERVICE_CYCLES, "second op waits one service slot");
-        assert_eq!(m.queue_cycles, SERVICE_CYCLES as u64);
+        assert_eq!(m.queue_cycles, SERVICE_CYCLES);
     }
 
     #[test]

@@ -89,7 +89,15 @@ impl CohKind {
             | CohKind::ExRep
             | CohKind::MemWrite
             | CohKind::MemData => MessageClass::Data,
-            _ => MessageClass::Control,
+            CohKind::ShReq
+            | CohKind::ExReq
+            | CohKind::InvAck
+            | CohKind::Evict
+            | CohKind::UpgradeRep
+            | CohKind::Inv
+            | CohKind::WbReq
+            | CohKind::FlushReq
+            | CohKind::MemRead => MessageClass::Control,
         }
     }
 }
@@ -127,28 +135,28 @@ impl PayloadTable {
             i
         } else {
             self.slots.push(Some((p, deliveries)));
-            (self.slots.len() - 1) as u32
+            (self.slots.len() - 1) as u32 // audit: allow(cast) slab index bounded by live payload cap
         };
-        (idx as u64) + 1
+        u64::from(idx) + 1
     }
 
     /// Read a payload by token and consume one delivery; frees the slot on
     /// the last one.
     pub fn take(&mut self, token: u64) -> CohPayload {
         let idx = (token - 1) as usize;
-        let (p, refs) = self.slots[idx].as_mut().expect("live payload");
+        let (p, refs) = self.slots[idx].as_mut().expect("live payload"); // audit: allow(expect) token refcount keeps the slot live
         let out = *p;
         *refs -= 1;
         if *refs == 0 {
             self.slots[idx] = None;
-            self.free.push(idx as u32);
+            self.free.push(idx as u32); // audit: allow(cast) slab index bounded by live payload cap
         }
         out
     }
 
     /// Peek without consuming (for buffered-message inspection).
     pub fn peek(&self, token: u64) -> CohPayload {
-        self.slots[(token - 1) as usize].expect("live payload").0
+        self.slots[(token - 1) as usize].expect("live payload").0 // audit: allow(expect) token refcount keeps the slot live
     }
 
     /// Number of live payloads (for leak detection in tests).

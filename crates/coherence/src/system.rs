@@ -72,6 +72,7 @@ struct Mshr {
 }
 
 /// Per-core memory-side state.
+#[derive(Debug)]
 struct CoreMem {
     l1i: SetAssocCache,
     l1d: SetAssocCache,
@@ -100,10 +101,11 @@ impl CoreMem {
 /// TCP-style wrap-around comparison: is `a` strictly newer than `b`?
 #[inline]
 pub fn seq_newer(a: u16, b: u16) -> bool {
-    (a.wrapping_sub(b) as i16) > 0
+    (a.wrapping_sub(b) as i16) > 0 // audit: allow(cast) two's-complement reinterpret IS the wrap-around compare
 }
 
 /// The complete memory subsystem.
+#[derive(Debug)]
 pub struct MemorySystem {
     topo: Topology,
     protocol: ProtocolKind,
@@ -181,7 +183,7 @@ impl MemorySystem {
     /// share one I-cache line: one tag lookup, `n` array accesses counted
     /// for energy. Returns the stall latency.
     pub fn ifetch_block(&mut self, core: CoreId, addr: Addr, n: u32) -> u32 {
-        self.stats.l1i_accesses += n.saturating_sub(1) as u64;
+        self.stats.l1i_accesses += u64::from(n.saturating_sub(1));
         self.ifetch(core, addr)
     }
 
@@ -208,7 +210,8 @@ impl MemorySystem {
         let l2 = cm.l2.access(addr);
         match (l2, write) {
             (LineState::M, _) => {
-                cm.l1d.fill(addr, if write { LineState::M } else { LineState::S });
+                cm.l1d
+                    .fill(addr, if write { LineState::M } else { LineState::S });
                 AccessResult::Hit(L1_HIT_LATENCY + L2_HIT_LATENCY)
             }
             (LineState::S, false) => {
@@ -288,19 +291,25 @@ impl MemorySystem {
             }
             done.clear();
             self.memctrls[cl].drain_completed(now, &mut done);
-            let hub = self.topo.hub_core(atac_net::ClusterId(cl as u8));
+            let hub = self.topo.hub_core(atac_net::ClusterId(cl as u8)); // audit: allow(cast) cluster count ≤ 64 fits u8
             for op in done.drain(..) {
                 if op.is_write {
                     continue; // writes complete silently
                 }
                 let p = op.tag;
                 let home = p.addr.home(&self.topo);
-                self.send(hub, Dest::Unicast(home), CohKind::MemData, p.addr, p.requester, 0);
+                self.send(
+                    hub,
+                    Dest::Unicast(home),
+                    CohKind::MemData,
+                    p.addr,
+                    p.requester,
+                    0,
+                );
             }
         }
         // propagate queue-delay counters
-        self.stats.mem_queue_cycles =
-            self.memctrls.iter().map(|m| m.queue_cycles).sum();
+        self.stats.mem_queue_cycles = self.memctrls.iter().map(|m| m.queue_cycles).sum();
         self.stats.mem_reads = self.memctrls.iter().map(|m| m.reads).sum();
         self.stats.mem_writes = self.memctrls.iter().map(|m| m.writes).sum();
     }
@@ -318,10 +327,13 @@ impl MemorySystem {
             // ---- directory-bound ----
             CohKind::ShReq | CohKind::ExReq => {
                 debug_assert_eq!(receiver, p.addr.home(&self.topo));
-                self.dir_request(p.addr, WaitingReq {
-                    requester: d.msg.src,
-                    ex: p.kind == CohKind::ExReq,
-                });
+                self.dir_request(
+                    p.addr,
+                    WaitingReq {
+                        requester: d.msg.src,
+                        ex: p.kind == CohKind::ExReq,
+                    },
+                );
             }
             CohKind::InvAck => self.dir_inv_ack(p.addr),
             CohKind::Evict => self.dir_evict(p.addr, d.msg.src),
@@ -387,12 +399,24 @@ impl MemorySystem {
 
     /// Process a home→core message that is (now) in order.
     fn core_msg(&mut self, core: CoreId, p: CohPayload) {
+        // Sanitizer: the §IV-C-1 ordering discipline guarantees that a
+        // unicast reaching this point is never newer than the receiving
+        // core's per-home broadcast horizon — delivery and release paths
+        // must both have checked it.
+        debug_assert!(
+            !seq_newer(
+                p.seq,
+                self.cores[core.idx()].last_bcast[p.addr.home(&self.topo).idx()]
+            ),
+            "out-of-order unicast reached core_msg: seq {} ahead of horizon",
+            p.seq
+        );
         match p.kind {
             CohKind::ShRep => self.core_fill(core, p, LineState::S),
             CohKind::ExRep => self.core_fill(core, p, LineState::M),
             CohKind::UpgradeRep => {
                 let cm = &mut self.cores[core.idx()];
-                let m = cm.mshr.take().expect("upgrade without MSHR");
+                let m = cm.mshr.take().expect("upgrade without MSHR"); // audit: allow(expect) upgrade replies only answer an outstanding MSHR
                 assert_eq!(m.addr, p.addr);
                 assert!(m.ex);
                 self.stats.l2_accesses += 1;
@@ -410,7 +434,14 @@ impl MemorySystem {
                         cm.l1d.set_state(p.addr, LineState::S);
                     }
                     let home = p.addr.home(&self.topo);
-                    self.send(core, Dest::Unicast(home), CohKind::WbData, p.addr, p.requester, 0);
+                    self.send(
+                        core,
+                        Dest::Unicast(home),
+                        CohKind::WbData,
+                        p.addr,
+                        p.requester,
+                        0,
+                    );
                 }
                 // else: our EvictDirty is already in flight and will
                 // satisfy the directory.
@@ -422,10 +453,26 @@ impl MemorySystem {
                     cm.l2.invalidate(p.addr);
                     cm.l1d.invalidate(p.addr);
                     let home = p.addr.home(&self.topo);
-                    self.send(core, Dest::Unicast(home), CohKind::FlushData, p.addr, p.requester, 0);
+                    self.send(
+                        core,
+                        Dest::Unicast(home),
+                        CohKind::FlushData,
+                        p.addr,
+                        p.requester,
+                        0,
+                    );
                 }
             }
-            _ => unreachable!("not a core-bound message: {:?}", p.kind),
+            CohKind::ShReq
+            | CohKind::ExReq
+            | CohKind::InvAck
+            | CohKind::Evict
+            | CohKind::EvictDirty
+            | CohKind::WbData
+            | CohKind::FlushData
+            | CohKind::MemRead
+            | CohKind::MemWrite
+            | CohKind::MemData => unreachable!("not a core-bound message: {:?}", p.kind),
         }
     }
 
@@ -433,7 +480,7 @@ impl MemorySystem {
     /// broadcast invalidate per the §IV-C-1 rules.
     fn core_fill(&mut self, core: CoreId, p: CohPayload, state: LineState) {
         let cm = &mut self.cores[core.idx()];
-        let m = cm.mshr.take().expect("fill without MSHR");
+        let m = cm.mshr.take().expect("fill without MSHR"); // audit: allow(expect) fills only answer an outstanding MSHR
         assert_eq!(m.addr, p.addr, "fill for wrong line");
         self.stats.l2_accesses += 1;
         let victim = cm.l2.fill(p.addr, state);
@@ -482,7 +529,14 @@ impl MemorySystem {
             ProtocolKind::DirB { .. } => true,
         };
         if acks {
-            self.send(core, Dest::Unicast(home), CohKind::InvAck, p.addr, p.requester, 0);
+            self.send(
+                core,
+                Dest::Unicast(home),
+                CohKind::InvAck,
+                p.addr,
+                p.requester,
+                0,
+            );
         }
     }
 
@@ -509,7 +563,7 @@ impl MemorySystem {
             // directory cannot start a second counted invalidation before
             // collecting our ack for the first), so older buffered ones
             // are necessarily stale: keep only the newest.
-            let mshr = cm.mshr.as_mut().expect("checked");
+            let mshr = cm.mshr.as_mut().expect("checked"); // audit: allow(expect) presence checked just above
             if let Some(old) = mshr.buffered_bcast.replace(p) {
                 debug_assert!(seq_newer(p.seq, old.seq), "broadcasts arrive in order");
                 self.stats.seq_dropped_broadcasts += 1;
@@ -523,7 +577,14 @@ impl MemorySystem {
             // (the paper's §IV-C-1 deadlock-freedom argument).
             if matches!(self.protocol, ProtocolKind::DirB { .. }) {
                 let home = p.addr.home(&self.topo);
-                self.send(core, Dest::Unicast(home), CohKind::InvAck, p.addr, p.requester, 0);
+                self.send(
+                    core,
+                    Dest::Unicast(home),
+                    CohKind::InvAck,
+                    p.addr,
+                    p.requester,
+                    0,
+                );
             }
         } else {
             self.core_inv(core, p, false);
@@ -540,7 +601,7 @@ impl MemorySystem {
                     Some(p) => {
                         let home = p.addr.home(&self.topo);
                         if !seq_newer(p.seq, cm.last_bcast[home.idx()]) {
-                            Some(cm.held.pop_front().expect("front"))
+                            Some(cm.held.pop_front().expect("front")) // audit: allow(expect) loop guard guarantees a queued message
                         } else {
                             None
                         }
@@ -576,7 +637,14 @@ impl MemorySystem {
                 self.cores[core.idx()].l1d.invalidate(addr);
                 self.stats.evictions_dirty += 1;
                 let home = addr.home(&self.topo);
-                self.send(core, Dest::Unicast(home), CohKind::EvictDirty, addr, core, 0);
+                self.send(
+                    core,
+                    Dest::Unicast(home),
+                    CohKind::EvictDirty,
+                    addr,
+                    core,
+                    0,
+                );
             }
         }
     }
@@ -598,22 +666,28 @@ impl MemorySystem {
     /// Process one request against a stable entry.
     fn dir_process(&mut self, addr: Addr, req: WaitingReq) {
         let home = addr.home(&self.topo);
-        let state = self.dir.get(&addr).expect("entry exists").state.clone();
+        let state = self.dir.get(&addr).expect("entry exists").state.clone(); // audit: allow(expect) caller verified the directory entry exists
         self.stats.dir_updates += 1;
         match (state, req.ex) {
             (DirState::Uncached, ex) => {
-                self.set_dir(addr, DirState::WaitMem {
-                    requester: req.requester,
-                    ex,
-                });
+                self.set_dir(
+                    addr,
+                    DirState::WaitMem {
+                        requester: req.requester,
+                        ex,
+                    },
+                );
                 self.mem_read(home, addr, req.requester);
             }
             (DirState::Shared(sharers), false) => {
                 // Data comes from memory (dataless directory).
-                self.set_dir(addr, DirState::WaitMemShared {
-                    requester: req.requester,
-                    sharers,
-                });
+                self.set_dir(
+                    addr,
+                    DirState::WaitMemShared {
+                        requester: req.requester,
+                        sharers,
+                    },
+                );
                 self.mem_read(home, addr, req.requester);
             }
             (DirState::Shared(sharers), true) => {
@@ -628,14 +702,23 @@ impl MemorySystem {
                     if exact {
                         // Sole sharer: grant the upgrade without data.
                         self.set_dir(addr, DirState::Modified(req.requester));
-                        self.send_home(home, req.requester, CohKind::UpgradeRep, addr, req.requester);
+                        self.send_home(
+                            home,
+                            req.requester,
+                            CohKind::UpgradeRep,
+                            addr,
+                            req.requester,
+                        );
                     } else {
                         // Dir_kB sole-"sharer" write: fetch the line and
                         // reply with a full exclusive response.
-                        self.set_dir(addr, DirState::WaitMem {
-                            requester: req.requester,
-                            ex: true,
-                        });
+                        self.set_dir(
+                            addr,
+                            DirState::WaitMem {
+                                requester: req.requester,
+                                ex: true,
+                            },
+                        );
                         self.mem_read(home, addr, req.requester);
                     }
                     self.dir_retire(addr);
@@ -643,21 +726,27 @@ impl MemorySystem {
                 }
                 match sharers {
                     SharerSet::Ptrs(ref ptrs) => {
-                        let targets: Vec<CoreId> =
-                            ptrs.iter().copied().filter(|&c| c != req.requester).collect();
+                        let targets: Vec<CoreId> = ptrs
+                            .iter()
+                            .copied()
+                            .filter(|&c| c != req.requester)
+                            .collect();
                         debug_assert!(!targets.is_empty());
-                        let needed = targets.len() as u32;
+                        let needed = targets.len() as u32; // audit: allow(cast) sharer count ≤ cores ≤ 1024
                         for t in &targets {
                             self.stats.inv_unicasts += 1;
                             self.send_home(home, *t, CohKind::Inv, addr, req.requester);
                         }
                         let need_data = req_was_sharer != Some(true) || !exact;
-                        self.set_dir(addr, DirState::WaitAcks {
-                            requester: req.requester,
-                            needed,
-                            need_data,
-                            have_data: false,
-                        });
+                        self.set_dir(
+                            addr,
+                            DirState::WaitAcks {
+                                requester: req.requester,
+                                needed,
+                                need_data,
+                                have_data: false,
+                            },
+                        );
                         if need_data {
                             self.mem_read(home, addr, req.requester);
                         }
@@ -667,7 +756,14 @@ impl MemorySystem {
                         self.stats.inv_broadcasts += 1;
                         self.seq[home.idx()] = self.seq[home.idx()].wrapping_add(1);
                         let seq = self.seq[home.idx()];
-                        self.send(home, Dest::Broadcast, CohKind::Inv, addr, req.requester, seq);
+                        self.send(
+                            home,
+                            Dest::Broadcast,
+                            CohKind::Inv,
+                            addr,
+                            req.requester,
+                            seq,
+                        );
                         // ACKwise needs acks from the actual sharers only
                         // (it tracked their count); Dir_kB collects one
                         // from every core. The home core itself never
@@ -677,17 +773,20 @@ impl MemorySystem {
                         // other.
                         let needed = match self.protocol {
                             ProtocolKind::AckWise { .. } => count,
-                            ProtocolKind::DirB { .. } => self.topo.cores() as u32,
+                            ProtocolKind::DirB { .. } => self.topo.cores() as u32, // audit: allow(cast) core count ≤ 1024
                         };
                         // With identities lost, data is fetched
                         // conservatively (the requester's copy, if any,
                         // is invalidated by the broadcast too).
-                        self.set_dir(addr, DirState::WaitAcks {
-                            requester: req.requester,
-                            needed,
-                            need_data: true,
-                            have_data: false,
-                        });
+                        self.set_dir(
+                            addr,
+                            DirState::WaitAcks {
+                                requester: req.requester,
+                                needed,
+                                need_data: true,
+                                have_data: false,
+                            },
+                        );
                         self.mem_read(home, addr, req.requester);
                         // Local (same-tile) delivery of the broadcast to
                         // the home core: updates its sequence horizon,
@@ -706,18 +805,24 @@ impl MemorySystem {
             }
             (DirState::Modified(owner), false) => {
                 assert_ne!(owner, req.requester, "owner re-reading its own line");
-                self.set_dir(addr, DirState::WaitWb {
-                    requester: req.requester,
-                    owner,
-                });
+                self.set_dir(
+                    addr,
+                    DirState::WaitWb {
+                        requester: req.requester,
+                        owner,
+                    },
+                );
                 self.send_home(home, owner, CohKind::WbReq, addr, req.requester);
             }
             (DirState::Modified(owner), true) => {
                 assert_ne!(owner, req.requester, "owner re-writing its own line");
-                self.set_dir(addr, DirState::WaitFlush {
-                    requester: req.requester,
-                    owner,
-                });
+                self.set_dir(
+                    addr,
+                    DirState::WaitFlush {
+                        requester: req.requester,
+                        owner,
+                    },
+                );
                 self.send_home(home, owner, CohKind::FlushReq, addr, req.requester);
             }
             (s, _) => unreachable!("dir_process on transient state {s:?}"),
@@ -727,7 +832,7 @@ impl MemorySystem {
     fn dir_inv_ack(&mut self, addr: Addr) {
         self.stats.dir_lookups += 1;
         self.stats.inv_acks += 1;
-        let entry = self.dir.get_mut(&addr).expect("ack for live entry");
+        let entry = self.dir.get_mut(&addr).expect("ack for live entry"); // audit: allow(expect) entry stays live while acks are outstanding
         match &mut entry.state {
             DirState::WaitAcks { needed, .. } => {
                 *needed -= 1;
@@ -740,7 +845,7 @@ impl MemorySystem {
     fn dir_mem_data(&mut self, addr: Addr) {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
-        let entry = self.dir.get_mut(&addr).expect("mem data for live entry");
+        let entry = self.dir.get_mut(&addr).expect("mem data for live entry"); // audit: allow(expect) entry stays live while memory data is in flight
         match entry.state.clone() {
             DirState::WaitMem { requester, ex } => {
                 let (kind, st) = if ex {
@@ -776,7 +881,7 @@ impl MemorySystem {
 
     fn dir_check_acks_done(&mut self, addr: Addr) {
         let home = addr.home(&self.topo);
-        let entry = self.dir.get(&addr).expect("entry");
+        let entry = self.dir.get(&addr).expect("entry"); // audit: allow(expect) transition targets a live directory entry
         if let DirState::WaitAcks {
             requester,
             needed,
@@ -800,7 +905,7 @@ impl MemorySystem {
     fn dir_evict(&mut self, addr: Addr, from: CoreId) {
         self.stats.dir_lookups += 1;
         self.stats.dir_updates += 1;
-        let entry = self.dir.get_mut(&addr).expect("evict for live entry");
+        let entry = self.dir.get_mut(&addr).expect("evict for live entry"); // audit: allow(expect) evictions come from caches the directory tracks
         let mut recheck_acks = false;
         match &mut entry.state {
             DirState::Shared(sharers) => {
@@ -830,7 +935,7 @@ impl MemorySystem {
     fn dir_evict_dirty(&mut self, addr: Addr, from: CoreId, now: Cycle) {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
-        let entry = self.dir.get_mut(&addr).expect("dirty evict for live entry");
+        let entry = self.dir.get_mut(&addr).expect("dirty evict for live entry"); // audit: allow(expect) dirty evictions come from a tracked M holder
         match entry.state.clone() {
             DirState::Modified(owner) => {
                 assert_eq!(owner, from);
@@ -860,7 +965,7 @@ impl MemorySystem {
     fn dir_wb_data(&mut self, addr: Addr, now: Cycle) {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
-        let entry = self.dir.get(&addr).expect("wb data for live entry");
+        let entry = self.dir.get(&addr).expect("wb data for live entry"); // audit: allow(expect) writeback data answers a live WbReq
         match entry.state.clone() {
             DirState::WaitWb { requester, owner } => {
                 self.mem_write(home, addr, now);
@@ -877,7 +982,7 @@ impl MemorySystem {
     fn dir_flush_data(&mut self, addr: Addr) {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
-        let entry = self.dir.get(&addr).expect("flush data for live entry");
+        let entry = self.dir.get(&addr).expect("flush data for live entry"); // audit: allow(expect) flush data answers a live FlushReq
         match entry.state.clone() {
             DirState::WaitFlush { requester, .. } => {
                 self.set_dir(addr, DirState::Modified(requester));
@@ -891,7 +996,7 @@ impl MemorySystem {
     /// After returning to a stable state, serve queued requests.
     fn dir_retire(&mut self, addr: Addr) {
         loop {
-            let entry = self.dir.get_mut(&addr).expect("entry");
+            let entry = self.dir.get_mut(&addr).expect("entry"); // audit: allow(expect) transition targets a live directory entry
             if entry.state.is_transient() {
                 break;
             }
@@ -907,13 +1012,41 @@ impl MemorySystem {
     }
 
     fn set_dir(&mut self, addr: Addr, state: DirState) {
-        self.dir.get_mut(&addr).expect("entry").state = state;
+        if let DirState::Modified(owner) = state {
+            self.debug_check_exclusive_grant(addr, owner);
+        }
+        self.dir.get_mut(&addr).expect("entry").state = state; // audit: allow(expect) transition targets a live directory entry
+    }
+
+    /// Sanitizer: when the directory commits a line to `Modified(owner)`,
+    /// every *other* L2 must hold it Invalid — all sharers were
+    /// invalidated (or evicted) and the previous owner flushed. The new
+    /// owner itself may still be S (upgrade grant) or I (response in
+    /// flight). Debug builds only; the scan is O(cores).
+    fn debug_check_exclusive_grant(&self, addr: Addr, owner: CoreId) {
+        if cfg!(debug_assertions) {
+            for (ci, cm) in self.cores.iter().enumerate() {
+                debug_assert!(
+                    ci == owner.idx() || cm.l2.state(addr) == LineState::I,
+                    "exclusive grant of {addr:?} to {owner:?} while core {ci} \
+                     still holds the line {:?}",
+                    cm.l2.state(addr)
+                );
+            }
+        }
     }
 
     fn mem_read(&mut self, home: CoreId, addr: Addr, requester: CoreId) {
         let cl = addr.mem_cluster(&self.topo);
         let hub = self.topo.hub_core(cl);
-        self.send(home, Dest::Unicast(hub), CohKind::MemRead, addr, requester, 0);
+        self.send(
+            home,
+            Dest::Unicast(hub),
+            CohKind::MemRead,
+            addr,
+            requester,
+            0,
+        );
     }
 
     fn mem_write(&mut self, home: CoreId, addr: Addr, _now: Cycle) {
@@ -928,15 +1061,30 @@ impl MemorySystem {
 
     /// Queue a home→core message stamped with the home's current sequence
     /// number.
-    fn send_home(&mut self, home: CoreId, to: CoreId, kind: CohKind, addr: Addr, requester: CoreId) {
+    fn send_home(
+        &mut self,
+        home: CoreId,
+        to: CoreId,
+        kind: CohKind,
+        addr: Addr,
+        requester: CoreId,
+    ) {
         let seq = self.seq[home.idx()];
         self.send(home, Dest::Unicast(to), kind, addr, requester, seq);
     }
 
-    fn send(&mut self, src: CoreId, dest: Dest, kind: CohKind, addr: Addr, requester: CoreId, seq: u16) {
+    fn send(
+        &mut self,
+        src: CoreId,
+        dest: Dest,
+        kind: CohKind,
+        addr: Addr,
+        requester: CoreId,
+        seq: u16,
+    ) {
         let deliveries = match dest {
             Dest::Unicast(_) => 1,
-            Dest::Broadcast => self.topo.cores() as u32 - 1,
+            Dest::Broadcast => self.topo.cores() as u32 - 1, // audit: allow(cast) core count ≤ 1024
         };
         let token = self.payloads.insert(
             CohPayload {
@@ -966,7 +1114,9 @@ impl MemorySystem {
 
     /// Nothing outstanding anywhere in the memory system.
     pub fn is_quiescent(&self) -> bool {
-        self.cores.iter().all(|c| c.mshr.is_none() && c.held.is_empty())
+        self.cores
+            .iter()
+            .all(|c| c.mshr.is_none() && c.held.is_empty())
             && self.payloads.live() == 0
             && self.memctrls.iter().all(|m| m.is_idle())
             && self.outbox.iter().all(|q| q.is_empty())
@@ -991,6 +1141,7 @@ impl MemorySystem {
             for (addr, st) in cm.l2.resident() {
                 match st {
                     LineState::M => {
+                        // audit: allow(cast) core index ≤ 1024 fits u16
                         if let Some(prev) = m_holder.insert(addr, CoreId(ci as u16)) {
                             panic!("two M holders for {addr:?}: {prev:?} and core {ci}");
                         }
@@ -1000,7 +1151,7 @@ impl MemorySystem {
                 }
             }
         }
-        for (addr, _) in m_holder.iter() {
+        for addr in m_holder.keys() {
             assert_eq!(
                 s_count.get(addr),
                 None,
@@ -1010,7 +1161,7 @@ impl MemorySystem {
         if !quiescent {
             return;
         }
-        for (addr, entry) in self.dir.iter() {
+        for (addr, entry) in &self.dir {
             match &entry.state {
                 DirState::Modified(owner) => {
                     assert_eq!(

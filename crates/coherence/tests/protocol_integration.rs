@@ -8,7 +8,9 @@
 //! sequence-number machinery load-bearing.
 
 use atac_coherence::{AccessResult, Addr, LineState, MemorySystem, ProtocolKind};
-use atac_net::{AtacNet, CoreId, Cycle, Delivery, Mesh, MeshKind, Network, ReceiveNet, RoutingPolicy, Topology};
+use atac_net::{
+    AtacNet, CoreId, Cycle, Delivery, Mesh, MeshKind, Network, ReceiveNet, RoutingPolicy, Topology,
+};
 
 const TOPO_SIDE: u16 = 8; // 64 cores, 4 clusters — fast but real
 
@@ -78,7 +80,7 @@ impl Driver {
                 self.blocked[c.idx()] = false;
             }
             // Single-writer invariant must hold at *every* cycle.
-            if self.now % 64 == 0 {
+            if self.now.is_multiple_of(64) {
                 self.ms.check_invariants(false);
             }
             self.now += 1;
@@ -168,8 +170,8 @@ fn sharer_overflow_triggers_broadcast() {
     let a = Addr(0x8000);
     // 6 readers overflow k=4, then a writer.
     let mut scripts = vec![Vec::new(); 8];
-    for c in 1..7 {
-        scripts[c] = vec![(a, false)];
+    for s in &mut scripts[1..7] {
+        *s = vec![(a, false)];
     }
     let mut d = Driver::new(atac_net(), ackwise4(), scripts);
     d.run();
@@ -196,8 +198,8 @@ fn sharer_overflow_triggers_broadcast() {
 fn dirkb_broadcast_collects_acks_from_everyone() {
     let a = Addr(0x8000);
     let mut scripts = vec![Vec::new(); 8];
-    for c in 1..7 {
-        scripts[c] = vec![(a, false)];
+    for s in &mut scripts[1..7] {
+        *s = vec![(a, false)];
     }
     let proto = ProtocolKind::DirB { k: 4 };
     let mut d = Driver::new(atac_net(), proto, scripts);
@@ -335,7 +337,10 @@ fn stress_ackwise_on_atac_plus() {
     let ms = stress(atac_net(), ackwise4(), 1234, 60);
     // broadcasts should have happened (60 % of traffic on 64 hot lines
     // with 64 cores overflows k=4 constantly)
-    assert!(ms.stats.inv_broadcasts > 0, "stress must exercise broadcasts");
+    assert!(
+        ms.stats.inv_broadcasts > 0,
+        "stress must exercise broadcasts"
+    );
     assert!(ms.stats.inv_unicasts > 0);
 }
 

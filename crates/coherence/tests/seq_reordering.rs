@@ -1,0 +1,291 @@
+//! Directed §IV-C-1 tests: force out-of-order unicast/broadcast
+//! delivery and check the sequence-number machinery's observable
+//! behaviour.
+//!
+//! The integration stress tests rely on timing-dependent reordering; the
+//! scripted network here makes the reorder *deterministic* by giving
+//! unicasts and broadcasts asymmetric fixed latencies:
+//!
+//! * broadcasts slower than unicasts → a home→core unicast stamped with
+//!   a newer sequence number overtakes the broadcast and must be **held**
+//!   (`seq_buffered_unicasts`);
+//! * unicasts slower than broadcasts → a broadcast invalidate lands
+//!   while the receiving core's own `ShReq` for the line is outstanding
+//!   and must be **buffered at the MSHR** (`seq_buffered_broadcasts`).
+//!
+//! Horizon monotonicity is enforced throughout by the debug-assert
+//! sanitizer in `core_msg` (an out-of-order release would panic these
+//! runs, which execute with `debug_assertions` on).
+
+use atac_coherence::{AccessResult, Addr, LineState, MemorySystem, ProtocolKind};
+use atac_net::{CoreId, Cycle, Delivery, Dest, Message, NetStats, Network, Topology};
+
+fn topo() -> Topology {
+    Topology::small(8, 4) // 64 cores
+}
+
+/// A scripted network with fixed per-class latencies and infinite
+/// bandwidth: unicasts arrive `unicast_lat` cycles after injection,
+/// broadcast copies `bcast_lat` cycles after. Per-class FIFO order is
+/// preserved (constant latency); cross-class reordering is the point.
+struct LatencyNet {
+    topo: Topology,
+    unicast_lat: Cycle,
+    bcast_lat: Cycle,
+    inflight: Vec<(Cycle, Delivery)>,
+    ready: Vec<Delivery>,
+}
+
+impl LatencyNet {
+    fn new(topo: Topology, unicast_lat: Cycle, bcast_lat: Cycle) -> Self {
+        LatencyNet {
+            topo,
+            unicast_lat,
+            bcast_lat,
+            inflight: Vec::new(),
+            ready: Vec::new(),
+        }
+    }
+}
+
+impl Network for LatencyNet {
+    fn try_send(&mut self, msg: Message, now: Cycle) -> bool {
+        match msg.dest {
+            Dest::Unicast(to) => self.inflight.push((
+                now + self.unicast_lat,
+                Delivery {
+                    msg,
+                    receiver: to,
+                    at: now + self.unicast_lat,
+                },
+            )),
+            Dest::Broadcast => {
+                for c in 0..self.topo.cores() {
+                    let receiver = CoreId(u16::try_from(c).expect("≤ 1024 cores"));
+                    if receiver == msg.src {
+                        continue;
+                    }
+                    self.inflight.push((
+                        now + self.bcast_lat,
+                        Delivery {
+                            msg,
+                            receiver,
+                            at: now + self.bcast_lat,
+                        },
+                    ));
+                }
+            }
+        }
+        true
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // Stable partition keeps insertion (per-class FIFO) order.
+        let mut still = Vec::new();
+        for (due, d) in self.inflight.drain(..) {
+            if due <= now {
+                self.ready.push(d);
+            } else {
+                still.push((due, d));
+            }
+        }
+        self.inflight = still;
+    }
+
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.ready);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.inflight.is_empty() && self.ready.is_empty()
+    }
+
+    fn flit_width(&self) -> u32 {
+        64
+    }
+
+    fn cores(&self) -> usize {
+        self.topo.cores()
+    }
+
+    fn stats(&self) -> NetStats {
+        NetStats::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "Scripted-Latency"
+    }
+}
+
+/// Run a schedule of (issue_cycle, core, addr, is_write) operations to
+/// quiescence and return the memory system for inspection.
+fn run_schedule(
+    net: &mut LatencyNet,
+    ms: &mut MemorySystem,
+    schedule: &[(Cycle, u16, Addr, bool)],
+) {
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut completed: Vec<CoreId> = Vec::new();
+    let mut issued = vec![false; schedule.len()];
+    let mut now: Cycle = 0;
+    loop {
+        for (i, &(t, core, addr, w)) in schedule.iter().enumerate() {
+            if !issued[i] && t <= now {
+                issued[i] = true;
+                // Directed schedules never double-issue on one core.
+                let r = ms.access(CoreId(core), addr, w);
+                assert!(matches!(r, AccessResult::Miss), "schedule op must miss");
+            }
+        }
+        ms.flush_outbox(net, now);
+        net.tick(now);
+        net.drain_deliveries(&mut deliveries);
+        for d in deliveries.drain(..) {
+            ms.handle_delivery(&d, now);
+        }
+        ms.memctrl_tick(now);
+        ms.drain_completions(&mut completed);
+        completed.clear();
+        ms.check_invariants(false); // single-writer must hold every cycle
+        now += 1;
+        if issued.iter().all(|&b| b) && ms.is_quiescent() && net.is_idle() {
+            break;
+        }
+        assert!(now < 100_000, "directed schedule did not quiesce");
+    }
+    ms.check_invariants(true);
+}
+
+/// Install `sharers` as S-state holders of `addr` over an instant
+/// network, leaving the ACKwise directory in the overflowed (global-bit)
+/// regime when `sharers.len() > k`.
+fn seed_sharers(ms: &mut MemorySystem, net: &mut LatencyNet, addr: Addr, sharers: &[u16]) {
+    let schedule: Vec<(Cycle, u16, Addr, bool)> = sharers
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            (
+                Cycle::try_from(i).expect("small schedule") * 40,
+                c,
+                addr,
+                false,
+            )
+        })
+        .collect();
+    run_schedule(net, ms, &schedule);
+    for &c in sharers {
+        assert_eq!(ms.l2_state(CoreId(c), addr), LineState::S);
+    }
+}
+
+/// A second line with the same home core as `a`, far enough away to
+/// avoid any cache-set interaction.
+fn same_home_line(a: Addr, t: &Topology) -> Addr {
+    let home = a.home(t);
+    (1..10_000u64)
+        .map(|i| Addr(a.0 + i * 64))
+        .find(|b| b.home(t) == home)
+        .expect("another line maps to the same home")
+}
+
+/// Broadcasts slower than unicasts: a ShRep stamped with the new
+/// sequence number overtakes the invalidation broadcast, so the
+/// receiving core must hold it until the broadcast arrives
+/// (`seq_buffered_unicasts`, paper §IV-C-1 case 1).
+#[test]
+fn overtaking_unicast_is_held_until_broadcast_lands() {
+    let t = topo();
+    let a = Addr(0x8000);
+    let b = same_home_line(a, &t);
+    let home = a.home(&t);
+    // Sharers/actors away from the home core and from each other.
+    let cast: Vec<u16> = (0..64u16).filter(|&c| CoreId(c) != home).collect();
+    let sharers = &cast[0..6]; // 6 > k=4 → overflow → broadcast on write
+    let writer = cast[7];
+    let reader = cast[8];
+
+    let mut net = LatencyNet::new(t, 1, 400);
+    let mut ms = MemorySystem::new(t, ProtocolKind::AckWise { k: 4 });
+    seed_sharers(&mut ms, &mut net, a, sharers);
+    assert_eq!(ms.stats.sharer_overflows, 1);
+
+    let before = ms.stats.seq_buffered_unicasts;
+    // Writer triggers the broadcast (seq 1) at ~cycle 2; the reader's
+    // ShReq for the same-home line b is answered with a ShRep stamped
+    // seq 1 which, at 1-cycle unicast latency, reaches the reader ~390
+    // cycles before the broadcast does.
+    run_schedule(
+        &mut net,
+        &mut ms,
+        &[(0, writer, a, true), (20, reader, b, false)],
+    );
+
+    assert_eq!(ms.stats.inv_broadcasts, 1);
+    assert!(
+        ms.stats.seq_buffered_unicasts > before,
+        "overtaking unicast was not held ({} buffered)",
+        ms.stats.seq_buffered_unicasts
+    );
+    // Both transactions completed correctly despite the reorder.
+    assert_eq!(ms.l2_state(CoreId(writer), a), LineState::M);
+    assert_eq!(ms.l2_state(CoreId(reader), b), LineState::S);
+    for &s in sharers {
+        assert_eq!(ms.l2_state(CoreId(s), a), LineState::I);
+    }
+}
+
+/// Unicasts slower than broadcasts: the invalidation broadcast lands at
+/// a core whose own ShReq for that line is still outstanding; the core
+/// must buffer the broadcast at its MSHR and apply it after the fill
+/// (`seq_buffered_broadcasts`, paper §IV-C-1 case 2).
+#[test]
+fn broadcast_during_outstanding_shreq_is_buffered() {
+    let t = topo();
+    let a = Addr(0x8000);
+    let home = a.home(&t);
+    let cast: Vec<u16> = (0..64u16).filter(|&c| CoreId(c) != home).collect();
+    let sharers = &cast[0..6];
+    let writer = cast[7];
+    let reader = cast[8];
+
+    let mut seed_net = LatencyNet::new(t, 1, 1); // fast seeding
+    let mut ms = MemorySystem::new(t, ProtocolKind::AckWise { k: 4 });
+    seed_sharers(&mut ms, &mut seed_net, a, sharers);
+
+    let before = ms.stats.seq_buffered_broadcasts;
+    // Reader's ShReq (issued first) reaches the home at ~60 and leaves
+    // the directory waiting on memory; the writer's ExReq queues behind
+    // it. When memory data returns, the ShRep (60-cycle unicast) and the
+    // invalidation broadcast (2-cycle) depart back-to-back — the
+    // broadcast wins the race to the reader, whose ShReq is still
+    // outstanding.
+    let mut net = LatencyNet::new(t, 60, 2);
+    run_schedule(
+        &mut net,
+        &mut ms,
+        &[(0, reader, a, false), (80, writer, a, true)],
+    );
+
+    assert_eq!(ms.stats.inv_broadcasts, 1);
+    assert!(
+        ms.stats.seq_buffered_broadcasts > before,
+        "broadcast was not buffered behind the outstanding ShReq \
+         ({} buffered)",
+        ms.stats.seq_buffered_broadcasts
+    );
+    // The buffered invalidate was applied after the fill: the reader
+    // ends Invalid, the writer owns the line.
+    assert_eq!(ms.l2_state(CoreId(reader), a), LineState::I);
+    assert_eq!(ms.l2_state(CoreId(writer), a), LineState::M);
+}
+
+/// Wrap-around sequence comparison stays correct near u16::MAX — the
+/// horizon advances monotonically through the wrap (the `core_msg`
+/// sanitizer would panic otherwise).
+#[test]
+fn seq_compare_wraps() {
+    use atac_coherence::system::seq_newer;
+    assert!(seq_newer(0, u16::MAX));
+    assert!(!seq_newer(u16::MAX, 0));
+    assert!(seq_newer(5, u16::MAX - 5));
+}

@@ -167,14 +167,33 @@ fn report(r: &SimResult, cfg: &SimConfig) {
     println!("benchmark        {}", r.workload);
     println!("architecture     {}", r.arch);
     println!("cores            {}", cfg.topo.cores());
-    println!("completion       {} cycles ({:.3} ms at 1 GHz)", r.cycles, r.cycles as f64 / 1e6);
-    println!("instructions     {}   (IPC/core {:.4})", r.instructions, r.ipc);
+    println!(
+        "completion       {} cycles ({:.3} ms at 1 GHz)",
+        r.cycles,
+        r.cycles as f64 / 1e6
+    );
+    println!(
+        "instructions     {}   (IPC/core {:.4})",
+        r.instructions, r.ipc
+    );
     println!("L1-D miss rate   {:.2} %", r.coh.l1d_miss_rate() * 100.0);
-    println!("inv broadcasts   {}   unicasts/broadcast {:.0}", r.coh.inv_broadcasts, r.net.unicasts_per_broadcast());
-    println!("offered load     {:.4} flits/cycle/core", r.net.offered_load(cfg.topo.cores()));
+    println!(
+        "inv broadcasts   {}   unicasts/broadcast {:.0}",
+        r.coh.inv_broadcasts,
+        r.net.unicasts_per_broadcast()
+    );
+    println!(
+        "offered load     {:.4} flits/cycle/core",
+        r.net.offered_load(cfg.topo.cores())
+    );
     let e = &r.energy;
-    println!("energy           network {:.3e} J | caches {:.3e} J | cores {:.3e} J", e.network().value(), e.caches().value(), e.cores().value());
-    println!("energy-delay     {:.3e} J*s", r.edp(cfg));
+    println!(
+        "energy           network {:.3e} J | caches {:.3e} J | cores {:.3e} J",
+        e.network().value(),
+        e.caches().value(),
+        e.cores().value()
+    );
+    println!("energy-delay     {:.3e} J*s", r.edp(cfg).value());
 }
 
 fn cmd_run(args: &[String]) -> i32 {
@@ -215,7 +234,7 @@ fn cmd_compare(args: &[String]) -> i32 {
                     r.cycles,
                     r.ipc,
                     r.energy.total().value(),
-                    r.edp(&cfg)
+                    r.edp(&cfg).value()
                 );
             }
             0
@@ -238,8 +257,22 @@ mod tests {
     #[test]
     fn parses_full_run_spec() {
         let spec = parse_run(&s(&[
-            "--bench", "radix", "--arch", "distance-25", "--cores", "64", "--scale", "test",
-            "--protocol", "dir8b", "--scenario", "cons", "--flit", "128", "--ndd", "0.4",
+            "--bench",
+            "radix",
+            "--arch",
+            "distance-25",
+            "--cores",
+            "64",
+            "--scale",
+            "test",
+            "--protocol",
+            "dir8b",
+            "--scenario",
+            "cons",
+            "--flit",
+            "128",
+            "--ndd",
+            "0.4",
         ]))
         .expect("parses");
         assert_eq!(spec.bench, Benchmark::Radix);

@@ -37,7 +37,7 @@
 //!     result.arch,
 //!     result.cycles,
 //!     result.energy.total().value(),
-//!     result.edp(&cfg),
+//!     result.edp(&cfg).value(),
 //! );
 //! ```
 
@@ -54,6 +54,7 @@ pub use atac_workloads::{Benchmark, Scale};
 pub mod prelude {
     pub use crate::coherence::ProtocolKind;
     pub use crate::net::{ReceiveNet, RoutingPolicy, Topology};
+    pub use crate::phys::units::{JouleSeconds, Joules, Seconds, Watts};
     pub use crate::phys::PhotonicScenario;
     pub use crate::sim::{run, Arch, EnergyBreakdown, SimConfig, SimResult};
     pub use crate::workloads::{Benchmark, Scale};
@@ -61,11 +62,7 @@ pub mod prelude {
 
 /// Build the named benchmark for `cfg`'s core count and run it to
 /// completion. Deterministic: identical inputs produce identical results.
-pub fn run_benchmark(
-    cfg: &SimConfig,
-    benchmark: Benchmark,
-    scale: Scale,
-) -> SimResult {
+pub fn run_benchmark(cfg: &SimConfig, benchmark: Benchmark, scale: Scale) -> SimResult {
     let workload = benchmark.build(cfg.topo.cores(), scale);
     atac_sim::run(cfg, &workload)
 }
@@ -83,7 +80,7 @@ mod tests {
         let r = crate::run_benchmark(&cfg, Benchmark::LuContig, Scale::Test);
         assert!(r.cycles > 0);
         assert!(r.energy.total().value() > 0.0);
-        assert!(r.edp(&cfg) > 0.0);
+        assert!(r.edp(&cfg).value() > 0.0);
     }
 
     #[test]
@@ -96,10 +93,7 @@ mod tests {
             Arch::atac_baseline(),
             Arch::atac_plus(),
         ];
-        let _ = [
-            ProtocolKind::AckWise { k: 4 },
-            ProtocolKind::DirB { k: 4 },
-        ];
+        let _ = [ProtocolKind::AckWise { k: 4 }, ProtocolKind::DirB { k: 4 }];
         let _ = PhotonicScenario::ALL;
         let _ = Benchmark::ALL;
     }

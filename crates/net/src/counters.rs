@@ -1,0 +1,59 @@
+//! A declaration macro for event-counter structs.
+//!
+//! Counter structs ([`crate::NetStats`], `atac_coherence::CoherenceStats`)
+//! are flat bags of `u64` event counts that need three behaviors kept in
+//! lock-step with the field list: accumulation (`merge`), name/value
+//! enumeration (the bench harness's JSON run cache), and name-directed
+//! assignment (cache loading). Declaring the struct through this macro
+//! makes the field list exist exactly once, so adding a counter can never
+//! silently miss one of those — the drift class the `atac-audit` linter
+//! hunts elsewhere.
+
+/// Declare an event-counter struct plus `merge`, `FIELD_NAMES`,
+/// `fields()` and `set_field()` from one field list.
+#[macro_export]
+macro_rules! counters_struct {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                pub $field:ident: u64,
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        pub struct $name {
+            $(
+                $(#[$fmeta])*
+                pub $field: u64,
+            )*
+        }
+
+        impl $name {
+            /// Every counter field, in declaration order.
+            pub const FIELD_NAMES: &'static [&'static str] = &[
+                $( stringify!($field), )*
+            ];
+
+            /// Name/value pairs for every counter, in declaration order.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($field), self.$field), )* ]
+            }
+
+            /// Assign a counter by name; `false` if the name is unknown
+            /// (callers treat that as a stale serialized record).
+            pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+                match name {
+                    $( stringify!($field) => { self.$field = value; true } )*
+                    _ => false,
+                }
+            }
+
+            /// Accumulate another run's counters into this one.
+            pub fn merge(&mut self, other: &Self) {
+                $( self.$field += other.$field; )*
+            }
+        }
+    };
+}

@@ -72,7 +72,7 @@ pub struct SyntheticResult {
 /// Run synthetic traffic through a network.
 pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) -> SyntheticResult {
     let cores = net.cores();
-    let flits_per_msg = cfg.class.flits(net.flit_width()) as f64;
+    let flits_per_msg = f64::from(cfg.class.flits(net.flit_width()));
     let gen_prob = (cfg.load / flits_per_msg).min(1.0);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
@@ -115,7 +115,7 @@ pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) ->
                             Dest::Broadcast => (cores - 1) as u32,
                         });
                         generated += 1;
-                        outstanding += *expected.last().unwrap() as u64;
+                        outstanding += u64::from(*expected.last().unwrap());
                         gen_time.len() as u64 // token 0 = unmeasured
                     } else {
                         0
@@ -147,7 +147,7 @@ pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) ->
                 let t = (d.msg.token - 1) as usize;
                 lat_samples.push(d.at - gen_time[t]);
                 delivered += 1;
-                delivered_flits += cfg.class.flits(net.flit_width()) as u64;
+                delivered_flits += u64::from(cfg.class.flits(net.flit_width()));
                 outstanding -= 1;
             }
         }
@@ -199,7 +199,6 @@ mod tests {
         let r = run_synthetic(&mut net, &small_cfg(0.01));
         assert!(!r.saturated);
         assert!(r.generated > 0);
-        assert_eq!(r.delivered as u64 % 1, 0);
         // zero-load mesh latency on an 8×8 mesh ≈ avg 10–25 cycles.
         assert!(r.avg_latency < 40.0, "latency {}", r.avg_latency);
     }

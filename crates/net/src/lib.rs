@@ -23,6 +23,7 @@
 //! routing policy).
 
 pub mod atac;
+pub mod counters;
 pub mod harness;
 pub mod mesh;
 pub mod onet;

@@ -138,6 +138,7 @@ const NIC_CAP: usize = 16;
 const HUB_BUF_FLITS: u32 = 64;
 
 /// The cycle-level mesh.
+#[derive(Debug)]
 pub struct Mesh {
     topo: Topology,
     kind: MeshKind,
@@ -201,7 +202,7 @@ impl Mesh {
             id
         } else {
             self.packets.push(Some(p));
-            (self.packets.len() - 1) as u32
+            (self.packets.len() - 1) as u32 // audit: allow(cast) slab index bounded by in-flight packet cap
         }
     }
 
@@ -213,13 +214,13 @@ impl Mesh {
     fn activate(&mut self, r: usize) {
         if !self.is_active[r] {
             self.is_active[r] = true;
-            self.active.push(r as u32);
+            self.active.push(r as u32); // audit: allow(cast) router index < cores ≤ 1024
         }
     }
 
     /// Number of flits a message occupies.
     fn flits_of(&self, msg: &Message) -> u8 {
-        msg.class.flits(self.flit_width) as u8
+        msg.class.flits(self.flit_width) as u8 // audit: allow(cast) flit count per packet is single-digit
     }
 
     /// Inject a message. Returns `false` (back-pressure) if the source NIC
@@ -255,7 +256,7 @@ impl Mesh {
                 self.routers[msg.src.idx()].nicq.push_back(id);
                 self.activate(msg.src.idx());
                 self.stats.unicast_messages += 1;
-                self.stats.flits_injected += len as u64;
+                self.stats.flits_injected += u64::from(len);
                 true
             }
             Dest::Broadcast => match self.kind {
@@ -283,7 +284,7 @@ impl Mesh {
         });
         self.routers[msg.src.idx()].nicq.push_back(id);
         self.activate(msg.src.idx());
-        self.stats.flits_injected += len as u64;
+        self.stats.flits_injected += u64::from(len);
         true
     }
 
@@ -292,7 +293,7 @@ impl Mesh {
     pub fn pop_hub_out(&mut self, cluster: ClusterId) -> Option<(Message, Cycle)> {
         let m = self.hub_out[cluster.idx()].pop_front();
         if let Some((ref msg, _)) = m {
-            let len = self.flits_of(msg) as u32;
+            let len = u32::from(self.flits_of(msg));
             self.hub_used[cluster.idx()] -= len;
         }
         m
@@ -309,6 +310,7 @@ impl Mesh {
     fn inject_expanded_broadcast(&mut self, msg: Message, now: Cycle) -> bool {
         self.stats.broadcast_messages += 1;
         let len = self.flits_of(&msg);
+        // audit: allow(cast) core count ≤ 1024 fits u16
         for c in 0..self.topo.cores() as u16 {
             let dst = CoreId(c);
             if dst == msg.src {
@@ -321,7 +323,7 @@ impl Mesh {
                 inject: now,
             });
             self.routers[msg.src.idx()].nicq.push_back(id);
-            self.stats.flits_injected += len as u64;
+            self.stats.flits_injected += u64::from(len);
         }
         self.activate(msg.src.idx());
         true
@@ -359,10 +361,12 @@ impl Mesh {
                 len,
                 inject: now,
             });
-            self.routers[msg.src.idx()]
-                .repq
-                .push_back(Flow { pkt: id, sent: 0, ready: now });
-            self.stats.flits_injected += len as u64;
+            self.routers[msg.src.idx()].repq.push_back(Flow {
+                pkt: id,
+                sent: 0,
+                ready: now,
+            });
+            self.stats.flits_injected += u64::from(len);
         }
         self.activate(msg.src.idx());
         true
@@ -465,7 +469,7 @@ impl Mesh {
     }
 
     fn tick_router(&mut self, r: usize, now: Cycle) {
-        let here = CoreId(r as u16);
+        let here = CoreId(r as u16); // audit: allow(cast) router index < cores fits u16
         let mut out_used = [false; 6];
         let sources = self.sources(r, now);
         // Track repq entries that completed, to remove after the loop.
@@ -475,7 +479,7 @@ impl Mesh {
             let Some((pkt_id, idx, is_head, is_tail)) = self.peek(r, src, now) else {
                 continue;
             };
-            let pkt = self.packets[pkt_id as usize].expect("live packet");
+            let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
             let out = self.route_port(&pkt, here);
             let oi = out.idx();
             if out_used[oi] {
@@ -560,16 +564,16 @@ impl Mesh {
         is_tail: bool,
         now: Cycle,
     ) -> bool {
-        let (x, y) = self.topo.xy(CoreId(r as u16));
+        let (x, y) = self.topo.xy(CoreId(r as u16)); // audit: allow(cast) router index < cores fits u16
         let (nr, in_port) = match out {
             Port::North => (self.topo.core_at(x, y - 1), 1), // enters from its South
             Port::South => (self.topo.core_at(x, y + 1), 0),
             Port::East => (self.topo.core_at(x + 1, y), 3), // enters from its West
             Port::West => (self.topo.core_at(x - 1, y), 2),
-            _ => unreachable!(),
+            Port::Local | Port::Hub => unreachable!("forward_flit only crosses mesh links"),
         };
         let nri = nr.idx();
-        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
         let continues = self.continues_at(&pkt, nr);
         if continues && self.routers[nri].buf[in_port].len() >= self.buffer_depth {
             return false;
@@ -609,7 +613,7 @@ impl Mesh {
     /// effect at `ready`): spawn the local copy (and, for row branches,
     /// the column branches); free the packet if the branch ends here.
     fn on_tail_arrival(&mut self, pkt_id: u32, at: CoreId, continues: bool, ready: Cycle) {
-        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
         let (_, y) = self.topo.xy(at);
         match pkt.route {
             Route::ToCore(_) | Route::ToHub(_) => {}
@@ -635,11 +639,13 @@ impl Mesh {
     }
 
     fn spawn(&mut self, parent: u32, at: CoreId, route: Route, ready: Cycle) {
-        let p = self.packets[parent as usize].expect("live packet");
+        let p = self.packets[parent as usize].expect("live packet"); // audit: allow(expect) parent held live until children spawn
         let id = self.alloc_packet(Packet { route, ..p });
-        self.routers[at.idx()]
-            .repq
-            .push_back(Flow { pkt: id, sent: 0, ready });
+        self.routers[at.idx()].repq.push_back(Flow {
+            pkt: id,
+            sent: 0,
+            ready,
+        });
         self.activate(at.idx());
     }
 
@@ -649,10 +655,12 @@ impl Mesh {
         if !is_tail {
             return;
         }
-        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
         let receiver = match pkt.route {
             Route::ToCore(d) => d,
-            _ => unreachable!("only ToCore ejects locally"),
+            Route::ToHub(_) | Route::McastRow(_) | Route::McastCol(_) => {
+                unreachable!("only ToCore ejects locally")
+            }
         };
         match pkt.msg.dest {
             Dest::Unicast(_) => self.stats.unicast_received += 1,
@@ -678,7 +686,7 @@ impl Mesh {
         self.hub_used[cl] += 1;
         self.stats.hub_buffer_writes += 1;
         if is_tail {
-            let pkt = self.packets[pkt_id as usize].expect("live packet");
+            let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
             self.hub_out[cl].push_back((pkt.msg, pkt.inject));
             self.free_packet(pkt_id);
         }
@@ -757,7 +765,7 @@ mod tests {
         assert!(mesh.try_send(msg(27, Dest::Broadcast), 0));
         let (out, _) = run_until_idle(&mut mesh, 0, 5000);
         assert_eq!(out.len(), 63, "every core but the source, exactly once");
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for d in &out {
             assert!(!seen[d.receiver.idx()], "duplicate to {:?}", d.receiver);
             seen[d.receiver.idx()] = true;

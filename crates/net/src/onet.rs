@@ -69,7 +69,9 @@ enum LinkState {
     Idle,
     /// Transmitting; data cycles run through `until` (inclusive of the
     /// last flit's send cycle).
-    Busy { until: Cycle },
+    Busy {
+        until: Cycle,
+    },
 }
 
 #[derive(Debug)]
@@ -98,6 +100,7 @@ struct HubRx {
 
 /// The optical network: one SWMR link per hub plus per-cluster receive
 /// pipelines.
+#[derive(Debug)]
 pub struct Onet {
     topo: Topology,
     flit_width: u32,
@@ -141,7 +144,7 @@ impl Onet {
     /// cluster's SWMR link. Panics if called without [`Onet::can_accept`].
     pub fn accept(&mut self, cluster: ClusterId, msg: Message, inject: Cycle) {
         assert!(self.can_accept(cluster), "hub TX queue overflow");
-        let len = msg.class.flits(self.flit_width) as u8;
+        let len = msg.class.flits(self.flit_width) as u8; // audit: allow(cast) flit count per packet is single-digit
         let dest = match msg.dest {
             Dest::Unicast(d) => {
                 let dc = self.topo.cluster_of(d);
@@ -200,30 +203,30 @@ impl Onet {
             let dests = self.dest_list(h, tx.dest);
             let fits = dests
                 .iter()
-                .all(|&d| self.rx[d].reserved_flits + tx.len as u32 <= HUB_RX_CAP);
+                .all(|&d| self.rx[d].reserved_flits + u32::from(tx.len) <= HUB_RX_CAP);
             if !fits {
                 continue;
             }
             self.links[h].q.pop_front();
             // Setup: select notification this cycle, data starts next.
             let start = now + SELECT_DATA_LAG;
-            let until = start + tx.len as Cycle - 1;
+            let until = start + Cycle::from(tx.len) - 1;
             self.links[h].state = LinkState::Busy { until };
             self.stats.select_notifications += 1;
             self.stats.laser_transitions += 2; // power up, power down
-            self.stats.onet_flits_sent += tx.len as u64;
+            self.stats.onet_flits_sent += u64::from(tx.len);
             let external_rx = dests.iter().filter(|&&d| d != h).count() as u64;
-            self.stats.onet_flit_receptions += tx.len as u64 * external_rx;
+            self.stats.onet_flit_receptions += u64::from(tx.len) * external_rx;
             match tx.dest {
                 DestHubs::One(_) => {
-                    self.stats.laser_unicast_cycles += tx.len as u64;
+                    self.stats.laser_unicast_cycles += u64::from(tx.len);
                 }
                 DestHubs::All => {
-                    self.stats.laser_broadcast_cycles += tx.len as u64;
+                    self.stats.laser_broadcast_cycles += u64::from(tx.len);
                 }
             }
             for &d in &dests {
-                self.rx[d].reserved_flits += tx.len as u32;
+                self.rx[d].reserved_flits += u32::from(tx.len);
                 self.rx[d].q.push_back(RxPacket {
                     msg: tx.msg,
                     inject: tx.inject,
@@ -259,8 +262,12 @@ impl Onet {
                 // Flit i is forwardable once it has propagated the ring.
                 let arrived = now
                     .saturating_sub(head.start + ONET_LINK_DELAY)
-                    .saturating_add(if now >= head.start + ONET_LINK_DELAY { 1 } else { 0 })
-                    .min(head.len as Cycle) as u8;
+                    .saturating_add(if now >= head.start + ONET_LINK_DELAY {
+                        1
+                    } else {
+                        0
+                    })
+                    .min(Cycle::from(head.len)) as u8; // audit: allow(cast) min() with a u8-sized length fits u8
                 if head.forwarded >= arrived {
                     break; // in-order pipeline: wait for the head's flits
                 }
@@ -276,7 +283,7 @@ impl Onet {
                 if done {
                     let pkt = *head;
                     self.rx[cl].q.pop_front();
-                    self.rx[cl].reserved_flits -= pkt.len as u32;
+                    self.rx[cl].reserved_flits -= u32::from(pkt.len);
                     self.deliver(cl, pkt, now);
                 }
             }
@@ -298,6 +305,7 @@ impl Onet {
                 });
             }
             Dest::Broadcast => {
+                // audit: allow(cast) cluster count ≤ 64 fits u8
                 for c in self.topo.cluster_cores(ClusterId(cl as u8)) {
                     if c == pkt.msg.src {
                         continue;
@@ -397,7 +405,11 @@ mod tests {
             msg(0, Dest::Unicast(CoreId(63)), MessageClass::Data),
             0,
         );
-        onet.accept(ClusterId(0), msg(1, Dest::Broadcast, MessageClass::Control), 0);
+        onet.accept(
+            ClusterId(0),
+            msg(1, Dest::Broadcast, MessageClass::Control),
+            0,
+        );
         let _ = run(&mut onet, 0, 200);
         assert_eq!(onet.stats.laser_unicast_cycles, 10); // data msg = 10 flits
         assert_eq!(onet.stats.laser_broadcast_cycles, 2); // control = 2 flits
@@ -494,7 +506,7 @@ mod tests {
             assert!(onet.rx[0].reserved_flits <= HUB_RX_CAP);
         }
         let (out, _) = run(&mut onet, 5, 500);
-        assert_eq!(out.len() + 0, 7, "all messages eventually delivered");
+        assert_eq!(out.len(), 7, "all messages eventually delivered");
     }
 
     #[test]
@@ -541,6 +553,6 @@ mod tests {
         }
         // latency includes the 100.. wait before acceptance
         assert!(out[0].at - 100 >= 100, "latency measured from injection");
-        assert_eq!(onet.stats.latency_sum, (out[0].at - 100) as u64);
+        assert_eq!(onet.stats.latency_sum, out[0].at - 100);
     }
 }

@@ -6,75 +6,91 @@
 //! (paper §V-A "overall toolflow"). Latency statistics feed Fig. 3, the
 //! traffic mix feeds Fig. 5, injected flit counts feed Fig. 6, and the
 //! SWMR mode cycles feed Table V and the laser energy model.
+//!
+//! Counter-coverage contract (enforced by `atac-audit`): every field
+//! below must either be folded into `crates/sim/src/energy.rs` or carry
+//! an `// audit: non-energy` waiver explaining why it is performance-only.
 
-use crate::types::Cycle;
-use serde::{Deserialize, Serialize};
+use crate::counters_struct;
 
-/// All event counters for one simulation run of one network.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct NetStats {
-    // ---- Traffic accounting ------------------------------------------
-    /// Messages accepted for injection (unicast).
-    pub unicast_messages: u64,
-    /// Messages accepted for injection (broadcast).
-    pub broadcast_messages: u64,
-    /// Flits injected into the network (after any source expansion).
-    pub flits_injected: u64,
-    /// Message deliveries whose original message was a unicast
-    /// (measured at the receiver, as in Fig. 5).
-    pub unicast_received: u64,
-    /// Message deliveries whose original message was a broadcast.
-    pub broadcast_received: u64,
-    /// Sum of per-delivery latencies (inject cycle → tail arrival).
-    pub latency_sum: u64,
-    /// Number of deliveries contributing to `latency_sum`.
-    pub latency_count: u64,
+counters_struct! {
+    /// All event counters for one simulation run of one network.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct NetStats {
+        // ---- Traffic accounting ------------------------------------------
+        /// Messages accepted for injection (unicast).
+        // audit: non-energy — traffic-mix statistic (Table V); flit-level
+        // energy is charged via buffer/xbar/link counters below.
+        pub unicast_messages: u64,
+        /// Messages accepted for injection (broadcast).
+        // audit: non-energy — traffic-mix statistic (Table V / Fig. 5).
+        pub broadcast_messages: u64,
+        /// Flits injected into the network (after any source expansion).
+        // audit: non-energy — offered-load metric (Fig. 6); per-flit energy
+        // is charged at each buffer/crossbar/link event, not at injection.
+        pub flits_injected: u64,
+        /// Message deliveries whose original message was a unicast
+        /// (measured at the receiver, as in Fig. 5).
+        // audit: non-energy — receiver-side traffic mix (Fig. 5).
+        pub unicast_received: u64,
+        /// Message deliveries whose original message was a broadcast.
+        // audit: non-energy — receiver-side traffic mix (Fig. 5).
+        pub broadcast_received: u64,
+        /// Sum of per-delivery latencies (inject cycle → tail arrival).
+        // audit: non-energy — latency statistic (Fig. 3).
+        pub latency_sum: u64,
+        /// Number of deliveries contributing to `latency_sum`.
+        // audit: non-energy — latency statistic (Fig. 3).
+        pub latency_count: u64,
 
-    // ---- Electrical mesh (ENet / EMesh) events -----------------------
-    /// Flit writes into router input buffers.
-    pub buffer_writes: u64,
-    /// Flit reads out of router input buffers.
-    pub buffer_reads: u64,
-    /// Flit crossbar traversals.
-    pub xbar_traversals: u64,
-    /// Switch-allocation decisions (per head flit per router).
-    pub arbitrations: u64,
-    /// Flit link traversals (per hop).
-    pub link_traversals: u64,
+        // ---- Electrical mesh (ENet / EMesh) events -----------------------
+        /// Flit writes into router input buffers.
+        pub buffer_writes: u64,
+        /// Flit reads out of router input buffers.
+        pub buffer_reads: u64,
+        /// Flit crossbar traversals.
+        pub xbar_traversals: u64,
+        /// Switch-allocation decisions (per head flit per router).
+        pub arbitrations: u64,
+        /// Flit link traversals (per hop).
+        pub link_traversals: u64,
 
-    // ---- Hub (cluster interface) events ------------------------------
-    /// Flits buffered at a hub (either direction).
-    pub hub_buffer_writes: u64,
-    /// Flits drained from a hub buffer.
-    pub hub_buffer_reads: u64,
+        // ---- Hub (cluster interface) events ------------------------------
+        /// Flits buffered at a hub (either direction).
+        pub hub_buffer_writes: u64,
+        /// Flits drained from a hub buffer.
+        pub hub_buffer_reads: u64,
 
-    // ---- ONet (optical) events ----------------------------------------
-    /// Flits modulated onto the optical data link.
-    pub onet_flits_sent: u64,
-    /// Flit receptions, summed over receiving hubs (a broadcast flit
-    /// received by 63 hubs counts 63).
-    pub onet_flit_receptions: u64,
-    /// Select-link notifications sent (one per message setup).
-    pub select_notifications: u64,
-    /// Cycles the data-link lasers spent in unicast mode, summed over all
-    /// sender hubs.
-    pub laser_unicast_cycles: u64,
-    /// Cycles in broadcast mode, summed over all sender hubs.
-    pub laser_broadcast_cycles: u64,
-    /// Laser on/off (or power-level) transitions, summed over hubs.
-    pub laser_transitions: u64,
+        // ---- ONet (optical) events ----------------------------------------
+        /// Flits modulated onto the optical data link.
+        pub onet_flits_sent: u64,
+        /// Flit receptions, summed over receiving hubs (a broadcast flit
+        /// received by 63 hubs counts 63).
+        pub onet_flit_receptions: u64,
+        /// Select-link notifications sent (one per message setup).
+        pub select_notifications: u64,
+        /// Cycles the data-link lasers spent in unicast mode, summed over all
+        /// sender hubs.
+        pub laser_unicast_cycles: u64,
+        /// Cycles in broadcast mode, summed over all sender hubs.
+        pub laser_broadcast_cycles: u64,
+        /// Laser on/off (or power-level) transitions, summed over hubs.
+        pub laser_transitions: u64,
 
-    // ---- Cluster receive networks (BNet / StarNet) --------------------
-    /// Unicast flits delivered through a receive network.
-    pub receive_net_unicast_flits: u64,
-    /// Broadcast flits delivered through a receive network (one count per
-    /// flit per cluster, regardless of fan-out; fan-out cost is in the
-    /// energy model).
-    pub receive_net_broadcast_flits: u64,
+        // ---- Cluster receive networks (BNet / StarNet) --------------------
+        /// Unicast flits delivered through a receive network.
+        pub receive_net_unicast_flits: u64,
+        /// Broadcast flits delivered through a receive network (one count per
+        /// flit per cluster, regardless of fan-out; fan-out cost is in the
+        /// energy model).
+        pub receive_net_broadcast_flits: u64,
 
-    // ---- Run bookkeeping ----------------------------------------------
-    /// Cycles simulated (set by the owner at the end of a run).
-    pub cycles: Cycle,
+        // ---- Run bookkeeping ----------------------------------------------
+        /// Cycles simulated (set by the owner at the end of a run).
+        // audit: non-energy — completion time enters the energy integration
+        // as the `cycles` argument of `integrate`, not through this copy.
+        pub cycles: u64,
+    }
 }
 
 impl NetStats {
@@ -126,39 +142,6 @@ impl NetStats {
         } else {
             self.unicast_messages as f64 / self.broadcast_messages as f64
         }
-    }
-
-    /// Accumulate another run's counters into this one (used when
-    /// averaging across benchmarks).
-    pub fn merge(&mut self, other: &NetStats) {
-        macro_rules! acc {
-            ($($f:ident),*) => { $( self.$f += other.$f; )* };
-        }
-        acc!(
-            unicast_messages,
-            broadcast_messages,
-            flits_injected,
-            unicast_received,
-            broadcast_received,
-            latency_sum,
-            latency_count,
-            buffer_writes,
-            buffer_reads,
-            xbar_traversals,
-            arbitrations,
-            link_traversals,
-            hub_buffer_writes,
-            hub_buffer_reads,
-            onet_flits_sent,
-            onet_flit_receptions,
-            select_notifications,
-            laser_unicast_cycles,
-            laser_broadcast_cycles,
-            laser_transitions,
-            receive_net_unicast_flits,
-            receive_net_broadcast_flits,
-            cycles
-        );
     }
 }
 
@@ -217,5 +200,22 @@ mod tests {
             ..Default::default()
         };
         assert!(s.unicasts_per_broadcast().is_infinite());
+    }
+
+    #[test]
+    fn field_roundtrip_by_name() {
+        let mut a = NetStats::default();
+        let b = NetStats {
+            xbar_traversals: 9,
+            laser_transitions: 2,
+            cycles: 77,
+            ..Default::default()
+        };
+        for (name, value) in b.fields() {
+            assert!(a.set_field(name, value), "unknown field {name}");
+        }
+        assert_eq!(a, b);
+        assert!(!a.set_field("no_such_counter", 1));
+        assert_eq!(NetStats::FIELD_NAMES.len(), b.fields().len());
     }
 }

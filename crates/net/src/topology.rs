@@ -27,7 +27,10 @@ impl Topology {
     /// A small chip for fast tests: 8×8 tiles, 4 clusters of 16 cores
     /// (or custom cluster side).
     pub fn small(side: u16, cluster_side: u16) -> Self {
-        assert!(side.is_multiple_of(cluster_side), "cluster side must divide mesh side");
+        assert!(
+            side.is_multiple_of(cluster_side),
+            "cluster side must divide mesh side"
+        );
         Topology {
             width: side,
             height: side,
@@ -83,16 +86,16 @@ impl Topology {
     #[inline]
     pub fn hub_core(&self, cl: ClusterId) -> CoreId {
         let clusters_x = self.width / self.cluster_side;
-        let cx = cl.0 as u16 % clusters_x;
-        let cy = cl.0 as u16 / clusters_x;
+        let cx = u16::from(cl.0) % clusters_x;
+        let cy = u16::from(cl.0) / clusters_x;
         self.core_at(cx * self.cluster_side, cy * self.cluster_side)
     }
 
     /// All cores in a cluster, in row-major order.
     pub fn cluster_cores(&self, cl: ClusterId) -> impl Iterator<Item = CoreId> + '_ {
         let clusters_x = self.width / self.cluster_side;
-        let cx = (cl.0 as u16 % clusters_x) * self.cluster_side;
-        let cy = (cl.0 as u16 / clusters_x) * self.cluster_side;
+        let cx = (u16::from(cl.0) % clusters_x) * self.cluster_side;
+        let cy = (u16::from(cl.0) / clusters_x) * self.cluster_side;
         let side = self.cluster_side;
         (0..side).flat_map(move |dy| (0..side).map(move |dx| self.core_at(cx + dx, cy + dy)))
     }
@@ -103,7 +106,7 @@ impl Topology {
     pub fn manhattan(&self, a: CoreId, b: CoreId) -> u32 {
         let (ax, ay) = self.xy(a);
         let (bx, by) = self.xy(b);
-        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+        u32::from(ax.abs_diff(bx) + ay.abs_diff(by))
     }
 }
 

@@ -39,8 +39,8 @@ impl CacheGeometry {
         assert!(capacity_bytes.is_multiple_of(assoc * line_bytes));
         let lines = capacity_bytes / line_bytes;
         let sets = lines / assoc;
-        let offset_bits = line_bytes.trailing_zeros() as u64;
-        let index_bits = sets.trailing_zeros() as u64;
+        let offset_bits = u64::from(line_bytes.trailing_zeros());
+        let index_bits = u64::from(sets.trailing_zeros());
         let tag = 64 - offset_bits - index_bits + 2; // +2 state bits (MSI)
         CacheGeometry {
             data_bits: capacity_bytes * 8,
@@ -68,7 +68,7 @@ impl CacheGeometry {
     /// cores⌉, cores)` bits, which is what makes ACKwise with small `k`
     /// cheap and `k = cores` equivalent to full-map (paper Figs. 15/16).
     pub fn directory(entries: u64, k: u64, cores: u64) -> Self {
-        let ptr_bits = (64 - (cores - 1).leading_zeros() as u64).max(1);
+        let ptr_bits = (64 - u64::from((cores - 1).leading_zeros())).max(1);
         let sharer_bits = (k * ptr_bits).min(cores);
         // entry: ~40-bit tag + 4 state/global bits + sharer field +
         // 16-bit broadcast sequence number (ATAC+ §IV-C).
@@ -123,8 +123,8 @@ impl CacheModel {
 
         // Per-cell bitline loading: drain cap of the access transistor +
         // wire capacitance of the cell-height bitline segment.
-        let bl_cell_cap = tech.drain_cap(tech.min_device_width).value()
-            + 0.2e-12 / 1e-3 * cell_height; // same 0.2 pF/mm wire constant
+        let bl_cell_cap =
+            tech.drain_cap(tech.min_device_width).value() + 0.2e-12 / 1e-3 * cell_height; // same 0.2 pF/mm wire constant
         let bitline_cap = Farads(rows_per_sub as f64 * bl_cell_cap);
         // Reads swing bitlines by a reduced sense swing (~0.1·VDD);
         // precharge restores it: energy per column = C · VDD · ΔV.
@@ -143,10 +143,9 @@ impl CacheModel {
 
         // Decoder: ~log2(rows) stages of a few gates driving the wordline
         // driver; approximate with gate count × NAND energy.
-        let dec_levels = (64 - (geometry.rows.max(2) - 1).leading_zeros()) as f64;
-        let decoder_energy = Joules(
-            dec_levels * 8.0 * lib.nand2.switch_energy(vdd, lib.nand2.input_cap).value(),
-        );
+        let dec_levels = f64::from(64 - (geometry.rows.max(2) - 1).leading_zeros());
+        let decoder_energy =
+            Joules(dec_levels * 8.0 * lib.nand2.switch_energy(vdd, lib.nand2.input_cap).value());
 
         // Sense amps + output drivers: per accessed bit.
         let sense_energy = Joules(
@@ -172,7 +171,8 @@ impl CacheModel {
         // ---- Static.
         let per_cell_leak = lib.sram_bitcell.leakage.value();
         let leakage = Watts(total_bits as f64 * per_cell_leak * calib::SRAM_LEAKAGE_MULT);
-        let idle_clock_power = Watts(read_energy.value() * calib::CACHE_IDLE_CLOCK_FRACTION * 1.0e9);
+        let idle_clock_power =
+            Watts(read_energy.value() * calib::CACHE_IDLE_CLOCK_FRACTION * 1.0e9);
 
         // ---- Area: cells + 60 % periphery overhead (decoders, sense,
         // repeaters, ECC) — the McPAT-class layout adder.
@@ -239,8 +239,8 @@ mod tests {
     fn sharer_scaling_doubles_sram_footprint() {
         // Paper Figs. 15/16: total area/energy roughly 2× from k=4 to
         // k=1024, driven by the directory. Check the SRAM bit budget.
-        let per_core_base = CacheGeometry::l1_32k().total_bits() * 2
-            + CacheGeometry::l2_256k().total_bits();
+        let per_core_base =
+            CacheGeometry::l1_32k().total_bits() * 2 + CacheGeometry::l2_256k().total_bits();
         let dir4 = CacheGeometry::directory(4096, 4, 1024).total_bits();
         let dir1024 = CacheGeometry::directory(4096, 1024, 1024).total_bits();
         let ratio = (per_core_base + dir1024) as f64 / (per_core_base + dir4) as f64;
@@ -254,7 +254,9 @@ mod tests {
         let l = lib();
         let cache_area = CacheModel::new(&l, CacheGeometry::l1_32k()).area.value() * 2.0
             + CacheModel::new(&l, CacheGeometry::l2_256k()).area.value()
-            + CacheModel::new(&l, CacheGeometry::directory(4096, 4, 1024)).area.value();
+            + CacheModel::new(&l, CacheGeometry::directory(4096, 4, 1024))
+                .area
+                .value();
         // vs a router + links per tile (rough: routers are ~10^-9 m²)
         let tile_network = 4e-9;
         let frac = cache_area / (cache_area + tile_network);

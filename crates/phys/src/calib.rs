@@ -94,11 +94,12 @@ mod tests {
 
     #[test]
     fn calibration_constants_in_sane_ranges() {
-        assert!(RECEIVER_SENSITIVITY_W > 1e-7 && RECEIVER_SENSITIVITY_W < 1e-4);
-        assert!(RING_TUNING_W_PER_RING > 1e-6 && RING_TUNING_W_PER_RING < 1e-3);
-        assert!(MODULATOR_ENERGY_PER_BIT_J < 1e-12);
-        assert!(ONET_WAVEGUIDE_LENGTH_M > 0.01 && ONET_WAVEGUIDE_LENGTH_M < 0.5);
-        assert!(DATA_ACTIVITY > 0.0 && DATA_ACTIVITY <= 1.0);
-        assert!(TILE_SIDE_M > 1e-4 && TILE_SIDE_M < 5e-3);
+        let in_range = |v: f64, lo: f64, hi: f64| v > lo && v < hi;
+        assert!(in_range(RECEIVER_SENSITIVITY_W, 1e-7, 1e-4));
+        assert!(in_range(RING_TUNING_W_PER_RING, 1e-6, 1e-3));
+        assert!(in_range(MODULATOR_ENERGY_PER_BIT_J, 0.0, 1e-12));
+        assert!(in_range(ONET_WAVEGUIDE_LENGTH_M, 0.01, 0.5));
+        assert!(in_range(DATA_ACTIVITY, 0.0, 1.0 + f64::EPSILON));
+        assert!(in_range(TILE_SIDE_M, 1e-4, 5e-3));
     }
 }

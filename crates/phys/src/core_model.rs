@@ -43,7 +43,10 @@ impl CorePowerModel {
     /// ("if the IPC is 0.25, the runtime data-dependent power is 25 % of
     /// the peak data-dependent power").
     pub fn dd_energy(&self, runtime: Seconds, ipc: f64) -> Joules {
-        assert!((0.0..=1.0).contains(&ipc), "in-order single-issue IPC ≤ 1, got {ipc}");
+        assert!(
+            (0.0..=1.0).contains(&ipc),
+            "in-order single-issue IPC ≤ 1, got {ipc}"
+        );
         self.peak_power * (1.0 - self.ndd_fraction) * ipc * runtime
     }
 

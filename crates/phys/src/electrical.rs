@@ -77,11 +77,9 @@ impl RouterModel {
         // write-pointer decode; a read drives the read mux tree.
         let dff_write = lib.dff_write_energy();
         let buffer_write_energy = Joules(bits * act * dff_write.value() * 1.2); // +20% ptr/decode
-        // Read: per bit, a `depth:1` mux tree = (depth-1) mux2 stages worth
-        // of switched capacitance at activity `act`.
-        let mux_e = lib
-            .mux2
-            .switch_energy(vdd, lib.mux2.input_cap);
+                                                                                // Read: per bit, a `depth:1` mux tree = (depth-1) mux2 stages worth
+                                                                                // of switched capacitance at activity `act`.
+        let mux_e = lib.mux2.switch_energy(vdd, lib.mux2.input_cap);
         let buffer_read_energy = Joules(bits * act * (depth - 1.0).max(1.0) * mux_e.value() * 0.5);
 
         // --- Crossbar: `ports × ports` matrix; a traversal drives one
@@ -93,7 +91,8 @@ impl RouterModel {
         let wire = WireModel::semi_global(lib);
         let xbar_wire_e = wire.energy_per_bit(xbar_span); // per bit
         let xpoint_e = lib.mux2.switch_energy(vdd, lib.mux2.input_cap);
-        let crossbar_energy = Joules(bits * act * (xbar_wire_e.value() * 0.5 + ports * 0.5 * xpoint_e.value()));
+        let crossbar_energy =
+            Joules(bits * act * (xbar_wire_e.value() * 0.5 + ports * 0.5 * xpoint_e.value()));
 
         // --- Switch arbiter: ports × (ports-1) grant matrix of a few
         // gates each, plus priority flops.
@@ -106,9 +105,8 @@ impl RouterModel {
         // --- Static: leakage of all buffer flops + crossbar + arbiter,
         // with a control overhead factor; clock power of all flops.
         let n_flops = ports * depth * bits + ports * 8.0; // data + control state
-        let leakage = Watts(
-            n_flops * lib.dff.leakage.value() * (1.0 + calib::ROUTER_CONTROL_OVERHEAD),
-        );
+        let leakage =
+            Watts(n_flops * lib.dff.leakage.value() * (1.0 + calib::ROUTER_CONTROL_OVERHEAD));
         let clock_power = Watts(n_flops * lib.dff_clock_energy().value() * 1.0e9); // 1 GHz
 
         let area = SquareMeters(
@@ -214,16 +212,20 @@ impl ReceiveNetModel {
         let bnet_wire = Meters(3.0 * side);
         let bnet_flit_energy = Joules(
             bits * act
-                * (wire.energy_per_bit(bnet_wire).value()
-                    + n * lib.dff_write_energy().value()),
+                * (wire.energy_per_bit(bnet_wire).value() + n * lib.dff_write_energy().value()),
         );
 
         // StarNet unicast: demux (log2 n stages of mux cells per bit) +
         // one point-to-point link of ~half the cluster side + 1 receiver.
         let hop = Meters(0.5 * side);
-        let demux_e = (n.log2()) * lib.mux2.switch_energy(lib.tech.vdd, lib.mux2.input_cap).value();
+        let demux_e = (n.log2())
+            * lib
+                .mux2
+                .switch_energy(lib.tech.vdd, lib.mux2.input_cap)
+                .value();
         let starnet_unicast_energy = Joules(
-            bits * act * (wire.energy_per_bit(hop).value() + demux_e + lib.dff_write_energy().value()),
+            bits * act
+                * (wire.energy_per_bit(hop).value() + demux_e + lib.dff_write_energy().value()),
         );
 
         // StarNet broadcast: all 16 links (each ~avg half-side long).
@@ -284,8 +286,20 @@ mod tests {
         let ratio = e256 / e64;
         assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
 
-        let r64 = RouterModel::new(&l, RouterParams { flit_width: 64, ..RouterParams::mesh_default() });
-        let r256 = RouterModel::new(&l, RouterParams { flit_width: 256, ..RouterParams::mesh_default() });
+        let r64 = RouterModel::new(
+            &l,
+            RouterParams {
+                flit_width: 64,
+                ..RouterParams::mesh_default()
+            },
+        );
+        let r256 = RouterModel::new(
+            &l,
+            RouterParams {
+                flit_width: 256,
+                ..RouterParams::mesh_default()
+            },
+        );
         assert!(r256.traversal_energy() > r64.traversal_energy() * 2.0);
         assert!(r256.leakage > r64.leakage * 2.0);
     }
@@ -312,14 +326,30 @@ mod tests {
     fn router_area_is_small_fraction_of_tile() {
         let r = RouterModel::new(&lib(), RouterParams::mesh_default());
         let tile = calib::TILE_SIDE_M * calib::TILE_SIDE_M;
-        assert!(r.area.value() < 0.05 * tile, "router {} vs tile {tile}", r.area.value());
+        assert!(
+            r.area.value() < 0.05 * tile,
+            "router {} vs tile {tile}",
+            r.area.value()
+        );
     }
 
     #[test]
     fn deeper_buffers_increase_leakage_not_write_energy_much() {
         let l = lib();
-        let shallow = RouterModel::new(&l, RouterParams { buffer_depth: 2, ..RouterParams::mesh_default() });
-        let deep = RouterModel::new(&l, RouterParams { buffer_depth: 8, ..RouterParams::mesh_default() });
+        let shallow = RouterModel::new(
+            &l,
+            RouterParams {
+                buffer_depth: 2,
+                ..RouterParams::mesh_default()
+            },
+        );
+        let deep = RouterModel::new(
+            &l,
+            RouterParams {
+                buffer_depth: 8,
+                ..RouterParams::mesh_default()
+            },
+        );
         assert!(deep.leakage > shallow.leakage);
         assert!(deep.buffer_write_energy == shallow.buffer_write_energy);
     }

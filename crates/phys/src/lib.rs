@@ -34,8 +34,8 @@
 //! every constant that is a *calibration* rather than a published parameter
 //! is defined in [`calib`] with a comment explaining its provenance.
 
-pub mod calib;
 pub mod cache_model;
+pub mod calib;
 pub mod core_model;
 pub mod electrical;
 pub mod photonics;

@@ -164,7 +164,12 @@ pub struct OpticalLinkModel {
 impl OpticalLinkModel {
     /// Build the model for `n_hubs` hubs and a `data_width`-bit data link,
     /// using the waveguide length from [`calib::ONET_WAVEGUIDE_LENGTH_M`].
-    pub fn new(params: PhotonicParams, scenario: PhotonicScenario, n_hubs: usize, data_width: usize) -> Self {
+    pub fn new(
+        params: PhotonicParams,
+        scenario: PhotonicScenario,
+        n_hubs: usize,
+        data_width: usize,
+    ) -> Self {
         let length_cm = calib::ONET_WAVEGUIDE_LENGTH_M * 100.0;
         let wg_loss = Decibels(params.waveguide_loss_db_per_cm * length_cm);
         Self::with_waveguide_loss(params, scenario, n_hubs, data_width, wg_loss)
@@ -248,9 +253,8 @@ impl OpticalLinkModel {
             Joules(calib::RECEIVER_ENERGY_PER_BIT_J),
         );
 
-        let wg_area = SquareMeters(
-            wavegs as f64 * calib::ONET_WAVEGUIDE_LENGTH_M * params.waveguide_pitch,
-        );
+        let wg_area =
+            SquareMeters(wavegs as f64 * calib::ONET_WAVEGUIDE_LENGTH_M * params.waveguide_pitch);
         let ring_area = SquareMeters(total_rings as f64 * params.ring_area.value());
         let optical_area = SquareMeters(wg_area.value() + ring_area.value());
 
@@ -313,8 +317,8 @@ impl OpticalLinkModel {
     pub fn select_notification_energy(&self, cycle_time: Seconds) -> Joules {
         let bits = self.select_width as f64;
         let modulate = self.modulator_energy_per_bit * (bits * calib::DATA_ACTIVITY);
-        let receive = self.receiver_energy_per_bit
-            * ((self.n_hubs - 1) as f64 * bits * calib::DATA_ACTIVITY);
+        let receive =
+            self.receiver_energy_per_bit * ((self.n_hubs - 1) as f64 * bits * calib::DATA_ACTIVITY);
         let laser = if self.scenario.laser_power_gated() {
             self.select_laser_power * cycle_time
         } else {
@@ -370,7 +374,12 @@ mod tests {
     #[test]
     fn select_width_is_log2_hubs() {
         assert_eq!(model(PhotonicScenario::Practical).select_width, 6);
-        let m8 = OpticalLinkModel::new(PhotonicParams::default(), PhotonicScenario::Practical, 8, 64);
+        let m8 = OpticalLinkModel::new(
+            PhotonicParams::default(),
+            PhotonicScenario::Practical,
+            8,
+            64,
+        );
         assert_eq!(m8.select_width, 3);
     }
 
@@ -405,7 +414,10 @@ mod tests {
     fn conservative_laser_cannot_idle() {
         let cons = model(PhotonicScenario::Conservative);
         assert_eq!(cons.laser_power(SwmrMode::Idle), cons.broadcast_laser_power);
-        assert_eq!(cons.laser_power(SwmrMode::Unicast), cons.broadcast_laser_power);
+        assert_eq!(
+            cons.laser_power(SwmrMode::Unicast),
+            cons.broadcast_laser_power
+        );
         let prac = model(PhotonicScenario::Practical);
         assert_eq!(prac.laser_power(SwmrMode::Idle), Watts::ZERO);
         assert!(prac.laser_power(SwmrMode::Unicast) < prac.laser_power(SwmrMode::Broadcast));
@@ -414,7 +426,10 @@ mod tests {
     #[test]
     fn tuning_power_only_for_tuned_scenarios() {
         assert_eq!(model(PhotonicScenario::Ideal).tuning_power(), Watts::ZERO);
-        assert_eq!(model(PhotonicScenario::Practical).tuning_power(), Watts::ZERO);
+        assert_eq!(
+            model(PhotonicScenario::Practical).tuning_power(),
+            Watts::ZERO
+        );
         assert!(model(PhotonicScenario::RingTuned).tuning_power().value() > 1.0);
         assert!(model(PhotonicScenario::Conservative).tuning_power().value() > 1.0);
     }
@@ -452,8 +467,12 @@ mod tests {
     fn area_grows_with_flit_width() {
         // Paper Fig. 11 discussion: 256-bit flits cost ~160 mm² of optics.
         let m64 = model(PhotonicScenario::Practical);
-        let m256 =
-            OpticalLinkModel::new(PhotonicParams::default(), PhotonicScenario::Practical, 64, 256);
+        let m256 = OpticalLinkModel::new(
+            PhotonicParams::default(),
+            PhotonicScenario::Practical,
+            64,
+            256,
+        );
         let ratio = m256.optical_area.value() / m64.optical_area.value();
         assert!(ratio > 3.0, "ratio {ratio}");
         let mm2 = m256.optical_area.value() * 1e6;
@@ -520,8 +539,7 @@ mod tests {
             Decibels(80.0),
         );
         assert!(m.power_clamped);
-        let per_channel = m.broadcast_laser_power.value()
-            / m.data_width as f64
+        let per_channel = m.broadcast_laser_power.value() / m.data_width as f64
             * PhotonicParams::default().laser_efficiency;
         assert!(
             (per_channel - 30e-3).abs() < 1e-6,

@@ -112,8 +112,7 @@ impl StdCellLib {
 
     /// Energy to toggle a DFF (clock + data transition, internal caps).
     pub fn dff_write_energy(&self) -> Joules {
-        self.dff
-            .switch_energy(self.tech.vdd, self.dff.input_cap)
+        self.dff.switch_energy(self.tech.vdd, self.dff.input_cap)
     }
 
     /// Clock energy per DFF per cycle even when data is idle (clock pin
@@ -135,7 +134,15 @@ mod tests {
     #[test]
     fn cells_have_positive_characteristics() {
         let l = lib();
-        for c in [l.inv, l.nand2, l.nor2, l.mux2, l.xor2, l.dff, l.sram_bitcell] {
+        for c in [
+            l.inv,
+            l.nand2,
+            l.nor2,
+            l.mux2,
+            l.xor2,
+            l.dff,
+            l.sram_bitcell,
+        ] {
             assert!(c.input_cap.value() > 0.0);
             assert!(c.internal_cap.value() > 0.0);
             assert!(c.leakage.value() > 0.0);

@@ -159,7 +159,8 @@ impl TechNode {
     pub fn min_inverter_leakage(&self) -> crate::units::Watts {
         let wn = self.min_device_width;
         let wp = self.pmos_width_for(wn);
-        let avg_leak = Amps(0.5 * (self.leakage_current(wn).value() + self.leakage_current(wp).value()));
+        let avg_leak =
+            Amps(0.5 * (self.leakage_current(wn).value() + self.leakage_current(wp).value()));
         avg_leak * self.vdd
     }
 }
@@ -169,7 +170,8 @@ impl TechNode {
     /// Switching energy of a minimum inverter (input + output cap, full
     /// transition pair).
     pub fn min_inverter_switch_energy(&self) -> crate::units::Joules {
-        let c = Farads(self.min_inverter_input_cap().value() + self.min_inverter_output_cap().value());
+        let c =
+            Farads(self.min_inverter_input_cap().value() + self.min_inverter_output_cap().value());
         c.switching_energy(self.vdd)
     }
 }
@@ -221,7 +223,10 @@ mod tests {
         let old = TechNode::bulk_45nm().min_inverter_switch_energy();
         assert!(old > new);
         // and leak more per minimum inverter.
-        assert!(TechNode::bulk_45nm().min_inverter_leakage() > TechNode::tri_gate_11nm().min_inverter_leakage());
+        assert!(
+            TechNode::bulk_45nm().min_inverter_leakage()
+                > TechNode::tri_gate_11nm().min_inverter_leakage()
+        );
     }
 
     #[test]

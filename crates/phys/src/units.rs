@@ -171,6 +171,12 @@ unit!(
     Amps,
     "A"
 );
+unit!(
+    /// Energy-delay product in joule-seconds (the paper's headline
+    /// comparison metric, Fig. 8).
+    JouleSeconds,
+    "J*s"
+);
 
 /// Optical power ratio expressed in decibels (positive = loss).
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
@@ -249,6 +255,30 @@ impl fmt::Display for Decibels {
 // ------------------------------------------------------------------
 // Cross-unit arithmetic (only the physically meaningful products).
 // ------------------------------------------------------------------
+
+impl Mul<Seconds> for Joules {
+    type Output = JouleSeconds;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> JouleSeconds {
+        JouleSeconds(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Joules> for Seconds {
+    type Output = JouleSeconds;
+    #[inline]
+    fn mul(self, rhs: Joules) -> JouleSeconds {
+        JouleSeconds(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for JouleSeconds {
+    type Output = Joules;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Joules {
+        Joules(self.0 / rhs.0)
+    }
+}
 
 impl Mul<Seconds> for Watts {
     type Output = Joules;

@@ -3,15 +3,26 @@ use atac_workloads::{Benchmark, Scale};
 use std::time::Instant;
 
 fn main() {
-    for b in [Benchmark::OceanContig, Benchmark::Barnes, Benchmark::Radix, Benchmark::DynamicGraph, Benchmark::LuContig] {
+    for b in [
+        Benchmark::OceanContig,
+        Benchmark::Barnes,
+        Benchmark::Radix,
+        Benchmark::DynamicGraph,
+        Benchmark::LuContig,
+    ] {
         let cfg = SimConfig::default();
         let w = b.build(1024, Scale::Paper);
         let t = Instant::now();
         let r = run(&cfg, &w);
         println!(
             "{:18} cycles={:9} instrs={:10} ipc={:.3} bcasts={:6} load={:.4} wall={:.1}s",
-            b.name(), r.cycles, r.instructions, r.ipc, r.coh.inv_broadcasts,
-            r.net.offered_load(1024), t.elapsed().as_secs_f64()
+            b.name(),
+            r.cycles,
+            r.instructions,
+            r.ipc,
+            r.coh.inv_broadcasts,
+            r.net.offered_load(1024),
+            t.elapsed().as_secs_f64()
         );
     }
 }

@@ -112,6 +112,56 @@ impl EnergyBreakdown {
     pub fn total(&self) -> Joules {
         self.network_and_caches() + self.cores()
     }
+
+    /// Every component field with its name — the single flat list the
+    /// conservation audit sums. A field added to the struct but omitted
+    /// here (or from the group sums above) trips
+    /// [`assert_conservation`](Self::assert_conservation).
+    pub fn components(&self) -> [(&'static str, Joules); 17] {
+        [
+            ("emesh_dynamic", self.emesh_dynamic),
+            ("emesh_static", self.emesh_static),
+            ("receive_net", self.receive_net),
+            ("hub", self.hub),
+            ("laser", self.laser),
+            ("ring_tuning", self.ring_tuning),
+            ("optical_other", self.optical_other),
+            ("l1i_dynamic", self.l1i_dynamic),
+            ("l1i_static", self.l1i_static),
+            ("l1d_dynamic", self.l1d_dynamic),
+            ("l1d_static", self.l1d_static),
+            ("l2_dynamic", self.l2_dynamic),
+            ("l2_static", self.l2_static),
+            ("dir_dynamic", self.dir_dynamic),
+            ("dir_static", self.dir_static),
+            ("core_dd", self.core_dd),
+            ("core_ndd", self.core_ndd),
+        ]
+    }
+
+    /// Energy-conservation audit: every component is finite and
+    /// non-negative, and the flat component sum equals [`total`](Self::total)
+    /// (which is built from the group sums) to 1e-9 relative — so the
+    /// group decomposition can never silently drop or double-count a
+    /// component. Called from [`integrate`] behind `debug_assertions`.
+    pub fn assert_conservation(&self) {
+        let mut sum = 0.0;
+        for (name, j) in self.components() {
+            let v = j.value();
+            debug_assert!(
+                v.is_finite() && v >= 0.0,
+                "energy component `{name}` is {v} (non-finite or negative)"
+            );
+            sum += v;
+        }
+        let total = self.total().value();
+        let scale = total.abs().max(f64::MIN_POSITIVE);
+        debug_assert!(
+            ((sum - total) / scale).abs() <= 1e-9,
+            "energy breakdown violates conservation: components sum to {sum} J \
+             but total() reports {total} J"
+        );
+    }
 }
 
 /// Combine counters, models and completion time into the breakdown.
@@ -147,12 +197,11 @@ pub fn integrate(
         + router.crossbar_energy * net.xbar_traversals as f64
         + router.arbitration_energy * net.arbitrations as f64
         + link.flit_energy * net.link_traversals as f64;
-    let w = cfg.topo.width as f64;
-    let h = cfg.topo.height as f64;
+    let w = f64::from(cfg.topo.width);
+    let h = f64::from(cfg.topo.height);
     let n_links = 2.0 * (w * (h - 1.0) + h * (w - 1.0)); // directed links
-    e.emesh_static = ((router.leakage + router.clock_power) * n_cores as f64
-        + link.leakage * n_links)
-        * runtime;
+    e.emesh_static =
+        ((router.leakage + router.clock_power) * n_cores as f64 + link.leakage * n_links) * runtime;
 
     // ------------------------------------------------------------------
     // Optical components (ATAC family only).
@@ -180,9 +229,7 @@ pub fn integrate(
                 + optics.laser_energy(SwmrMode::Broadcast, net.laser_broadcast_cycles, cycle_time)
                 + optics.transition_energy() * net.laser_transitions as f64
         } else {
-            (optics.broadcast_laser_power + optics.select_laser_power)
-                * n_clusters as f64
-                * runtime
+            (optics.broadcast_laser_power + optics.select_laser_power) * n_clusters as f64 * runtime
         };
         e.ring_tuning = optics.tuning_power() * runtime;
         e.optical_other = optics.flit_modulation_energy() * net.onet_flits_sent as f64
@@ -191,7 +238,8 @@ pub fn integrate(
             + optics.select_receiver_bias * runtime;
 
         // Receive networks: 2 per cluster; energy per flit by kind.
-        let recv_model = ReceiveNetModel::new(&lib, cfg.flit_width as usize, cfg.topo.cores_per_cluster());
+        let recv_model =
+            ReceiveNetModel::new(&lib, cfg.flit_width as usize, cfg.topo.cores_per_cluster());
         e.receive_net = match recv {
             ReceiveNet::BNet => {
                 recv_model.bnet_flit_energy
@@ -246,6 +294,9 @@ pub fn integrate(
     e.core_ndd = core.ndd_energy(runtime) * n_cores as f64;
     e.core_dd = core.dd_energy(runtime, ipc.min(1.0)) * n_cores as f64;
 
+    if cfg!(debug_assertions) {
+        e.assert_conservation();
+    }
     e
 }
 
@@ -304,7 +355,13 @@ mod tests {
             ..SimConfig::default()
         };
         let gated = integrate(&mk(PhotonicScenario::Practical), &net, &coh, 500_000, 0.3);
-        let cons = integrate(&mk(PhotonicScenario::Conservative), &net, &coh, 500_000, 0.3);
+        let cons = integrate(
+            &mk(PhotonicScenario::Conservative),
+            &net,
+            &coh,
+            500_000,
+            0.3,
+        );
         assert!(
             cons.laser.value() > 50.0 * gated.laser.value(),
             "cons {} vs gated {}",
@@ -333,7 +390,11 @@ mod tests {
         assert!(practical < tuned);
         assert!(tuned < cons);
         // Fig. 7: ATAC+ ≈ ATAC+(Ideal) — within ~15 %.
-        assert!(practical / ideal < 1.15, "practical/ideal {}", practical / ideal);
+        assert!(
+            practical / ideal < 1.15,
+            "practical/ideal {}",
+            practical / ideal
+        );
     }
 
     #[test]
@@ -375,6 +436,30 @@ mod tests {
         assert_eq!(short.l2_dynamic.value(), long.l2_dynamic.value());
         assert!(long.l2_static.value() > 1.9 * short.l2_static.value());
         assert!(long.core_ndd.value() > 1.9 * short.core_ndd.value());
+    }
+
+    #[test]
+    fn breakdown_components_match_group_sums() {
+        let (net, coh) = base_counters();
+        let e = integrate(&SimConfig::default(), &net, &coh, 500_000, 0.3);
+        let sum: f64 = e.components().iter().map(|(_, j)| j.value()).sum();
+        let total = e.total().value();
+        assert!(total > 0.0);
+        assert!(
+            ((sum - total) / total).abs() < 1e-12,
+            "sum {sum} total {total}"
+        );
+        e.assert_conservation();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite or negative")]
+    fn conservation_audit_catches_bad_component() {
+        let e = EnergyBreakdown {
+            laser: Joules(-1.0),
+            ..Default::default()
+        };
+        e.assert_conservation();
     }
 
     #[test]

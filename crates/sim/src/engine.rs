@@ -20,6 +20,7 @@ use std::collections::BinaryHeap;
 
 use atac_coherence::{AccessResult, Addr, MemorySystem};
 use atac_net::{CoreId, Cycle, Delivery};
+use atac_phys::units::{JouleSeconds, Seconds};
 use atac_workloads::{BuiltWorkload, Op};
 
 use crate::config::SimConfig;
@@ -74,14 +75,13 @@ pub struct SimResult {
 
 impl SimResult {
     /// Completion time in seconds.
-    pub fn runtime(&self, cfg: &SimConfig) -> f64 {
-        self.cycles as f64 / cfg.frequency_hz
+    pub fn runtime(&self, cfg: &SimConfig) -> Seconds {
+        cfg.cycle_time() * self.cycles as f64
     }
 
-    /// Energy-delay product in joule-seconds (the paper's headline
-    /// metric, Fig. 8).
-    pub fn edp(&self, cfg: &SimConfig) -> f64 {
-        self.energy.total().value() * self.runtime(cfg)
+    /// Energy-delay product (the paper's headline metric, Fig. 8).
+    pub fn edp(&self, cfg: &SimConfig) -> JouleSeconds {
+        self.energy.total() * self.runtime(cfg)
     }
 }
 
@@ -106,7 +106,8 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
         .collect();
 
     // (wake cycle, core) min-heap.
-    let mut heap: BinaryHeap<Reverse<(Cycle, u16)>> = (0..n as u16).map(|c| Reverse((0, c))).collect();
+    let mut heap: BinaryHeap<Reverse<(Cycle, u16)>> =
+        (0..n as u16).map(|c| Reverse((0, c))).collect(); // audit: allow(cast) core count ≤ 1024 fits u16
     let mut at_barrier: Vec<u16> = Vec::new();
     let mut running = n; // cores not Done
     let mut deliveries: Vec<Delivery> = Vec::new();
@@ -132,14 +133,17 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
                     match op {
                         Op::Compute(instrs) => {
                             let lat = ifetch(&mut ms, c, &mut cores[ci], instrs.max(1));
-                            heap.push(Reverse((now + instrs.max(1) as Cycle + lat as Cycle, c)));
+                            heap.push(Reverse((
+                                now + Cycle::from(instrs.max(1)) + Cycle::from(lat),
+                                c,
+                            )));
                         }
                         Op::Load(a) | Op::Store(a) => {
                             let write = matches!(op, Op::Store(_));
                             let flat = ifetch(&mut ms, c, &mut cores[ci], 1);
                             match ms.access(CoreId(c), a, write) {
                                 AccessResult::Hit(lat) => {
-                                    heap.push(Reverse((now + (lat + flat) as Cycle, c)));
+                                    heap.push(Reverse((now + Cycle::from(lat + flat), c)));
                                 }
                                 AccessResult::Miss => {
                                     cores[ci].state = CoreState::BlockedOnMiss;
@@ -214,6 +218,13 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
     net_stats.cycles = cycles;
     let coh_stats = ms.stats.clone();
     let energy = integrate(cfg, &net_stats, &coh_stats, cycles, ipc);
+    // Sanitizer: at simulation end everything must have drained — no
+    // leaked payload-slab entries, held unicasts, queued outboxes, or
+    // un-reported completions.
+    debug_assert!(
+        ms.is_quiescent(),
+        "memory system failed to drain at simulation end"
+    );
     ms.check_invariants(ms.is_quiescent());
 
     SimResult {
@@ -232,8 +243,8 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
 /// stall cycles beyond the overlapped single-cycle fetch.
 fn ifetch(ms: &mut MemorySystem, core: u16, ctx: &mut CoreCtx, instrs: u32) -> u32 {
     let line = (ctx.instrs / INSTRS_PER_LINE) % CODE_LINES;
-    let addr = Addr(CODE_BASE + core as u64 * (CODE_LINES * 64) + line * 64);
-    ctx.instrs += instrs as u64;
+    let addr = Addr(CODE_BASE + u64::from(core) * (CODE_LINES * 64) + line * 64);
+    ctx.instrs += u64::from(instrs);
     let lat = ms.ifetch_block(CoreId(core), addr, instrs);
     lat.saturating_sub(1) // a hit overlaps with execution
 }
@@ -278,7 +289,12 @@ mod tests {
     fn deterministic_end_to_end() {
         let go = || {
             let r = quick(SimConfig::small(), Benchmark::Radix);
-            (r.cycles, r.instructions, r.net.flits_injected, r.coh.inv_broadcasts)
+            (
+                r.cycles,
+                r.instructions,
+                r.net.flits_injected,
+                r.coh.inv_broadcasts,
+            )
         };
         assert_eq!(go(), go());
     }

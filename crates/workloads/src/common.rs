@@ -54,7 +54,7 @@ impl BuiltWorkload {
             .iter()
             .flatten()
             .map(|o| match o {
-                Op::Compute(n) => *n as u64,
+                Op::Compute(n) => u64::from(*n),
                 Op::Load(_) | Op::Store(_) => 1,
                 Op::Barrier => 0,
             })
@@ -101,6 +101,7 @@ impl Scale {
 
 /// Shared address-space layout. Every kernel draws its arrays from these
 /// regions so addresses never collide across data structures.
+#[derive(Debug)]
 pub struct Layout;
 
 impl Layout {

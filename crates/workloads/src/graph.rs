@@ -136,7 +136,11 @@ mod tests {
             }
         }
         assert!(readers.len() >= 12, "head read by {} cores", readers.len());
-        assert!(writers.len() >= 4, "head written by {} cores", writers.len());
+        assert!(
+            writers.len() >= 4,
+            "head written by {} cores",
+            writers.len()
+        );
     }
 
     #[test]
@@ -173,6 +177,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(build(8, Scale::Test, 3).scripts, build(8, Scale::Test, 3).scripts);
+        assert_eq!(
+            build(8, Scale::Test, 3).scripts,
+            build(8, Scale::Test, 3).scripts
+        );
     }
 }

@@ -81,7 +81,7 @@ pub fn build(cores: usize, scale: Scale, layout: LuLayout) -> BuiltWorkload {
         if k % 4 == 0 {
             scripts[dk].push(Op::Store(Layout::shared(PIVOT, 0)));
         }
-        for s in scripts.iter_mut() {
+        for s in &mut scripts {
             s.push(Op::Barrier);
         }
 
@@ -102,7 +102,7 @@ pub fn build(cores: usize, scale: Scale, layout: LuLayout) -> BuiltWorkload {
                 }
             }
         }
-        for s in scripts.iter_mut() {
+        for s in &mut scripts {
             s.push(Op::Barrier);
         }
 
@@ -119,7 +119,7 @@ pub fn build(cores: usize, scale: Scale, layout: LuLayout) -> BuiltWorkload {
                 }
             }
         }
-        for s in scripts.iter_mut() {
+        for s in &mut scripts {
             s.push(Op::Barrier);
         }
     }
@@ -159,7 +159,8 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(_, s)| {
-                s.iter().any(|op| matches!(op, Op::Load(a) if a.0 >= d0 && a.0 < d0_end))
+                s.iter()
+                    .any(|op| matches!(op, Op::Load(a) if a.0 >= d0 && a.0 < d0_end))
             })
             .map(|(c, _)| c)
             .collect();

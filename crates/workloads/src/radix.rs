@@ -40,7 +40,11 @@ pub fn build(cores: usize, scale: Scale, seed: u64) -> BuiltWorkload {
     // data-dependent in the real program; we draw destinations from the
     // same seeded distribution).
     let digits: Vec<Vec<u64>> = (0..cores)
-        .map(|_| (0..keys_per_core * passes as u64).map(|_| rng.gen_range(0..BUCKETS)).collect())
+        .map(|_| {
+            (0..keys_per_core * u64::from(passes))
+                .map(|_| rng.gen_range(0..BUCKETS))
+                .collect()
+        })
         .collect();
 
     // Histogram slot layout: padded (2 elements per bucket) for buckets
@@ -59,7 +63,7 @@ pub fn build(cores: usize, scale: Scale, seed: u64) -> BuiltWorkload {
     for pass in 0..passes {
         for (c, script) in scripts.iter_mut().enumerate() {
             let my_digits =
-                &digits[c][(pass as u64 * keys_per_core) as usize..][..keys_per_core as usize];
+                &digits[c][(u64::from(pass) * keys_per_core) as usize..][..keys_per_core as usize];
 
             // Phase 1: local histogram over private keys. Most buckets
             // are padded to 4 per cache line (within ACKwise's k=4
@@ -95,7 +99,8 @@ pub fn build(cores: usize, scale: Scale, seed: u64) -> BuiltWorkload {
                 script.push(Op::Load(Layout::private(c, 0x2000 + d)));
                 script.push(Op::Compute(2));
                 // scattered destination: bucket base + per-core stripe
-                let dest = d * (cores as u64 * keys_per_core) + (c as u64) * keys_per_core + i as u64;
+                let dest =
+                    d * (cores as u64 * keys_per_core) + (c as u64) * keys_per_core + i as u64;
                 script.push(Op::Store(Layout::shared(OUTPUT, dest)));
             }
             script.push(Op::Barrier);

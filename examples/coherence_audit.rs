@@ -29,7 +29,10 @@ fn main() {
         let c = &r.coh;
         println!("--- {} ---", protocol.name());
         println!("  completion time         {:>10} cycles", r.cycles);
-        println!("  L1-D miss rate          {:>10.2} %", c.l1d_miss_rate() * 100.0);
+        println!(
+            "  L1-D miss rate          {:>10.2} %",
+            c.l1d_miss_rate() * 100.0
+        );
         println!("  invalidation unicasts   {:>10}", c.inv_unicasts);
         println!("  invalidation broadcasts {:>10}", c.inv_broadcasts);
         println!(

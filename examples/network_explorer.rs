@@ -22,7 +22,8 @@ fn main() {
     }
     println!();
 
-    let mut nets: Vec<(String, Box<dyn FnMut() -> Box<dyn Network>>)> = vec![
+    type NetFactory = Box<dyn FnMut() -> Box<dyn Network>>;
+    let mut nets: Vec<(String, NetFactory)> = vec![
         (
             "EMesh-BCast".into(),
             Box::new(move || Box::new(Mesh::new(topo, MeshKind::BcastTree, 64, 4))),
@@ -30,24 +31,42 @@ fn main() {
         (
             "ATAC (Cluster)".into(),
             Box::new(move || {
-                Box::new(AtacNet::new(topo, 64, 4, RoutingPolicy::Cluster, ReceiveNet::BNet))
+                Box::new(AtacNet::new(
+                    topo,
+                    64,
+                    4,
+                    RoutingPolicy::Cluster,
+                    ReceiveNet::BNet,
+                ))
             }),
         ),
         (
             "ATAC+ (Distance-10)".into(),
             Box::new(move || {
-                Box::new(AtacNet::new(topo, 64, 4, RoutingPolicy::Distance(10), ReceiveNet::StarNet))
+                Box::new(AtacNet::new(
+                    topo,
+                    64,
+                    4,
+                    RoutingPolicy::Distance(10),
+                    ReceiveNet::StarNet,
+                ))
             }),
         ),
         (
             "ATAC+ (Distance-All)".into(),
             Box::new(move || {
-                Box::new(AtacNet::new(topo, 64, 4, RoutingPolicy::DistanceAll, ReceiveNet::StarNet))
+                Box::new(AtacNet::new(
+                    topo,
+                    64,
+                    4,
+                    RoutingPolicy::DistanceAll,
+                    ReceiveNet::StarNet,
+                ))
             }),
         ),
     ];
 
-    for (name, make) in nets.iter_mut() {
+    for (name, make) in &mut nets {
         print!("{name:<22}");
         for &load in &loads {
             let mut net = make();

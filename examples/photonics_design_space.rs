@@ -24,9 +24,17 @@ fn main() {
     };
     let benchmark = Benchmark::Barnes;
 
-    println!("simulating {} once on ATAC+ ({} cores)...", benchmark.name(), topo.cores());
+    println!(
+        "simulating {} once on ATAC+ ({} cores)...",
+        benchmark.name(),
+        topo.cores()
+    );
     let r = atac::run_benchmark(&base, benchmark, Scale::Paper);
-    println!("done: {} cycles, SWMR links busy {:.1}% of the time\n", r.cycles, r.net.swmr_utilization(topo.clusters()) * 100.0);
+    println!(
+        "done: {} cycles, SWMR links busy {:.1}% of the time\n",
+        r.cycles,
+        r.net.swmr_utilization(topo.clusters()) * 100.0
+    );
 
     println!("--- Table IV technology flavors (network energy, J) ---");
     for scenario in PhotonicScenario::ALL {

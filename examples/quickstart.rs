@@ -15,7 +15,11 @@ fn main() {
     let topo = Topology::small(16, 4); // 256 cores, 16 clusters
     let benchmark = Benchmark::Radix;
 
-    println!("running {} on a {}-core chip...\n", benchmark.name(), topo.cores());
+    println!(
+        "running {} on a {}-core chip...\n",
+        benchmark.name(),
+        topo.cores()
+    );
     println!(
         "{:<14} {:>12} {:>12} {:>14} {:>12}",
         "architecture", "cycles", "IPC", "energy (J)", "EDP (J*s)"
@@ -34,7 +38,7 @@ fn main() {
             r.cycles,
             r.ipc,
             r.energy.network_and_caches().value(),
-            r.edp(&cfg),
+            r.edp(&cfg).value(),
         );
     }
 

@@ -34,7 +34,11 @@ fn every_benchmark_completes_on_every_architecture() {
             let c = cfg(arch);
             let r = atac::run_benchmark(&c, b, Scale::Test);
             assert!(r.cycles > 0, "{b:?} on {arch:?}");
-            assert!(r.ipc > 0.0 && r.ipc <= 1.0, "{b:?} on {arch:?}: ipc {}", r.ipc);
+            assert!(
+                r.ipc > 0.0 && r.ipc <= 1.0,
+                "{b:?} on {arch:?}: ipc {}",
+                r.ipc
+            );
             assert!(r.energy.total().value() > 0.0);
         }
     }
@@ -45,7 +49,11 @@ fn memory_op_accounting_is_exact() {
     // The L1-D access counters must equal the workload's memory ops, and
     // instruction counts must match the scripts — the accounting identity
     // connecting atac-workloads to atac-coherence through atac-sim.
-    for b in [Benchmark::Radix, Benchmark::LuContig, Benchmark::DynamicGraph] {
+    for b in [
+        Benchmark::Radix,
+        Benchmark::LuContig,
+        Benchmark::DynamicGraph,
+    ] {
         let c = cfg(Arch::atac_plus());
         let w = b.build(c.topo.cores(), Scale::Test);
         let r = atac::sim::run(&c, &w);
@@ -54,8 +62,15 @@ fn memory_op_accounting_is_exact() {
             w.total_mem_ops(),
             "{b:?} memory op accounting"
         );
-        assert_eq!(r.instructions, w.total_instructions(), "{b:?} instruction accounting");
-        assert_eq!(r.coh.l1i_accesses, r.instructions, "{b:?} ifetch accounting");
+        assert_eq!(
+            r.instructions,
+            w.total_instructions(),
+            "{b:?} instruction accounting"
+        );
+        assert_eq!(
+            r.coh.l1i_accesses, r.instructions,
+            "{b:?} ifetch accounting"
+        );
     }
 }
 
@@ -82,8 +97,7 @@ fn emesh_pure_pays_for_broadcasts() {
     // each broadcast becomes 63 unicast packets at the source
     assert!(pure.coh.inv_broadcasts > 0, "barnes must broadcast");
     assert!(
-        pure.net.flits_injected
-            > bcast.net.flits_injected + pure.coh.inv_broadcasts * 55 * 2,
+        pure.net.flits_injected > bcast.net.flits_injected + pure.coh.inv_broadcasts * 55 * 2,
         "pure {} vs bcast {} ({} broadcasts)",
         pure.net.flits_injected,
         bcast.net.flits_injected,
@@ -96,12 +110,16 @@ fn emesh_pure_pays_for_broadcasts() {
 
 #[test]
 fn optical_traffic_flows_only_on_atac() {
-    for b in [Benchmark::Radix] {
+    {
+        let b = Benchmark::Radix;
         let mesh = atac::run_benchmark(&cfg(Arch::EMeshBcast), b, Scale::Test);
         assert_eq!(mesh.net.onet_flits_sent, 0);
         assert_eq!(mesh.energy.laser.value(), 0.0);
         let atac = atac::run_benchmark(&cfg(Arch::atac_baseline()), b, Scale::Test);
-        assert!(atac.net.onet_flits_sent > 0, "cluster routing must use the ONet");
+        assert!(
+            atac.net.onet_flits_sent > 0,
+            "cluster routing must use the ONet"
+        );
     }
 }
 
@@ -141,8 +159,16 @@ fn dirkb_and_ackwise_agree_on_work_done() {
         protocol,
         ..cfg(Arch::atac_plus())
     };
-    let a = atac::run_benchmark(&mk(ProtocolKind::AckWise { k: 4 }), Benchmark::Radix, Scale::Test);
-    let d = atac::run_benchmark(&mk(ProtocolKind::DirB { k: 4 }), Benchmark::Radix, Scale::Test);
+    let a = atac::run_benchmark(
+        &mk(ProtocolKind::AckWise { k: 4 }),
+        Benchmark::Radix,
+        Scale::Test,
+    );
+    let d = atac::run_benchmark(
+        &mk(ProtocolKind::DirB { k: 4 }),
+        Benchmark::Radix,
+        Scale::Test,
+    );
     assert_eq!(a.instructions, d.instructions);
     assert_eq!(a.coh.l1d_reads, d.coh.l1d_reads);
     // Dir_kB collects acks from everyone: strictly more ack traffic
@@ -180,8 +206,17 @@ fn workload_barrier_structure_is_executable() {
 #[test]
 fn end_to_end_determinism() {
     let go = || {
-        let r = atac::run_benchmark(&cfg(Arch::atac_plus()), Benchmark::OceanNonContig, Scale::Test);
-        (r.cycles, r.net.flits_injected, r.coh.inv_broadcasts, r.energy.total().value().to_bits())
+        let r = atac::run_benchmark(
+            &cfg(Arch::atac_plus()),
+            Benchmark::OceanNonContig,
+            Scale::Test,
+        );
+        (
+            r.cycles,
+            r.net.flits_injected,
+            r.coh.inv_broadcasts,
+            r.energy.total().value().to_bits(),
+        )
     };
     assert_eq!(go(), go());
 }

@@ -6,7 +6,7 @@
 //! from silently regressing.
 
 use atac::net::harness::{run_synthetic, SyntheticConfig};
-use atac::net::{AtacNet, Network, ReceiveNet, RoutingPolicy};
+use atac::net::{AtacNet, ReceiveNet, RoutingPolicy};
 use atac::prelude::*;
 use atac::sim::energy::integrate;
 
@@ -27,7 +27,9 @@ fn scenario_energy_ordering_on_real_run() {
             scenario: s,
             ..base.clone()
         };
-        integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc).network().value()
+        integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc)
+            .network()
+            .value()
     };
     let ideal = net_energy(PhotonicScenario::Ideal);
     let practical = net_energy(PhotonicScenario::Practical);
@@ -35,7 +37,11 @@ fn scenario_energy_ordering_on_real_run() {
     let cons = net_energy(PhotonicScenario::Conservative);
     assert!(ideal <= practical && practical < tuned && tuned < cons);
     // Fig. 7's headline: ATAC+ ≈ ATAC+(Ideal).
-    assert!(practical / ideal < 1.2, "practical/ideal {}", practical / ideal);
+    assert!(
+        practical / ideal < 1.2,
+        "practical/ideal {}",
+        practical / ideal
+    );
 }
 
 /// §V-C: "the cache energy dominates (>75%) the combined total energy"
@@ -59,13 +65,18 @@ fn waveguide_loss_raises_energy_then_clamps() {
             waveguide_loss_db: Some(db),
             ..base.clone()
         };
-        integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc).laser.value()
+        integrate(&cfg, &r.net, &r.coh, r.cycles, r.ipc)
+            .laser
+            .value()
     };
     assert!(e(8.0) > e(1.6), "loss must raise laser energy");
     // far beyond the clamp, energy stops growing
     let hi = e(60.0);
     let higher = e(70.0);
-    assert!((higher - hi).abs() < 1e-12 * hi.max(1e-30), "clamp must flatten the tail");
+    assert!(
+        (higher - hi).abs() < 1e-12 * hi.max(1e-30),
+        "clamp must flatten the tail"
+    );
 }
 
 /// Fig. 15's mechanism at small scale: ACKwise runtime is *not* a strong
