@@ -1,14 +1,15 @@
 //! Project-specific static analysis for the ATAC+ workspace.
 //!
-//! Four rules, all enforced line/token-wise on the raw source text (so
+//! Five rules, all enforced line/token-wise on the raw source text (so
 //! they see code inside macro invocations, which `syn`-style tooling
 //! would not without expansion — and this crate must build with zero
 //! dependencies):
 //!
-//! 1. **`raw-f64`** — public functions in `crates/phys` and `crates/sim`
-//!    whose name (or a parameter name) speaks of energy, power, or time
-//!    must not traffic in bare `f64`; they must use the unit newtypes
-//!    from `atac_phys::units`. Waive with `// audit: allow(raw-f64)`.
+//! 1. **`raw-f64`** — public functions in `crates/phys`, `crates/sim`
+//!    and `crates/trace` whose name (or a parameter name) speaks of
+//!    energy, power, or time must not traffic in bare `f64`; they must
+//!    use the unit newtypes from `atac_phys::units`. Waive with
+//!    `// audit: allow(raw-f64)`.
 //! 2. **`counter-coverage`** — every counter field of `CoherenceStats`
 //!    and `NetStats` must either be read by the energy integration in
 //!    `crates/sim/src/energy.rs` or carry an explicit
@@ -23,6 +24,12 @@
 //!    simulator hot paths need a same-line or line-above
 //!    `// audit: allow(unwrap|expect|cast) <reason>` waiver naming the
 //!    invariant that makes them safe.
+//! 5. **`probe-api`** — instrumentation in hot paths must go through the
+//!    `atac_trace::ProbeHandle` forwarders: no direct `.borrow_mut(`
+//!    probe access (which would bypass the one-branch disabled-probe
+//!    guarantee) and no raw `*_samples.push(…)` sample vectors (latency
+//!    observations belong in a mergeable `Histogram`). Waive with
+//!    `// audit: allow(probe) <reason>`.
 //!
 //! The binary (`cargo run -p atac-audit`) exits non-zero on any
 //! violation; the same pass runs under `cargo test` via
@@ -39,7 +46,7 @@ pub struct Violation {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`raw-f64`, `counter-coverage`, `wildcard-arm`,
-    /// `hot-path`).
+    /// `hot-path`, `probe-api`).
     pub rule: &'static str,
     /// Human-readable description of the problem and the fix.
     pub message: String,
@@ -80,6 +87,11 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/sim/src/energy.rs",
 ];
 
+/// Files rule 5 checks beyond [`HOT_PATH_FILES`]: instrumentation-heavy
+/// code that is not panic/cast-sensitive but must still use the probe
+/// API rather than ad-hoc sample collection.
+const PROBE_API_EXTRA_FILES: &[&str] = &["crates/net/src/harness.rs"];
+
 /// Keywords marking a function (or parameter) as an energy/power/time
 /// API for rule 1.
 const UNIT_KEYWORDS: &[&str] = &[
@@ -95,7 +107,7 @@ pub fn audit_workspace(root: &Path) -> Vec<Violation> {
     let mut v = Vec::new();
 
     // Rule 1 over every source file of the unit-bearing crates.
-    for dir in ["crates/phys/src", "crates/sim/src"] {
+    for dir in ["crates/phys/src", "crates/sim/src", "crates/trace/src"] {
         for file in rust_files(&root.join(dir)) {
             let rel = rel_path(root, &file);
             let text = read(&file);
@@ -124,6 +136,12 @@ pub fn audit_workspace(root: &Path) -> Vec<Violation> {
     for rel in HOT_PATH_FILES {
         let text = read(&root.join(rel));
         check_hot_path(rel, &text, &mut v);
+    }
+
+    // Rule 5.
+    for rel in HOT_PATH_FILES.iter().chain(PROBE_API_EXTRA_FILES) {
+        let text = read(&root.join(rel));
+        check_probe_api(rel, &text, &mut v);
     }
 
     v.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -559,6 +577,56 @@ fn has_lossy_cast(code: &str) -> bool {
 }
 
 // ----------------------------------------------------------------------
+// Rule 5: hot-path instrumentation goes through the probe API
+// ----------------------------------------------------------------------
+
+fn check_probe_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let test_start = test_region_start(&lines);
+    for idx in 0..test_start {
+        let (code, _) = split_comment(lines[idx]);
+
+        if code.contains(".borrow_mut(") && !has_waiver(&lines, idx, "probe") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "probe-api",
+                message: "direct `.borrow_mut()` in an instrumented hot path; dispatch \
+                          events through the `ProbeHandle` forwarders (one disabled-probe \
+                          branch) or waive with `// audit: allow(probe) <reason>`"
+                    .to_string(),
+            });
+        }
+
+        if pushes_sample_vec(code) && !has_waiver(&lines, idx, "probe") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "probe-api",
+                message: "raw `*_samples.push(…)` in an instrumented hot path; record \
+                          into an `atac_trace::Histogram` (mergeable, constant-size) or \
+                          waive with `// audit: allow(probe) <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Does `code` push onto an identifier ending in `_samples`?
+fn pushes_sample_vec(code: &str) -> bool {
+    for (pos, _) in code.match_indices(".push(") {
+        let before = &code[..pos];
+        let ident_start = before
+            .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map_or(0, |p| p + 1);
+        if before[ident_start..].ends_with("_samples") {
+            return true;
+        }
+    }
+    false
+}
+
+// ----------------------------------------------------------------------
 // Tests: each rule must fire on a seeded violation and stay quiet on
 // clean input; the shipped tree must audit clean.
 // ----------------------------------------------------------------------
@@ -732,6 +800,45 @@ pub struct NetStats {\n\
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { q.pop().unwrap(); }\n}\n";
         let mut v = Vec::new();
         check_hot_path("h.rs", src, &mut v);
+        assert!(v.is_empty());
+    }
+
+    // ---- rule 5 ----
+
+    #[test]
+    fn probe_api_borrow_mut_fires_and_waives() {
+        let bad = "self.probe.as_ref().map(|p| p.borrow_mut().net_deliver(&ev));\n";
+        let mut v = Vec::new();
+        check_probe_api("n.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "probe-api");
+
+        let waived = "// audit: allow(probe) collector drained once at shutdown, cold path\n\
+                      let mut c = collector.borrow_mut();\n";
+        let mut v = Vec::new();
+        check_probe_api("n.rs", waived, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn probe_api_sample_vec_fires() {
+        let bad = "lat_samples.push(d.at - gen_time[t]);\n";
+        let mut v = Vec::new();
+        check_probe_api("h.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Histogram"));
+        // Pushing to anything else is fine.
+        let ok = "deliveries.push(d);\nheap.push(Reverse((now, c)));\n";
+        let mut v = Vec::new();
+        check_probe_api("h.rs", ok, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn probe_api_skips_test_module() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { probe.borrow_mut().tick(); }\n}\n";
+        let mut v = Vec::new();
+        check_probe_api("n.rs", src, &mut v);
         assert!(v.is_empty());
     }
 

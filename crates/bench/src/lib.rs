@@ -23,6 +23,7 @@ use atac::net::NetStats;
 use atac::phys::units::{JouleSeconds, Seconds};
 use atac::prelude::*;
 use atac::sim::energy::integrate;
+use atac::trace::TraceCollector;
 
 pub mod runjson;
 
@@ -40,6 +41,11 @@ pub struct RunRecord {
     pub net: NetStats,
     /// Memory-subsystem event counters.
     pub coh: CoherenceStats,
+    /// Per-class message-latency distributions, keyed
+    /// `"<subnet>/<kind>"` (e.g. `"onet/broadcast"`), in the collector's
+    /// display order. Histograms merge across runs, so records can be
+    /// aggregated without the raw samples.
+    pub latency: Vec<(String, atac::trace::Histogram)>,
 }
 
 impl RunRecord {
@@ -105,18 +111,29 @@ pub fn run_cached(cfg: &SimConfig, bench: Benchmark) -> RunRecord {
     }
     eprintln!("  [sim] {key}");
     let start = std::time::Instant::now();
-    let result = atac::run_benchmark(cfg, bench, Scale::Paper);
+    // Metrics-only collector: per-class latency histograms ride along in
+    // the cache (no spans, no epochs — pure counters + histograms).
+    let collector = std::rc::Rc::new(std::cell::RefCell::new(TraceCollector::metrics_only()));
+    let probe = ProbeHandle::attach(std::rc::Rc::clone(&collector));
+    let result = atac::run_benchmark_traced(cfg, bench, Scale::Paper, probe, None);
     eprintln!(
         "  [sim] {key} done in {:.1}s ({} cycles)",
         start.elapsed().as_secs_f64(),
         result.cycles
     );
+    let latency = collector
+        .borrow()
+        .net_histograms()
+        .into_iter()
+        .map(|(s, k, h)| (format!("{}/{}", s.name(), k.name()), h.clone()))
+        .collect();
     let rec = RunRecord {
         cycles: result.cycles,
         instructions: result.instructions,
         ipc: result.ipc,
         net: result.net,
         coh: result.coh,
+        latency,
     };
     let _ = fs::create_dir_all(cache_dir());
     let _ = fs::write(&path, runjson::encode(&rec));

@@ -11,11 +11,29 @@
 //! keys differ from the current `FIELD_NAMES` (older or newer code) is
 //! rejected, which the cache layer treats as "stale, re-simulate". That
 //! is the safe failure mode for a results cache.
+//!
+//! Records carry a sixth key, `latency`: one log-bucketed histogram per
+//! message class (`"<subnet>/<kind>"` → `count`/`sum`/`max`/`buckets`,
+//! buckets trimmed of trailing zeros). The class set must match the
+//! current `Subnet`/`TrafficKind` vocabulary exactly — like a counter
+//! rename, a class mismatch marks the record stale.
 
 use atac::coherence::CoherenceStats;
 use atac::net::NetStats;
+use atac::trace::{Histogram, Subnet, TrafficKind};
 
 use crate::RunRecord;
+
+/// The class keys a current-version record must carry, display order.
+fn expected_classes() -> Vec<String> {
+    let mut v = Vec::with_capacity(8);
+    for s in Subnet::ALL {
+        for k in TrafficKind::ALL {
+            v.push(format!("{}/{}", s.name(), k.name()));
+        }
+    }
+    v
+}
 
 /// Serialize a record to pretty-printed JSON.
 pub fn encode(rec: &RunRecord) -> String {
@@ -29,6 +47,19 @@ pub fn encode(rec: &RunRecord) -> String {
     out.push_str("  },\n");
     out.push_str("  \"coh\": {\n");
     push_counters(&mut out, &rec.coh.fields());
+    out.push_str("  },\n");
+    out.push_str("  \"latency\": {\n");
+    for (i, (class, h)) in rec.latency.iter().enumerate() {
+        let comma = if i + 1 == rec.latency.len() { "" } else { "," };
+        let buckets: Vec<String> = h.nonzero_buckets().iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "    \"{class}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}{comma}\n",
+            h.count(),
+            h.sum(),
+            h.max(),
+            buckets.join(", ")
+        ));
+    }
     out.push_str("  }\n}\n");
     out
 }
@@ -129,6 +160,84 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// A `[u64, ...]` array.
+    fn u64_array(&mut self) -> Option<Vec<u64>> {
+        self.eat('[')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with(']') {
+                self.pos += 1;
+                return Some(out);
+            }
+            if !out.is_empty() {
+                self.eat(',')?;
+            }
+            out.push(self.number()?.parse().ok()?);
+        }
+    }
+
+    /// One serialized histogram; `from_raw` re-checks the bucket/count
+    /// invariant, so corrupted records fail here rather than load.
+    fn histogram(&mut self) -> Option<Histogram> {
+        self.eat('{')?;
+        let (mut count, mut sum, mut max, mut buckets) = (None, None, None, None);
+        let mut n = 0usize;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with('}') {
+                self.pos += 1;
+                break;
+            }
+            if n > 0 {
+                self.eat(',')?;
+            }
+            match self.key()? {
+                "count" => count = Some(self.number()?.parse().ok()?),
+                "sum" => sum = Some(self.number()?.parse().ok()?),
+                "max" => max = Some(self.number()?.parse().ok()?),
+                "buckets" => buckets = Some(self.u64_array()?),
+                _ => return None,
+            }
+            n += 1;
+        }
+        Histogram::from_raw(count?, sum?, max?, &buckets?)
+    }
+
+    /// The `latency` object: class → histogram, exact class set.
+    fn latency(&mut self) -> Option<Vec<(String, Histogram)>> {
+        self.eat('{')?;
+        let mut out: Vec<(String, Histogram)> = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with('}') {
+                self.pos += 1;
+                break;
+            }
+            if !out.is_empty() {
+                self.eat(',')?;
+            }
+            let class = self.key()?.to_string();
+            let h = self.histogram()?;
+            out.push((class, h));
+        }
+        let expected = expected_classes();
+        if out.len() != expected.len() {
+            return None; // stale class vocabulary
+        }
+        for (class, _) in &out {
+            if !expected.contains(class) {
+                return None;
+            }
+        }
+        let distinct: std::collections::BTreeSet<&str> =
+            out.iter().map(|(c, _)| c.as_str()).collect();
+        if distinct.len() != out.len() {
+            return None; // duplicate class keys
+        }
+        Some(out)
+    }
+
     fn record(&mut self) -> Option<RunRecord> {
         self.eat('{')?;
         let mut rec = RunRecord {
@@ -137,6 +246,7 @@ impl<'a> Parser<'a> {
             ipc: 0.0,
             net: NetStats::default(),
             coh: CoherenceStats::default(),
+            latency: Vec::new(),
         };
         let mut seen = 0usize;
         loop {
@@ -164,14 +274,15 @@ impl<'a> Parser<'a> {
                         return None;
                     }
                 }
+                "latency" => rec.latency = self.latency()?,
                 _ => return None,
             }
             seen += 1;
         }
-        if seen == 5 {
+        if seen == 6 {
             Some(rec)
         } else {
-            None
+            None // pre-histogram 5-key records are stale by design
         }
     }
 }
@@ -187,12 +298,24 @@ mod tests {
         let mut coh = CoherenceStats::default();
         coh.set_field("dir_lookups", 99);
         coh.set_field("seq_buffered_unicasts", 3);
+        let latency = expected_classes()
+            .into_iter()
+            .enumerate()
+            .map(|(i, class)| {
+                let mut h = Histogram::new();
+                for v in 0..(i as u64 * 10) {
+                    h.record(v * v);
+                }
+                (class, h)
+            })
+            .collect();
         RunRecord {
             cycles: 500_000,
             instructions: 1_000_000,
             ipc: 0.312_5,
             net,
             coh,
+            latency,
         }
     }
 
@@ -206,6 +329,35 @@ mod tests {
         assert_eq!(back.ipc.to_bits(), rec.ipc.to_bits());
         assert_eq!(back.net, rec.net);
         assert_eq!(back.coh, rec.coh);
+        assert_eq!(back.latency, rec.latency);
+    }
+
+    #[test]
+    fn rejects_stale_class_vocabulary_and_corrupt_buckets() {
+        // Renamed class → stale.
+        let text = encode(&sample()).replace("starnet/unicast", "tachyon/unicast");
+        assert!(decode(&text).is_none());
+        // Bucket totals disagreeing with count → from_raw fails → stale.
+        let rec = sample();
+        let text = encode(&rec);
+        let class = &rec.latency.last().expect("classes").0;
+        let needle = format!(
+            "\"{class}\": {{\"count\": {}",
+            rec.latency.last().unwrap().1.count()
+        );
+        let tampered = text.replace(&needle, &format!("\"{class}\": {{\"count\": 1"));
+        assert_ne!(tampered, text, "tamper target must exist");
+        assert!(decode(&tampered).is_none());
+    }
+
+    #[test]
+    fn rejects_five_key_records_from_older_versions() {
+        // Strip the latency object wholesale: old-format record → stale.
+        let text = encode(&sample());
+        let cut = text.find("  \"latency\"").expect("latency key present");
+        let mut old = text[..cut].trim_end().trim_end_matches(',').to_string();
+        old.push_str("\n}\n");
+        assert!(decode(&old).is_none());
     }
 
     #[test]

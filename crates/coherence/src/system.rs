@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use atac_net::{CoreId, Cycle, Delivery, Dest, Message, Network, Topology};
+use atac_trace::{ProbeHandle, TxnEvent, TxnPhase};
 
 use crate::addr::Addr;
 use crate::cache::{LineState, SetAssocCache, Victim};
@@ -132,6 +133,9 @@ pub struct MemorySystem {
     outbox_is_active: Vec<bool>,
     /// Event counters.
     pub stats: CoherenceStats,
+    /// Observability probe (disabled by default; reports transaction
+    /// lifecycle phases, never alters protocol behavior).
+    probe: ProbeHandle,
 }
 
 impl MemorySystem {
@@ -152,12 +156,24 @@ impl MemorySystem {
             outbox_active: Vec::new(),
             outbox_is_active: vec![false; n],
             stats: CoherenceStats::default(),
+            probe: ProbeHandle::default(),
         }
     }
 
     /// The protocol in use.
     pub fn protocol(&self) -> ProtocolKind {
         self.protocol
+    }
+
+    /// Attach an observability probe.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
+    }
+
+    /// Messages currently queued across every per-core outbox (the
+    /// epoch sampler's coherence-layer queue-depth observable).
+    pub fn outbox_depth(&self) -> usize {
+        self.outbox_msgs
     }
 
     // ------------------------------------------------------------------
@@ -327,6 +343,11 @@ impl MemorySystem {
             // ---- directory-bound ----
             CohKind::ShReq | CohKind::ExReq => {
                 debug_assert_eq!(receiver, p.addr.home(&self.topo));
+                self.probe.txn(&TxnEvent {
+                    core: u32::from(d.msg.src.0),
+                    phase: TxnPhase::DirSeen,
+                    at: now,
+                });
                 self.dir_request(
                     p.addr,
                     WaitingReq {
@@ -368,6 +389,19 @@ impl MemorySystem {
             | CohKind::UpgradeRep
             | CohKind::WbReq
             | CohKind::FlushReq => {
+                // Data-return phase: the reply reached the requester's
+                // tile (recorded even if §IV-C-1 ordering holds it
+                // briefly before the fill).
+                if matches!(
+                    p.kind,
+                    CohKind::ShRep | CohKind::ExRep | CohKind::UpgradeRep
+                ) {
+                    self.probe.txn(&TxnEvent {
+                        core: u32::from(receiver.0),
+                        phase: TxnPhase::DataReturn,
+                        at: now,
+                    });
+                }
                 let home = d.msg.src;
                 if seq_newer(p.seq, self.cores[receiver.idx()].last_bcast[home.idx()]) {
                     // A broadcast sent before this unicast is still in

@@ -36,7 +36,14 @@ USAGE:
                    [--scale test|paper] [--protocol ackwise<k>|dir<k>b]
                    [--scenario ideal|practical|ringtuned|cons]
                    [--flit <bits>] [--ndd <0..1>]
+                   [--metrics-out <file.jsonl>] [--trace-out <file.json>]
+                   [--epoch-cycles <n>]
   atac-cli compare --bench <name> [--cores 64|256|1024] [--scale test|paper]
+
+TRACING:
+  --metrics-out  write latency histograms + epoch metrics as JSONL
+  --trace-out    write a Chrome trace-event file (open at ui.perfetto.dev)
+  --epoch-cycles sample laser/link/queue/energy time series every <n> cycles
 
 ARCHITECTURES: atac+ | atac | emesh-bcast | emesh-pure | distance-<i>
 BENCHMARKS:    dynamic_graph radix barnes fmm ocean_contig lu_contig
@@ -117,6 +124,16 @@ struct RunSpec {
     bench: Benchmark,
     cfg: SimConfig,
     scale: Scale,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    epoch_cycles: Option<u64>,
+}
+
+impl RunSpec {
+    /// Any tracing output requested?
+    fn traced(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.epoch_cycles.is_some()
+    }
 }
 
 fn parse_run(args: &[String]) -> Result<RunSpec, String> {
@@ -126,6 +143,9 @@ fn parse_run(args: &[String]) -> Result<RunSpec, String> {
         ..SimConfig::default()
     };
     let mut scale = Scale::Paper;
+    let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut epoch_cycles = None;
     for (k, v) in flags(args)? {
         match k.as_str() {
             "bench" => bench = Some(parse_bench(&v)?),
@@ -142,6 +162,15 @@ fn parse_run(args: &[String]) -> Result<RunSpec, String> {
                     _ => return Err("scale is 'test' or 'paper'".into()),
                 }
             }
+            "metrics-out" => metrics_out = Some(v),
+            "trace-out" => trace_out = Some(v),
+            "epoch-cycles" => {
+                let n: u64 = v.parse().map_err(|_| "bad epoch length".to_string())?;
+                if n == 0 {
+                    return Err("--epoch-cycles must be > 0".into());
+                }
+                epoch_cycles = Some(n);
+            }
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -149,6 +178,9 @@ fn parse_run(args: &[String]) -> Result<RunSpec, String> {
         bench: bench.ok_or("--bench is required")?,
         cfg,
         scale,
+        metrics_out,
+        trace_out,
+        epoch_cycles,
     })
 }
 
@@ -198,6 +230,7 @@ fn report(r: &SimResult, cfg: &SimConfig) {
 
 fn cmd_run(args: &[String]) -> i32 {
     match parse_run(args) {
+        Ok(spec) if spec.traced() => cmd_run_traced(&spec),
         Ok(spec) => {
             let r = atac::run_benchmark(&spec.cfg, spec.bench, spec.scale);
             report(&r, &spec.cfg);
@@ -208,6 +241,45 @@ fn cmd_run(args: &[String]) -> i32 {
             2
         }
     }
+}
+
+fn cmd_run_traced(spec: &RunSpec) -> i32 {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let collector = Rc::new(RefCell::new(TraceCollector::new()));
+    let probe = ProbeHandle::attach(Rc::clone(&collector));
+    let r = atac::run_benchmark_traced(&spec.cfg, spec.bench, spec.scale, probe, spec.epoch_cycles);
+    report(&r, &spec.cfg);
+
+    let c = collector.borrow();
+    println!("\nlatency percentiles (cycles):");
+    for (subnet, kind, h) in c.net_histograms() {
+        if !h.is_empty() {
+            let class = format!("{}/{}", subnet.name(), kind.name());
+            println!("  {}", atac::trace::percentile_row(&class, h));
+        }
+    }
+    for (name, h) in c.txn_histograms() {
+        if !h.is_empty() {
+            println!("  {}", atac::trace::percentile_row(name, h));
+        }
+    }
+    if let Some(path) = &spec.metrics_out {
+        if let Err(e) = std::fs::write(path, atac::trace::metrics_jsonl(&c)) {
+            eprintln!("error: writing {path}: {e}");
+            return 1;
+        }
+        println!("metrics  -> {path}");
+    }
+    if let Some(path) = &spec.trace_out {
+        if let Err(e) = std::fs::write(path, atac::trace::chrome_trace(&c)) {
+            eprintln!("error: writing {path}: {e}");
+            return 1;
+        }
+        println!("trace    -> {path}  (load at ui.perfetto.dev)");
+    }
+    0
 }
 
 fn cmd_compare(args: &[String]) -> i32 {
@@ -296,6 +368,30 @@ mod tests {
         assert!(parse_run(&s(&[])).is_err(), "--bench required");
         assert!(parse_arch("warp-drive").is_err());
         assert!(parse_protocol("mesi").is_err());
+    }
+
+    #[test]
+    fn parses_tracing_flags() {
+        let spec = parse_run(&s(&[
+            "--bench",
+            "radix",
+            "--metrics-out",
+            "m.jsonl",
+            "--trace-out",
+            "t.json",
+            "--epoch-cycles",
+            "5000",
+        ]))
+        .expect("parses");
+        assert!(spec.traced());
+        assert_eq!(spec.metrics_out.as_deref(), Some("m.jsonl"));
+        assert_eq!(spec.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(spec.epoch_cycles, Some(5000));
+
+        let plain = parse_run(&s(&["--bench", "radix"])).expect("parses");
+        assert!(!plain.traced());
+        assert!(parse_run(&s(&["--bench", "radix", "--epoch-cycles", "0"])).is_err());
+        assert!(parse_run(&s(&["--bench", "radix", "--epoch-cycles", "soon"])).is_err());
     }
 
     #[test]

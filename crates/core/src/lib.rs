@@ -45,9 +45,11 @@ pub use atac_coherence as coherence;
 pub use atac_net as net;
 pub use atac_phys as phys;
 pub use atac_sim as sim;
+pub use atac_trace as trace;
 pub use atac_workloads as workloads;
 
 pub use atac_sim::{run, Arch, EnergyBreakdown, SimConfig, SimResult};
+pub use atac_trace::{ProbeHandle, TraceCollector};
 pub use atac_workloads::{Benchmark, Scale};
 
 /// Everything needed to configure and run an experiment.
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use crate::phys::units::{JouleSeconds, Joules, Seconds, Watts};
     pub use crate::phys::PhotonicScenario;
     pub use crate::sim::{run, Arch, EnergyBreakdown, SimConfig, SimResult};
+    pub use crate::trace::{ProbeHandle, TraceCollector};
     pub use crate::workloads::{Benchmark, Scale};
 }
 
@@ -65,6 +68,21 @@ pub mod prelude {
 pub fn run_benchmark(cfg: &SimConfig, benchmark: Benchmark, scale: Scale) -> SimResult {
     let workload = benchmark.build(cfg.topo.cores(), scale);
     atac_sim::run(cfg, &workload)
+}
+
+/// [`run_benchmark`] with instrumentation: events flow to `probe`, and
+/// `epoch_cycles` (if set) enables the engine's epoch sampler. With a
+/// disabled probe this returns a result bit-identical to
+/// [`run_benchmark`].
+pub fn run_benchmark_traced(
+    cfg: &SimConfig,
+    benchmark: Benchmark,
+    scale: Scale,
+    probe: ProbeHandle,
+    epoch_cycles: Option<u64>,
+) -> SimResult {
+    let workload = benchmark.build(cfg.topo.cores(), scale);
+    atac_sim::run_with_probe(cfg, &workload, probe, epoch_cycles)
 }
 
 #[cfg(test)]

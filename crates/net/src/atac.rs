@@ -24,6 +24,7 @@ use crate::onet::Onet;
 use crate::stats::NetStats;
 use crate::topology::Topology;
 use crate::types::{Cycle, Delivery, Dest, Message};
+use atac_trace::{ProbeHandle, Subnet};
 
 /// Unicast routing policy for inter-cluster traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,11 @@ pub trait Network {
     fn stats(&self) -> NetStats;
     /// Architecture name for reports.
     fn name(&self) -> &'static str;
+    /// Attach an observability probe (default: ignored). Probes observe
+    /// deliveries and transmissions; they never affect timing.
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        let _ = probe;
+    }
 }
 
 impl Network for Mesh {
@@ -104,6 +110,9 @@ impl Network for Mesh {
             MeshKind::Pure => "EMesh-Pure",
             MeshKind::BcastTree => "EMesh-BCast",
         }
+    }
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        Mesh::set_probe(self, probe);
     }
 }
 
@@ -253,6 +262,15 @@ impl Network for AtacNet {
             (RoutingPolicy::Cluster, ReceiveNet::StarNet)
             | (RoutingPolicy::Distance(_) | RoutingPolicy::DistanceAll, _) => "ATAC+",
         }
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.enet.set_probe(probe.clone());
+        let recv = match self.receive_net {
+            ReceiveNet::BNet => Subnet::BNet,
+            ReceiveNet::StarNet => Subnet::StarNet,
+        };
+        self.onet.set_probe(probe, recv);
     }
 }
 

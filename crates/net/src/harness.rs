@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::atac::Network;
 use crate::types::{CoreId, Cycle, Delivery, Dest, Message, MessageClass};
+use atac_trace::Histogram;
 
 /// Configuration of one synthetic run.
 #[derive(Debug, Clone)]
@@ -54,10 +55,18 @@ impl Default for SyntheticConfig {
 #[derive(Debug, Clone)]
 pub struct SyntheticResult {
     /// Mean generation→delivery latency of packets generated in the
-    /// measurement window, in cycles.
+    /// measurement window, in cycles (exact: tracked as a running sum).
     pub avg_latency: f64,
-    /// 95th-percentile latency.
+    /// Median latency (log-bucket resolution).
+    pub p50_latency: u64,
+    /// 95th-percentile latency (log-bucket resolution).
     pub p95_latency: u64,
+    /// 99th-percentile latency (log-bucket resolution).
+    pub p99_latency: u64,
+    /// Exact maximum observed latency.
+    pub max_latency: u64,
+    /// The full generation→delivery latency distribution.
+    pub latency: Histogram,
     /// Packets generated during measurement.
     pub generated: u64,
     /// Deliveries observed for measured packets.
@@ -84,7 +93,7 @@ pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) ->
         (0..cores).map(|_| Default::default()).collect();
 
     let mut deliveries: Vec<Delivery> = Vec::new();
-    let mut lat_samples: Vec<u64> = Vec::new();
+    let mut latency = Histogram::new();
     let mut generated = 0u64;
     let mut delivered = 0u64;
     let mut delivered_flits = 0u64;
@@ -145,7 +154,7 @@ pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) ->
         for d in deliveries.drain(..) {
             if d.msg.token != 0 {
                 let t = (d.msg.token - 1) as usize;
-                lat_samples.push(d.at - gen_time[t]);
+                latency.record(d.at - gen_time[t]);
                 delivered += 1;
                 delivered_flits += u64::from(cfg.class.flits(net.flit_width()));
                 outstanding -= 1;
@@ -155,20 +164,13 @@ pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) ->
     }
 
     let saturated = outstanding > 0;
-    lat_samples.sort_unstable();
-    let avg_latency = if lat_samples.is_empty() {
-        0.0
-    } else {
-        lat_samples.iter().sum::<u64>() as f64 / lat_samples.len() as f64
-    };
-    let p95_latency = if lat_samples.is_empty() {
-        0
-    } else {
-        lat_samples[(lat_samples.len() - 1) * 95 / 100]
-    };
     SyntheticResult {
-        avg_latency,
-        p95_latency,
+        avg_latency: latency.mean(),
+        p50_latency: latency.p50(),
+        p95_latency: latency.p95(),
+        p99_latency: latency.p99(),
+        max_latency: latency.max(),
+        latency,
         generated,
         delivered,
         saturated,
@@ -236,6 +238,18 @@ mod tests {
         assert!(!r.saturated);
         assert!(r.avg_latency > 0.0);
         assert!(net.stats().onet_flits_sent > 0 || net.stats().link_traversals > 0);
+    }
+
+    #[test]
+    fn percentiles_accompany_the_mean() {
+        let mut net = Mesh::new(Topology::small(8, 4), MeshKind::BcastTree, 64, 4);
+        let r = run_synthetic(&mut net, &small_cfg(0.05));
+        assert_eq!(r.latency.count(), r.delivered);
+        assert!(r.p50_latency <= r.p95_latency);
+        assert!(r.p95_latency <= r.p99_latency);
+        assert!(r.p99_latency <= r.max_latency);
+        assert!(r.avg_latency <= r.max_latency as f64);
+        assert!((r.avg_latency - r.latency.mean()).abs() < 1e-12);
     }
 
     #[test]

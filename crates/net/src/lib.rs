@@ -21,6 +21,11 @@
 //! The [`harness`] module provides the open-loop synthetic-traffic driver
 //! used to regenerate the paper's Fig. 3 (latency vs. offered load per
 //! routing policy).
+//!
+//! Every network holds an `atac_trace::ProbeHandle` (disabled by
+//! default — one branch per probe point) and reports message deliveries
+//! and optical transmissions through it; attach one via
+//! [`atac::Network::set_probe`].
 
 pub mod atac;
 pub mod counters;
@@ -37,3 +42,7 @@ pub use onet::Onet;
 pub use stats::NetStats;
 pub use topology::{Port, Topology};
 pub use types::{ClusterId, CoreId, Cycle, Delivery, Dest, Message, MessageClass};
+
+// Re-exported so downstream crates can attach probes without naming the
+// trace crate separately.
+pub use atac_trace::{Histogram, NullProbe, Probe, ProbeHandle};

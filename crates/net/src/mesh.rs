@@ -29,6 +29,7 @@ use std::collections::VecDeque;
 use crate::stats::NetStats;
 use crate::topology::{xy_route, Port, Topology};
 use crate::types::{ClusterId, CoreId, Cycle, Delivery, Dest, Message};
+use atac_trace::{NetDeliver, ProbeHandle, Subnet, TrafficKind};
 
 /// Mesh behaviour for broadcast traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +159,9 @@ pub struct Mesh {
     hub_used: Vec<u32>,
     /// Per-packet count of flits ejected locally (delivery assembly).
     pub stats: NetStats,
+    /// Observability probe (disabled by default; observers only, never
+    /// feeds back into routing or timing).
+    probe: ProbeHandle,
 }
 
 impl Mesh {
@@ -178,7 +182,14 @@ impl Mesh {
             hub_out: (0..topo.clusters()).map(|_| VecDeque::new()).collect(),
             hub_used: vec![0; topo.clusters()],
             stats: NetStats::default(),
+            probe: ProbeHandle::default(),
         }
+    }
+
+    /// Attach an observability probe; mesh deliveries report as
+    /// [`Subnet::ENet`].
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// The topology this mesh spans.
@@ -235,6 +246,14 @@ impl Mesh {
                 self.stats.unicast_received += 1;
                 self.stats.latency_sum += 1;
                 self.stats.latency_count += 1;
+                self.probe.net_deliver(&NetDeliver {
+                    subnet: Subnet::ENet,
+                    kind: TrafficKind::Unicast,
+                    src: u32::from(msg.src.0),
+                    dst: u32::from(dst.0),
+                    inject: now,
+                    at: now + 1,
+                });
                 self.deliveries.push(Delivery {
                     msg,
                     receiver: dst,
@@ -662,12 +681,26 @@ impl Mesh {
                 unreachable!("only ToCore ejects locally")
             }
         };
-        match pkt.msg.dest {
-            Dest::Unicast(_) => self.stats.unicast_received += 1,
-            Dest::Broadcast => self.stats.broadcast_received += 1,
-        }
+        let kind = match pkt.msg.dest {
+            Dest::Unicast(_) => {
+                self.stats.unicast_received += 1;
+                TrafficKind::Unicast
+            }
+            Dest::Broadcast => {
+                self.stats.broadcast_received += 1;
+                TrafficKind::Broadcast
+            }
+        };
         self.stats.latency_sum += now + 1 - pkt.inject;
         self.stats.latency_count += 1;
+        self.probe.net_deliver(&NetDeliver {
+            subnet: Subnet::ENet,
+            kind,
+            src: u32::from(pkt.msg.src.0),
+            dst: u32::from(receiver.0),
+            inject: pkt.inject,
+            at: now + 1,
+        });
         self.deliveries.push(Delivery {
             msg: pkt.msg,
             receiver,

@@ -33,6 +33,7 @@ use std::collections::VecDeque;
 use crate::stats::NetStats;
 use crate::topology::Topology;
 use crate::types::{ClusterId, Cycle, Delivery, Dest, Message};
+use atac_trace::{NetDeliver, OnetTx, ProbeHandle, Subnet, TrafficKind};
 
 /// ONet propagation latency in cycles (Table I).
 pub const ONET_LINK_DELAY: Cycle = 3;
@@ -109,6 +110,10 @@ pub struct Onet {
     deliveries: Vec<Delivery>,
     /// Counters (merged into the composite network's stats).
     pub stats: NetStats,
+    /// Observability probe (disabled by default; observers only).
+    probe: ProbeHandle,
+    /// Which receive-network flavor final deliveries report as.
+    recv_subnet: Subnet,
 }
 
 impl Onet {
@@ -127,7 +132,17 @@ impl Onet {
             rx: (0..h).map(|_| HubRx::default()).collect(),
             deliveries: Vec::new(),
             stats: NetStats::default(),
+            probe: ProbeHandle::default(),
+            recv_subnet: Subnet::StarNet,
         }
+    }
+
+    /// Attach an observability probe. Deliveries report as
+    /// `recv_subnet` (BNet or StarNet, the cluster receive network that
+    /// performs the final hop); transmissions report as ONet bursts.
+    pub fn set_probe(&mut self, probe: ProbeHandle, recv_subnet: Subnet) {
+        self.probe = probe;
+        self.recv_subnet = recv_subnet;
     }
 
     /// Number of hubs.
@@ -217,14 +232,23 @@ impl Onet {
             self.stats.onet_flits_sent += u64::from(tx.len);
             let external_rx = dests.iter().filter(|&&d| d != h).count() as u64;
             self.stats.onet_flit_receptions += u64::from(tx.len) * external_rx;
-            match tx.dest {
+            let kind = match tx.dest {
                 DestHubs::One(_) => {
                     self.stats.laser_unicast_cycles += u64::from(tx.len);
+                    TrafficKind::Unicast
                 }
                 DestHubs::All => {
                     self.stats.laser_broadcast_cycles += u64::from(tx.len);
+                    TrafficKind::Broadcast
                 }
-            }
+            };
+            self.probe.onet_tx(&OnetTx {
+                hub: h as u32, // audit: allow(cast) hub index < clusters ≤ 64
+                kind,
+                start,
+                end: until + ONET_LINK_DELAY,
+                flits: u64::from(tx.len),
+            });
             for &d in &dests {
                 self.rx[d].reserved_flits += u32::from(tx.len);
                 self.rx[d].q.push_back(RxPacket {
@@ -298,6 +322,14 @@ impl Onet {
                 self.stats.unicast_received += 1;
                 self.stats.latency_sum += at - pkt.inject;
                 self.stats.latency_count += 1;
+                self.probe.net_deliver(&NetDeliver {
+                    subnet: self.recv_subnet,
+                    kind: TrafficKind::Unicast,
+                    src: u32::from(pkt.msg.src.0),
+                    dst: u32::from(d.0),
+                    inject: pkt.inject,
+                    at,
+                });
                 self.deliveries.push(Delivery {
                     msg: pkt.msg,
                     receiver: d,
@@ -313,6 +345,14 @@ impl Onet {
                     self.stats.broadcast_received += 1;
                     self.stats.latency_sum += at - pkt.inject;
                     self.stats.latency_count += 1;
+                    self.probe.net_deliver(&NetDeliver {
+                        subnet: self.recv_subnet,
+                        kind: TrafficKind::Broadcast,
+                        src: u32::from(pkt.msg.src.0),
+                        dst: u32::from(c.0),
+                        inject: pkt.inject,
+                        at,
+                    });
                     self.deliveries.push(Delivery {
                         msg: pkt.msg,
                         receiver: c,

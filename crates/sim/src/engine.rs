@@ -18,9 +18,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use atac_coherence::{AccessResult, Addr, MemorySystem};
-use atac_net::{CoreId, Cycle, Delivery};
+use atac_coherence::{AccessResult, Addr, CoherenceStats, MemorySystem};
+use atac_net::{CoreId, Cycle, Delivery, NetStats, Network};
 use atac_phys::units::{JouleSeconds, Seconds};
+use atac_trace::{EpochSample, ProbeHandle, TxnEvent, TxnPhase};
 use atac_workloads::{BuiltWorkload, Op};
 
 use crate::config::SimConfig;
@@ -87,6 +88,23 @@ impl SimResult {
 
 /// Run one workload on one configuration to completion.
 pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
+    run_with_probe(cfg, workload, ProbeHandle::default(), None)
+}
+
+/// Run one workload with instrumentation attached.
+///
+/// `probe` receives message-delivery, optical-transmission and
+/// coherence-transaction lifecycle events from every layer; if
+/// `epoch_cycles` is `Some(n)` (and the probe is enabled) an epoch
+/// sampler additionally emits counter-delta time-series samples every
+/// `n` cycles. With a disabled probe this is exactly [`run`]: every
+/// probe point is a single dead branch and the result is bit-identical.
+pub fn run_with_probe(
+    cfg: &SimConfig,
+    workload: &BuiltWorkload,
+    probe: ProbeHandle,
+    epoch_cycles: Option<u64>,
+) -> SimResult {
     let n = cfg.topo.cores();
     assert_eq!(
         workload.scripts.len(),
@@ -97,6 +115,11 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
 
     let mut net = cfg.build_network();
     let mut ms = MemorySystem::new(cfg.topo, cfg.protocol);
+    net.set_probe(probe.clone());
+    ms.set_probe(probe.clone());
+    let mut sampler = epoch_cycles
+        .filter(|_| probe.is_enabled())
+        .map(|every| EpochSampler::new(every.max(1), cfg));
     let mut cores: Vec<CoreCtx> = (0..n)
         .map(|_| CoreCtx {
             pc: 0,
@@ -147,6 +170,11 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
                                 }
                                 AccessResult::Miss => {
                                     cores[ci].state = CoreState::BlockedOnMiss;
+                                    probe.txn(&TxnEvent {
+                                        core: u32::from(c),
+                                        phase: TxnPhase::Begin { write },
+                                        at: now,
+                                    });
                                 }
                             }
                         }
@@ -178,6 +206,11 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
         for c in completed.drain(..) {
             debug_assert_eq!(cores[c.idx()].state, CoreState::BlockedOnMiss);
             cores[c.idx()].state = CoreState::Scheduled;
+            probe.txn(&TxnEvent {
+                core: u32::from(c.0),
+                phase: TxnPhase::End,
+                at: now,
+            });
             heap.push(Reverse((now + 1, c.0)));
         }
 
@@ -209,6 +242,13 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
                 }
             }
         }
+
+        // --- epoch sampling (observers only; no simulator state) ---
+        if let Some(s) = sampler.as_mut() {
+            if now >= s.next {
+                s.close_epoch(now, cfg, net.as_ref(), &ms, &cores, &probe);
+            }
+        }
     }
 
     let cycles = now.max(1);
@@ -217,6 +257,12 @@ pub fn run(cfg: &SimConfig, workload: &BuiltWorkload) -> SimResult {
     let mut net_stats = net.stats();
     net_stats.cycles = cycles;
     let coh_stats = ms.stats.clone();
+    // Trailing partial epoch so the time series covers the whole run.
+    if let Some(s) = sampler.as_mut() {
+        if cycles > s.start {
+            s.close_epoch(cycles, cfg, net.as_ref(), &ms, &cores, &probe);
+        }
+    }
     let energy = integrate(cfg, &net_stats, &coh_stats, cycles, ipc);
     // Sanitizer: at simulation end everything must have drained — no
     // leaked payload-slab entries, held unicasts, queued outboxes, or
@@ -247,6 +293,123 @@ fn ifetch(ms: &mut MemorySystem, core: u16, ctx: &mut CoreCtx, instrs: u32) -> u
     ctx.instrs += u64::from(instrs);
     let lat = ms.ifetch_block(CoreId(core), addr, instrs);
     lat.saturating_sub(1) // a hit overlaps with execution
+}
+
+/// Field-wise counter delta between two [`NetStats`] snapshots.
+/// Saturating: laser mode-cycles are charged in bulk at transmission
+/// start, so a coalesced epoch can observe the charge before the cycles
+/// it covers have elapsed.
+fn net_delta(cur: &NetStats, prev: &NetStats) -> NetStats {
+    let mut d = NetStats::default();
+    for ((name, c), (_, p)) in cur.fields().into_iter().zip(prev.fields()) {
+        let known = d.set_field(name, c.saturating_sub(p));
+        debug_assert!(known, "unknown NetStats field {name}");
+    }
+    d
+}
+
+/// Field-wise counter delta between two [`CoherenceStats`] snapshots.
+fn coh_delta(cur: &CoherenceStats, prev: &CoherenceStats) -> CoherenceStats {
+    let mut d = CoherenceStats::default();
+    for ((name, c), (_, p)) in cur.fields().into_iter().zip(prev.fields()) {
+        let known = d.set_field(name, c.saturating_sub(p));
+        debug_assert!(known, "unknown CoherenceStats field {name}");
+    }
+    d
+}
+
+/// The engine's epoch sampler: snapshots the event counters every
+/// `every` cycles and emits the delta (plus instantaneous queue/stall
+/// state and the epoch's integrated energy) as an [`EpochSample`].
+///
+/// Sampling happens after the clock advance, so a skip-ahead jump that
+/// crosses several nominal boundaries produces one *coalesced* sample
+/// covering the whole jump — `EpochSample::start`/`end` record the
+/// actual span. The sampler only ever reads simulator state; it is
+/// constructed solely when a probe is attached, so untraced runs carry
+/// no per-cycle cost beyond one `Option` test.
+#[derive(Debug)]
+struct EpochSampler {
+    /// Nominal epoch length in cycles.
+    every: u64,
+    /// Next nominal boundary to sample at.
+    next: Cycle,
+    /// First cycle of the currently open epoch.
+    start: Cycle,
+    prev_net: NetStats,
+    prev_coh: CoherenceStats,
+    prev_instrs: u64,
+    /// Optical SWMR links on the chip (one per cluster hub; 0 for the
+    /// electrical meshes). Laser idle time per Table V is
+    /// `links × span − unicast − broadcast` mode cycles.
+    laser_links: u64,
+}
+
+impl EpochSampler {
+    fn new(every: u64, cfg: &SimConfig) -> Self {
+        EpochSampler {
+            every,
+            next: every,
+            start: 0,
+            prev_net: NetStats::default(),
+            prev_coh: CoherenceStats::default(),
+            prev_instrs: 0,
+            laser_links: if cfg.arch.is_optical() {
+                cfg.topo.clusters() as u64
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Close the epoch `[self.start, upto)`: emit its sample and roll
+    /// the counter snapshots forward. Callers guarantee `upto > start`.
+    fn close_epoch(
+        &mut self,
+        upto: Cycle,
+        cfg: &SimConfig,
+        net: &dyn Network,
+        ms: &MemorySystem,
+        cores: &[CoreCtx],
+        probe: &ProbeHandle,
+    ) {
+        debug_assert!(upto > self.start);
+        let cur_net = net.stats();
+        let cur_coh = ms.stats.clone();
+        let instrs: u64 = cores.iter().map(|c| c.instrs).sum();
+        let dnet = net_delta(&cur_net, &self.prev_net);
+        let dcoh = coh_delta(&cur_coh, &self.prev_coh);
+
+        let span = upto - self.start;
+        let epoch_ipc = (instrs - self.prev_instrs) as f64 / span as f64 / cfg.topo.cores() as f64;
+        let energy = integrate(cfg, &dnet, &dcoh, span, epoch_ipc).total();
+        let active = dnet.laser_unicast_cycles + dnet.laser_broadcast_cycles;
+        let stalled = cores
+            .iter()
+            .filter(|c| c.state == CoreState::BlockedOnMiss)
+            .count() as u64;
+
+        probe.epoch(&EpochSample {
+            start: self.start,
+            end: upto,
+            laser_idle_cycles: (span * self.laser_links).saturating_sub(active),
+            laser_unicast_cycles: dnet.laser_unicast_cycles,
+            laser_broadcast_cycles: dnet.laser_broadcast_cycles,
+            enet_link_traversals: dnet.link_traversals,
+            onet_flits_sent: dnet.onet_flits_sent,
+            receive_net_flits: dnet.receive_net_unicast_flits + dnet.receive_net_broadcast_flits,
+            flits_injected: dnet.flits_injected,
+            stalled_cores: stalled,
+            outbox_depth: ms.outbox_depth() as u64,
+            energy,
+        });
+
+        self.start = upto;
+        self.next = (upto / self.every + 1) * self.every;
+        self.prev_net = cur_net;
+        self.prev_coh = cur_coh;
+        self.prev_instrs = instrs;
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +489,64 @@ mod tests {
             pure.net.flits_injected,
             bcast.net.flits_injected
         );
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_reconciles() {
+        use atac_trace::TraceCollector;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let cfg = SimConfig::small();
+        let w = Benchmark::Radix.build(cfg.topo.cores(), Scale::Test);
+        let plain = run(&cfg, &w);
+
+        let collector = Rc::new(RefCell::new(TraceCollector::new()));
+        let probe = ProbeHandle::attach(Rc::clone(&collector));
+        let traced = run_with_probe(&cfg, &w, probe, Some(500));
+
+        // Probes are observers only: the traced result must be
+        // bit-identical to the untraced one.
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.instructions, traced.instructions);
+        assert_eq!(plain.ipc.to_bits(), traced.ipc.to_bits());
+        assert_eq!(plain.net.fields(), traced.net.fields());
+        assert_eq!(plain.coh.fields(), traced.coh.fields());
+        assert_eq!(
+            plain.energy.total().value().to_bits(),
+            traced.energy.total().value().to_bits()
+        );
+
+        let c = collector.borrow();
+        // Every delivery NetStats counted landed in a histogram.
+        assert_eq!(
+            c.total_net_deliveries(),
+            traced.net.unicast_received + traced.net.broadcast_received
+        );
+        // All transactions saw Begin..End; none left open.
+        assert_eq!(c.open_txn_count(), 0);
+        // Epochs tile the run: contiguous, ending at completion.
+        let epochs = c.epochs();
+        assert!(!epochs.is_empty());
+        assert_eq!(epochs[0].start, 0);
+        assert_eq!(epochs.last().unwrap().end, traced.cycles);
+        for pair in epochs.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Laser-mode occupancy (Table V): the per-epoch deltas telescope
+        // to the run totals, and idle stays within the link-cycle budget
+        // (mode cycles are charged in bulk at burst start, so one epoch
+        // may carry charge for cycles that elapse in the next).
+        let links = cfg.topo.clusters() as u64;
+        let uni: u64 = epochs.iter().map(|e| e.laser_unicast_cycles).sum();
+        let bcast: u64 = epochs.iter().map(|e| e.laser_broadcast_cycles).sum();
+        assert_eq!(uni, traced.net.laser_unicast_cycles);
+        assert_eq!(bcast, traced.net.laser_broadcast_cycles);
+        assert!(uni + bcast > 0, "radix on ATAC+ must use the ONet");
+        for e in epochs {
+            assert!(e.laser_idle_cycles <= links * e.span_cycles());
+            assert!(e.energy.value() > 0.0);
+        }
     }
 
     #[test]

@@ -15,10 +15,16 @@
 //!   [`engine::SimResult`].
 //! * [`energy`] — the cross-layer energy integration
 //!   ([`energy::EnergyBreakdown`]) with the paper's DD/NDD split.
+//!
+//! Observability: [`engine::run_with_probe`] threads an
+//! `atac_trace::ProbeHandle` through the network, coherence and engine
+//! layers and (optionally) drives an epoch sampler; [`engine::run`] is
+//! the same loop with a disabled probe and is bit-identical to it.
 pub mod config;
 pub mod energy;
 pub mod engine;
 
+pub use atac_trace::{ProbeHandle, TraceCollector};
 pub use config::{Arch, SimConfig};
 pub use energy::EnergyBreakdown;
-pub use engine::{run, SimResult};
+pub use engine::{run, run_with_probe, SimResult};

@@ -1,0 +1,49 @@
+//! Validate emitted trace files against the expected schema.
+//!
+//! Usage: `trace-schema-check <metrics.jsonl> [trace.json ...]`
+//!
+//! Files ending in `.jsonl` are checked as JSONL metrics documents;
+//! files ending in `.json` as Chrome trace-event documents. Exits
+//! non-zero (with a diagnostic on stderr) on the first violation. CI
+//! runs this against the artifacts of a small traced simulation.
+
+use std::process::ExitCode;
+
+use atac_trace::{validate_chrome_trace, validate_metrics_jsonl};
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-schema-check <metrics.jsonl> [trace.json ...]");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace-schema-check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let outcome = if path.ends_with(".jsonl") {
+            validate_metrics_jsonl(&text).map(|s| {
+                format!(
+                    "{} net histograms ({} deliveries), {} txn histograms, {} epochs",
+                    s.net_histograms, s.net_delivery_total, s.txn_histograms, s.epochs
+                )
+            })
+        } else if path.ends_with(".json") {
+            validate_chrome_trace(&text).map(|n| format!("{n} complete events"))
+        } else {
+            Err("unknown extension (expected .jsonl or .json)".to_string())
+        };
+        match outcome {
+            Ok(desc) => println!("trace-schema-check: {path}: OK ({desc})"),
+            Err(e) => {
+                eprintln!("trace-schema-check: {path}: schema violation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

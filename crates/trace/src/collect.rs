@@ -1,0 +1,361 @@
+//! The standard [`Probe`] implementation: histograms per message class
+//! and transaction type, Chrome-trace spans, and the epoch time series.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::probe::{
+    Cycle, EpochSample, NetDeliver, OnetTx, Probe, Subnet, TrafficKind, TxnEvent, TxnPhase,
+};
+
+/// Default cap on retained spans; beyond it spans are counted as
+/// dropped rather than stored, so long runs cannot exhaust memory.
+pub const DEFAULT_SPAN_CAPACITY: usize = 200_000;
+
+/// Which timeline a span belongs to in the Chrome-trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// Delivery span on one sub-network's timeline.
+    Subnet(Subnet),
+    /// Optical transmission burst (hub drives the waveguide).
+    OnetTx,
+    /// Coherence transaction on the issuing core's timeline.
+    Core(u32),
+}
+
+/// One finished interval for the Chrome-trace export.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Timeline this span renders on.
+    pub track: Track,
+    /// Human-readable label.
+    pub name: String,
+    /// First cycle of the interval.
+    pub start: Cycle,
+    /// Last cycle of the interval (inclusive end of activity).
+    pub end: Cycle,
+}
+
+/// A transaction in flight: `Begin` seen, `End` pending.
+#[derive(Debug, Clone, Copy)]
+struct OpenTxn {
+    begin: Cycle,
+    write: bool,
+    dir_seen: Option<Cycle>,
+    data_return: Option<Cycle>,
+}
+
+/// Collects every probe event into mergeable histograms, bounded span
+/// storage, and the epoch time series. Attach with
+/// [`crate::ProbeHandle::attach`], run the simulation, then read the
+/// accessors (or feed the collector to the exporters).
+#[derive(Debug)]
+pub struct TraceCollector {
+    /// Delivery-latency histograms indexed `[subnet][kind]`.
+    net_hist: [[Histogram; 2]; 4],
+    /// Full miss latency (Begin → End) for read transactions.
+    txn_read: Histogram,
+    /// Full miss latency (Begin → End) for write transactions.
+    txn_write: Histogram,
+    /// Request leg: Begin → directory arrival.
+    txn_request_leg: Histogram,
+    /// Reply leg: directory arrival → data return at the requester.
+    txn_reply_leg: Histogram,
+    epochs: Vec<EpochSample>,
+    spans: Vec<Span>,
+    /// 0 disables span collection entirely (metrics-only mode).
+    max_spans: usize,
+    dropped_spans: u64,
+    open_txns: BTreeMap<u32, OpenTxn>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// Collector with the default span capacity.
+    pub fn new() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Collector that keeps histograms and epochs but no spans (the
+    /// cheap mode the bench run-cache uses).
+    pub fn metrics_only() -> Self {
+        Self::with_span_capacity(0)
+    }
+
+    /// Collector retaining at most `max_spans` spans.
+    pub fn with_span_capacity(max_spans: usize) -> Self {
+        TraceCollector {
+            net_hist: Default::default(),
+            txn_read: Histogram::new(),
+            txn_write: Histogram::new(),
+            txn_request_leg: Histogram::new(),
+            txn_reply_leg: Histogram::new(),
+            epochs: Vec::new(),
+            spans: Vec::new(),
+            max_spans,
+            dropped_spans: 0,
+            open_txns: BTreeMap::new(),
+        }
+    }
+
+    /// Delivery-latency histogram for one message class.
+    pub fn net_histogram(&self, subnet: Subnet, kind: TrafficKind) -> &Histogram {
+        &self.net_hist[subnet.index()][kind.index()]
+    }
+
+    /// All eight (subnet, kind) histograms in display order.
+    pub fn net_histograms(&self) -> Vec<(Subnet, TrafficKind, &Histogram)> {
+        let mut out = Vec::with_capacity(8);
+        for s in Subnet::ALL {
+            for k in TrafficKind::ALL {
+                out.push((s, k, self.net_histogram(s, k)));
+            }
+        }
+        out
+    }
+
+    /// Total deliveries across every class; reconciles with
+    /// `NetStats::unicast_received + broadcast_received`.
+    pub fn total_net_deliveries(&self) -> u64 {
+        self.net_histograms()
+            .iter()
+            .map(|(_, _, h)| h.count())
+            .sum()
+    }
+
+    /// Transaction histograms as `(name, histogram)` pairs.
+    pub fn txn_histograms(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("read", &self.txn_read),
+            ("write", &self.txn_write),
+            ("request_to_directory", &self.txn_request_leg),
+            ("directory_to_data", &self.txn_reply_leg),
+        ]
+    }
+
+    /// The epoch time series, in order of emission.
+    pub fn epochs(&self) -> &[EpochSample] {
+        &self.epochs
+    }
+
+    /// Retained spans (bounded by the configured capacity).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans discarded after the capacity filled. Always 0 in
+    /// metrics-only mode, where span collection is off rather than
+    /// overflowing.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+
+    /// Transactions still open (Begin without End) — non-zero only if
+    /// the run ended mid-miss.
+    pub fn open_txn_count(&self) -> usize {
+        self.open_txns.len()
+    }
+
+    fn push_span(&mut self, make: impl FnOnce() -> Span) {
+        if self.max_spans == 0 {
+            return;
+        }
+        if self.spans.len() < self.max_spans {
+            self.spans.push(make());
+        } else {
+            self.dropped_spans += 1;
+        }
+    }
+}
+
+impl Probe for TraceCollector {
+    fn net_deliver(&mut self, ev: &NetDeliver) {
+        self.net_hist[ev.subnet.index()][ev.kind.index()].record(ev.latency_cycles());
+        let &NetDeliver {
+            subnet,
+            kind,
+            src,
+            dst,
+            inject,
+            at,
+        } = ev;
+        self.push_span(|| Span {
+            track: Track::Subnet(subnet),
+            name: format!("{} {} {src}->{dst}", subnet.name(), kind.name()),
+            start: inject,
+            end: at,
+        });
+    }
+
+    fn onet_tx(&mut self, ev: &OnetTx) {
+        let &OnetTx {
+            hub,
+            kind,
+            start,
+            end,
+            flits,
+        } = ev;
+        self.push_span(|| Span {
+            track: Track::OnetTx,
+            name: format!("hub {hub} {} x{flits}", kind.name()),
+            start,
+            end,
+        });
+    }
+
+    fn txn(&mut self, ev: &TxnEvent) {
+        match ev.phase {
+            TxnPhase::Begin { write } => {
+                self.open_txns.insert(
+                    ev.core,
+                    OpenTxn {
+                        begin: ev.at,
+                        write,
+                        dir_seen: None,
+                        data_return: None,
+                    },
+                );
+            }
+            TxnPhase::DirSeen => {
+                if let Some(t) = self.open_txns.get_mut(&ev.core) {
+                    if t.dir_seen.is_none() {
+                        t.dir_seen = Some(ev.at);
+                    }
+                }
+            }
+            TxnPhase::DataReturn => {
+                if let Some(t) = self.open_txns.get_mut(&ev.core) {
+                    if t.data_return.is_none() {
+                        t.data_return = Some(ev.at);
+                    }
+                }
+            }
+            TxnPhase::End => {
+                let Some(t) = self.open_txns.remove(&ev.core) else {
+                    return;
+                };
+                let total = ev.at.saturating_sub(t.begin);
+                if t.write {
+                    self.txn_write.record(total);
+                } else {
+                    self.txn_read.record(total);
+                }
+                if let Some(d) = t.dir_seen {
+                    self.txn_request_leg.record(d.saturating_sub(t.begin));
+                    if let Some(r) = t.data_return {
+                        self.txn_reply_leg.record(r.saturating_sub(d));
+                    }
+                }
+                let core = ev.core;
+                let label = if t.write { "write miss" } else { "read miss" };
+                let (start, end) = (t.begin, ev.at);
+                self.push_span(|| Span {
+                    track: Track::Core(core),
+                    name: label.to_string(),
+                    start,
+                    end,
+                });
+            }
+        }
+    }
+
+    fn epoch(&mut self, sample: &EpochSample) {
+        self.epochs.push(*sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(
+        c: &mut TraceCollector,
+        subnet: Subnet,
+        kind: TrafficKind,
+        inject: Cycle,
+        at: Cycle,
+    ) {
+        c.net_deliver(&NetDeliver {
+            subnet,
+            kind,
+            src: 1,
+            dst: 2,
+            inject,
+            at,
+        });
+    }
+
+    #[test]
+    fn deliveries_land_in_their_class_histogram() {
+        let mut c = TraceCollector::new();
+        deliver(&mut c, Subnet::ENet, TrafficKind::Unicast, 0, 5);
+        deliver(&mut c, Subnet::ENet, TrafficKind::Unicast, 10, 12);
+        deliver(&mut c, Subnet::StarNet, TrafficKind::Broadcast, 0, 40);
+        assert_eq!(
+            c.net_histogram(Subnet::ENet, TrafficKind::Unicast).count(),
+            2
+        );
+        assert_eq!(
+            c.net_histogram(Subnet::StarNet, TrafficKind::Broadcast)
+                .max(),
+            40
+        );
+        assert_eq!(c.total_net_deliveries(), 3);
+        assert_eq!(c.spans().len(), 3);
+    }
+
+    #[test]
+    fn txn_lifecycle_assembles_per_core() {
+        let mut c = TraceCollector::new();
+        let ev = |core, phase, at| TxnEvent { core, phase, at };
+        // Two interleaved transactions on different cores.
+        c.txn(&ev(0, TxnPhase::Begin { write: false }, 100));
+        c.txn(&ev(1, TxnPhase::Begin { write: true }, 105));
+        c.txn(&ev(0, TxnPhase::DirSeen, 110));
+        c.txn(&ev(1, TxnPhase::DirSeen, 112));
+        c.txn(&ev(0, TxnPhase::DataReturn, 130));
+        c.txn(&ev(0, TxnPhase::End, 132));
+        c.txn(&ev(1, TxnPhase::DataReturn, 140));
+        c.txn(&ev(1, TxnPhase::End, 141));
+        // End without Begin is ignored, not a panic.
+        c.txn(&ev(9, TxnPhase::End, 10));
+
+        let [(_, read), (_, write), (_, req), (_, reply)] = c.txn_histograms();
+        assert_eq!(read.count(), 1);
+        assert_eq!(read.sum(), 32);
+        assert_eq!(write.count(), 1);
+        assert_eq!(write.sum(), 36);
+        assert_eq!(req.count(), 2);
+        assert_eq!(req.sum(), 10 + 7);
+        assert_eq!(reply.count(), 2);
+        assert_eq!(reply.sum(), 20 + 28);
+        assert_eq!(read.count() + write.count(), 2);
+        assert_eq!(c.open_txn_count(), 0);
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let mut c = TraceCollector::with_span_capacity(2);
+        for i in 0..5 {
+            deliver(&mut c, Subnet::ENet, TrafficKind::Unicast, i, i + 1);
+        }
+        assert_eq!(c.spans().len(), 2);
+        assert_eq!(c.dropped_spans(), 3);
+        // Histograms are unaffected by the cap.
+        assert_eq!(c.total_net_deliveries(), 5);
+    }
+
+    #[test]
+    fn metrics_only_collects_no_spans() {
+        let mut c = TraceCollector::metrics_only();
+        deliver(&mut c, Subnet::ONet, TrafficKind::Unicast, 0, 9);
+        assert!(c.spans().is_empty());
+        assert_eq!(c.dropped_spans(), 0);
+        assert_eq!(c.total_net_deliveries(), 1);
+    }
+}

@@ -1,0 +1,482 @@
+//! Exporters for collected traces: a JSONL metrics file and a Chrome
+//! trace-event JSON (loadable in Perfetto / `chrome://tracing`), plus
+//! the schema validators the round-trip tests and CI use.
+//!
+//! Both formats are hand-serialized — the workspace builds offline with
+//! no serde — and both are re-parsed by [`crate::json`], so "what we
+//! write" and "what we validate" can never drift apart silently.
+
+use std::fmt::Write as _;
+
+use crate::collect::{TraceCollector, Track};
+use crate::hist::Histogram;
+use crate::json::{parse, Json};
+use crate::probe::Cycle;
+
+// ----------------------------------------------------------------------
+// JSONL metrics
+// ----------------------------------------------------------------------
+
+/// Serialize the collector's metrics as JSON Lines: one `meta` line,
+/// one `histogram` line per message class and transaction type, and one
+/// `epoch` line per epoch sample.
+pub fn metrics_jsonl(c: &TraceCollector) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"version\":1,\"spans\":{},\"dropped_spans\":{},\"epochs\":{}}}",
+        c.spans().len(),
+        c.dropped_spans(),
+        c.epochs().len()
+    );
+    for (subnet, kind, h) in c.net_histograms() {
+        push_histogram_line(
+            &mut out,
+            "net",
+            &format!("{}_{}", subnet.name(), kind.name()),
+            h,
+        );
+    }
+    for (name, h) in c.txn_histograms() {
+        push_histogram_line(&mut out, "txn", name, h);
+    }
+    for e in c.epochs() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"epoch\",\"start\":{},\"end\":{},\"laser_idle_cycles\":{},\
+             \"laser_unicast_cycles\":{},\"laser_broadcast_cycles\":{},\
+             \"enet_link_traversals\":{},\"onet_flits_sent\":{},\"receive_net_flits\":{},\
+             \"flits_injected\":{},\"stalled_cores\":{},\"outbox_depth\":{},\"energy_j\":{:e}}}",
+            e.start,
+            e.end,
+            e.laser_idle_cycles,
+            e.laser_unicast_cycles,
+            e.laser_broadcast_cycles,
+            e.enet_link_traversals,
+            e.onet_flits_sent,
+            e.receive_net_flits,
+            e.flits_injected,
+            e.stalled_cores,
+            e.outbox_depth,
+            e.energy.value()
+        );
+    }
+    out
+}
+
+fn push_histogram_line(out: &mut String, scope: &str, class: &str, h: &Histogram) {
+    let buckets: Vec<String> = h.nonzero_buckets().iter().map(u64::to_string).collect();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"histogram\",\"scope\":\"{scope}\",\"class\":\"{class}\",\
+         \"count\":{},\"sum\":{},\"max\":{},\"mean\":{:e},\
+         \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.sum(),
+        h.max(),
+        h.mean(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        buckets.join(",")
+    );
+}
+
+/// What a validated metrics file contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Number of `histogram` lines with scope `net`.
+    pub net_histograms: usize,
+    /// Number of `histogram` lines with scope `txn`.
+    pub txn_histograms: usize,
+    /// Σ `count` over the net-scope histograms (reconciles with
+    /// `NetStats` delivery counters).
+    pub net_delivery_total: u64,
+    /// Number of `epoch` lines.
+    pub epochs: usize,
+    /// Σ laser idle/unicast/broadcast cycles over every epoch line.
+    pub laser_mode_cycles: [u64; 3],
+}
+
+/// Validate a JSONL metrics document against the emitted schema.
+///
+/// Checks, per line: it parses as a JSON object, its `type` is known,
+/// every required key for that type is present with the right shape,
+/// histogram bucket totals equal their `count`, and quantiles are
+/// monotone. Returns a summary of what the file contained.
+pub fn validate_metrics_jsonl(text: &str) -> Result<MetricsSummary, String> {
+    let mut summary = MetricsSummary::default();
+    let mut saw_meta = false;
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing string `type`"))?;
+        match ty {
+            "meta" => {
+                for key in ["version", "spans", "dropped_spans", "epochs"] {
+                    require_u64(&v, key, n)?;
+                }
+                saw_meta = true;
+            }
+            "histogram" => {
+                let scope = v
+                    .get("scope")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: histogram missing `scope`"))?;
+                v.get("class")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: histogram missing `class`"))?;
+                let count = require_u64(&v, "count", n)?;
+                require_u64(&v, "sum", n)?;
+                let max = require_u64(&v, "max", n)?;
+                v.get("mean")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {n}: histogram missing `mean`"))?;
+                let p50 = require_u64(&v, "p50", n)?;
+                let p95 = require_u64(&v, "p95", n)?;
+                let p99 = require_u64(&v, "p99", n)?;
+                if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+                    return Err(format!("line {n}: quantiles not monotone"));
+                }
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("line {n}: histogram missing `buckets`"))?;
+                let mut total = 0u64;
+                for b in buckets {
+                    total += b
+                        .as_u64()
+                        .ok_or_else(|| format!("line {n}: non-integer bucket"))?;
+                }
+                if total != count {
+                    return Err(format!("line {n}: bucket total {total} != count {count}"));
+                }
+                match scope {
+                    "net" => {
+                        summary.net_histograms += 1;
+                        summary.net_delivery_total += count;
+                    }
+                    "txn" => summary.txn_histograms += 1,
+                    other => return Err(format!("line {n}: unknown scope `{other}`")),
+                }
+            }
+            "epoch" => {
+                let start = require_u64(&v, "start", n)?;
+                let end = require_u64(&v, "end", n)?;
+                if end < start {
+                    return Err(format!("line {n}: epoch end {end} < start {start}"));
+                }
+                for (i, key) in [
+                    "laser_idle_cycles",
+                    "laser_unicast_cycles",
+                    "laser_broadcast_cycles",
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    summary.laser_mode_cycles[i] += require_u64(&v, key, n)?;
+                }
+                for key in [
+                    "enet_link_traversals",
+                    "onet_flits_sent",
+                    "receive_net_flits",
+                    "flits_injected",
+                    "stalled_cores",
+                    "outbox_depth",
+                ] {
+                    require_u64(&v, key, n)?;
+                }
+                let e = v
+                    .get("energy_j")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {n}: epoch missing `energy_j`"))?;
+                if !e.is_finite() || e < 0.0 {
+                    return Err(format!("line {n}: non-physical epoch energy {e}"));
+                }
+                summary.epochs += 1;
+            }
+            other => return Err(format!("line {n}: unknown type `{other}`")),
+        }
+    }
+    if !saw_meta {
+        return Err("no `meta` line in metrics file".to_string());
+    }
+    Ok(summary)
+}
+
+fn require_u64(v: &Json, key: &str, line: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line}: missing or non-integer `{key}`"))
+}
+
+// ----------------------------------------------------------------------
+// Chrome trace-event JSON
+// ----------------------------------------------------------------------
+
+/// Process id used for network timelines in the Chrome trace.
+const PID_NETWORK: u32 = 1;
+/// Process id used for per-core coherence timelines.
+const PID_COHERENCE: u32 = 2;
+/// Thread id for the optical-transmission timeline (subnets use 1..=4).
+const TID_ONET_TX: u32 = 5;
+
+/// Serialize retained spans in Chrome trace-event format. One complete
+/// (`"ph":"X"`) event per span, with metadata events naming the
+/// process/thread tracks; 1 simulated cycle is rendered as 1 ns
+/// (`ts`/`dur` are in microseconds, as the format requires).
+pub fn chrome_trace(c: &TraceCollector) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let meta = |out: &mut String, first: &mut bool, pid: u32, tid: Option<u32>, name: &str| {
+        let sep = if *first { "" } else { "," };
+        *first = false;
+        match tid {
+            None => {
+                let _ = write!(
+                    out,
+                    "{sep}\n{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"{name}\"}}}}"
+                );
+            }
+            Some(tid) => {
+                let _ = write!(
+                    out,
+                    "{sep}\n{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"name\":\"thread_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+                );
+            }
+        }
+    };
+    meta(&mut out, &mut first, PID_NETWORK, None, "network");
+    meta(&mut out, &mut first, PID_COHERENCE, None, "coherence");
+    for s in crate::probe::Subnet::ALL {
+        let tid = tid_for_subnet(s);
+        meta(&mut out, &mut first, PID_NETWORK, Some(tid), s.name());
+    }
+    meta(
+        &mut out,
+        &mut first,
+        PID_NETWORK,
+        Some(TID_ONET_TX),
+        "onet-tx",
+    );
+
+    for span in c.spans() {
+        let (pid, tid) = match span.track {
+            Track::Subnet(s) => (PID_NETWORK, tid_for_subnet(s)),
+            Track::OnetTx => (PID_NETWORK, TID_ONET_TX),
+            Track::Core(core) => (PID_COHERENCE, core + 1),
+        };
+        let sep = if first { "" } else { "," };
+        first = false;
+        let _ = write!(
+            out,
+            "{sep}\n{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":{pid},\
+             \"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3}}}",
+            span.name,
+            cycles_to_us(span.start),
+            cycles_to_us(span.end.saturating_sub(span.start).max(1))
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+fn tid_for_subnet(s: crate::probe::Subnet) -> u32 {
+    // Subnet::index() is dense in 0..4; tids start at 1.
+    u32::try_from(s.index()).unwrap_or(0) + 1
+}
+
+fn cycles_to_us(cycles: Cycle) -> f64 {
+    cycles as f64 * 0.001
+}
+
+/// Validate a Chrome trace-event document: top-level object with a
+/// `traceEvents` array, every event an object with a `ph`, and every
+/// complete (`X`) event carrying name/pid/tid and non-negative
+/// `ts`/`dur`. Returns the number of `X` events.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        match ph {
+            "X" => {
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: X event missing `name`"))?;
+                for key in ["pid", "tid"] {
+                    ev.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("event {i}: X event missing `{key}`"))?;
+                }
+                for key in ["ts", "dur"] {
+                    let n = ev
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("event {i}: X event missing `{key}`"))?;
+                    if !n.is_finite() || n < 0.0 {
+                        return Err(format!("event {i}: bad `{key}` {n}"));
+                    }
+                }
+                complete += 1;
+            }
+            "M" => {
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: M event missing `name`"))?;
+            }
+            other => return Err(format!("event {i}: unexpected phase `{other}`")),
+        }
+    }
+    Ok(complete)
+}
+
+/// Convenience for printing a one-line percentile summary of a span's
+/// worth of histograms (used by the CLI and the example).
+pub fn percentile_row(class: &str, h: &Histogram) -> String {
+    format!(
+        "{class:<22} n={:<8} mean={:<8.1} p50={:<6} p95={:<6} p99={:<6} max={}",
+        h.count(),
+        h.mean(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{
+        EpochSample, NetDeliver, OnetTx, Probe, Subnet, TrafficKind, TxnEvent, TxnPhase,
+    };
+    use atac_phys::units::Joules;
+
+    fn populated_collector() -> TraceCollector {
+        let mut c = TraceCollector::new();
+        for i in 0..20 {
+            c.net_deliver(&NetDeliver {
+                subnet: if i % 2 == 0 {
+                    Subnet::ENet
+                } else {
+                    Subnet::StarNet
+                },
+                kind: if i % 5 == 0 {
+                    TrafficKind::Broadcast
+                } else {
+                    TrafficKind::Unicast
+                },
+                src: i,
+                dst: i + 1,
+                inject: u64::from(i) * 10,
+                at: u64::from(i) * 10 + 3 + u64::from(i % 7),
+            });
+        }
+        c.onet_tx(&OnetTx {
+            hub: 3,
+            kind: TrafficKind::Broadcast,
+            start: 40,
+            end: 55,
+            flits: 10,
+        });
+        c.txn(&TxnEvent {
+            core: 1,
+            phase: TxnPhase::Begin { write: false },
+            at: 5,
+        });
+        c.txn(&TxnEvent {
+            core: 1,
+            phase: TxnPhase::DirSeen,
+            at: 15,
+        });
+        c.txn(&TxnEvent {
+            core: 1,
+            phase: TxnPhase::DataReturn,
+            at: 40,
+        });
+        c.txn(&TxnEvent {
+            core: 1,
+            phase: TxnPhase::End,
+            at: 42,
+        });
+        c.epoch(&EpochSample {
+            start: 0,
+            end: 1000,
+            laser_idle_cycles: 900,
+            laser_unicast_cycles: 60,
+            laser_broadcast_cycles: 40,
+            enet_link_traversals: 500,
+            onet_flits_sent: 10,
+            receive_net_flits: 12,
+            flits_injected: 44,
+            stalled_cores: 7,
+            outbox_depth: 2,
+            energy: Joules(1.25e-6),
+        });
+        c
+    }
+
+    #[test]
+    fn metrics_jsonl_roundtrips_through_validator() {
+        let c = populated_collector();
+        let text = metrics_jsonl(&c);
+        let summary = validate_metrics_jsonl(&text).expect("schema-valid metrics");
+        assert_eq!(summary.net_histograms, 8);
+        assert_eq!(summary.txn_histograms, 4);
+        assert_eq!(summary.net_delivery_total, c.total_net_deliveries());
+        assert_eq!(summary.epochs, 1);
+        assert_eq!(summary.laser_mode_cycles, [900, 60, 40]);
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_through_validator() {
+        let c = populated_collector();
+        let text = chrome_trace(&c);
+        let complete = validate_chrome_trace(&text).expect("schema-valid trace");
+        // 20 deliveries + 1 optical burst + 1 transaction span.
+        assert_eq!(complete, 22);
+    }
+
+    #[test]
+    fn validators_reject_corruption() {
+        let c = populated_collector();
+        let metrics = metrics_jsonl(&c);
+        // Break a histogram's bucket/count agreement.
+        let broken = metrics.replacen("\"count\":", "\"count\":9", 1);
+        assert!(validate_metrics_jsonl(&broken).is_err());
+        // Unknown record type.
+        assert!(validate_metrics_jsonl("{\"type\":\"meta\",\"version\":1,\"spans\":0,\"dropped_spans\":0,\"epochs\":0}\n{\"type\":\"mystery\"}\n").is_err());
+        // A metrics file with no meta line.
+        assert!(validate_metrics_jsonl("").is_err());
+
+        let trace = chrome_trace(&c);
+        let broken = trace.replacen("\"ph\":\"X\"", "\"ph\":\"Q\"", 1);
+        assert!(validate_chrome_trace(&broken).is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn empty_collector_still_exports_valid_documents() {
+        let c = TraceCollector::new();
+        let summary = validate_metrics_jsonl(&metrics_jsonl(&c)).expect("valid");
+        assert_eq!(summary.net_delivery_total, 0);
+        assert_eq!(summary.epochs, 0);
+        assert_eq!(validate_chrome_trace(&chrome_trace(&c)).expect("valid"), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Log-bucketed histogram for cycle-valued latency distributions.
+//!
+//! The paper's latency evidence (Fig. 3's latency-vs-load curves, the
+//! §IV receive-network delay discussion) is about *distributions*, not
+//! means: saturation shows up in the tail long before it moves the
+//! average. This histogram keeps power-of-two buckets — constant space,
+//! O(1) insert, lossless merge — plus exact `count`/`sum`/`max`, so the
+//! mean is exact and quantiles are bucket-resolution approximations
+//! with a known one-octave error bound.
+
+/// Number of buckets. Bucket 0 holds the value 0; bucket `i` in
+/// `1..=64` holds values in `[2^(i-1), 2^i - 1]`.
+pub const BUCKETS: usize = 65;
+
+/// A mergeable power-of-two-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`
+    /// (the position of the highest set bit, 1-based).
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `0.0..=1.0`: the inclusive upper bound
+    /// of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`, clamped to the exact observed maximum. Empty
+    /// histograms report 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= target {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket resolution).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one. Merging is associative and
+    /// commutative: bucket-wise addition plus exact max/sum/count.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The bucket array trimmed after the last non-zero entry (compact,
+    /// stable serialization form).
+    pub fn nonzero_buckets(&self) -> &[u64] {
+        let len = self
+            .buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        &self.buckets[..len]
+    }
+
+    /// Rebuild a histogram from serialized parts. Returns `None` if the
+    /// bucket array is longer than [`BUCKETS`] or its total disagrees
+    /// with `count` (a corrupt or truncated record).
+    pub fn from_raw(count: u64, sum: u64, max: u64, buckets: &[u64]) -> Option<Histogram> {
+        if buckets.len() > BUCKETS {
+            return None;
+        }
+        let mut b = [0u64; BUCKETS];
+        b[..buckets.len()].copy_from_slice(buckets);
+        let total: u64 = b.iter().sum();
+        (total == count).then_some(Histogram {
+            buckets: b,
+            count,
+            sum,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        // Every power of two starts a fresh bucket and its predecessor
+        // closes the previous one.
+        for shift in 1..64 {
+            let v = 1u64 << shift;
+            assert_eq!(Histogram::bucket_index(v), shift + 1);
+            assert_eq!(Histogram::bucket_index(v - 1), shift);
+            assert_eq!(Histogram::bucket_bound(shift), v - 1);
+        }
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn exact_aggregates_and_mean() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 5, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1111);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1111.0 / 6.0).abs() < 1e-12);
+        assert!(!h.is_empty());
+        assert!(Histogram::new().is_empty());
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        // Deterministic skewed stream: mostly small, a long tail.
+        let mut x = 7u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            h.record(x % 97 + u64::from(x.is_multiple_of(11)) * (x % 4096));
+        }
+        let qs: Vec<u64> = [0.01, 0.25, 0.50, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn quantile_of_single_value_is_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.record(37);
+        }
+        // The bucket bound (63) is clamped to the observed max.
+        assert_eq!(h.p50(), 37);
+        assert_eq!(h.p99(), 37);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 2, 3, 900]);
+        let b = mk(&[0, 0, 65_000]);
+        let c = mk(&[7, 7, 7, 7, 12_345_678]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        assert_eq!(ab_c, a_bc);
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+
+        assert_eq!(ab_c.count(), 12);
+        assert_eq!(ab_c.max(), 12_345_678);
+    }
+
+    #[test]
+    fn raw_roundtrip_via_nonzero_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 3, 3, 250, 251] {
+            h.record(v);
+        }
+        let back = Histogram::from_raw(h.count(), h.sum(), h.max(), h.nonzero_buckets())
+            .expect("self-consistent parts");
+        assert_eq!(back, h);
+        // Corrupt count is rejected.
+        assert!(
+            Histogram::from_raw(h.count() + 1, h.sum(), h.max(), h.nonzero_buckets()).is_none()
+        );
+        // Oversized bucket arrays are rejected.
+        assert!(Histogram::from_raw(0, 0, 0, &[0; BUCKETS + 1]).is_none());
+        // Empty histogram round-trips through an empty slice.
+        assert_eq!(
+            Histogram::from_raw(0, 0, 0, &[]).expect("empty"),
+            Histogram::new()
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! The instrumentation API: event vocabulary, the [`Probe`] trait, and
+//! the [`ProbeHandle`] the simulator layers actually hold.
+//!
+//! ## Overhead guarantee
+//!
+//! Every instrumented layer stores a [`ProbeHandle`], which is an
+//! `Option` around a shared probe object. The default handle is `None`
+//! (equivalent to wiring up [`NullProbe`]), so each probe point costs
+//! exactly one branch on an `Option` discriminant and the event structs
+//! are never even constructed — the compiler sees the `None` arm and
+//! dead-codes the argument expressions it feeds. Probes are
+//! *observers only*: nothing they compute flows back into simulator
+//! state, so an instrumented run is bit-identical to an uninstrumented
+//! one by construction, not by testing alone.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use atac_phys::units::Joules;
+
+/// Simulation time in clock cycles (mirrors `atac_net::Cycle`; declared
+/// here so the trace crate sits below the network crate).
+pub type Cycle = u64;
+
+/// Which physical sub-network carried a delivery (paper §III-A): the
+/// electrical mesh, the optical SWMR waveguides, or one of the two
+/// cluster receive-network flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subnet {
+    /// Electrical mesh (ENet / pure-electrical EMesh).
+    ENet,
+    /// Optical SWMR data waveguides.
+    ONet,
+    /// Single-hop star receive network (ATAC+).
+    StarNet,
+    /// Pipelined-tree broadcast receive network (ATAC baseline).
+    BNet,
+}
+
+impl Subnet {
+    /// Every subnet, in display order.
+    pub const ALL: [Subnet; 4] = [Subnet::ENet, Subnet::ONet, Subnet::StarNet, Subnet::BNet];
+
+    /// Stable lower-case name used in exported metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subnet::ENet => "enet",
+            Subnet::ONet => "onet",
+            Subnet::StarNet => "starnet",
+            Subnet::BNet => "bnet",
+        }
+    }
+
+    /// Dense index in `0..4` for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            Subnet::ENet => 0,
+            Subnet::ONet => 1,
+            Subnet::StarNet => 2,
+            Subnet::BNet => 3,
+        }
+    }
+}
+
+/// Whether a message was a unicast or a broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficKind {
+    /// One destination core.
+    Unicast,
+    /// Every other core on the chip.
+    Broadcast,
+}
+
+impl TrafficKind {
+    /// Both kinds, in display order.
+    pub const ALL: [TrafficKind; 2] = [TrafficKind::Unicast, TrafficKind::Broadcast];
+
+    /// Stable lower-case name used in exported metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficKind::Unicast => "unicast",
+            TrafficKind::Broadcast => "broadcast",
+        }
+    }
+
+    /// Dense index in `0..2` for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficKind::Unicast => 0,
+            TrafficKind::Broadcast => 1,
+        }
+    }
+}
+
+/// One message delivery, observed at the receiver when the tail flit
+/// lands. For broadcasts there is one event per receiving core, which
+/// matches how `NetStats::broadcast_received` counts.
+#[derive(Debug, Clone, Copy)]
+pub struct NetDeliver {
+    /// Sub-network that performed the final delivery.
+    pub subnet: Subnet,
+    /// Unicast or broadcast (by original message destination).
+    pub kind: TrafficKind,
+    /// Sending core index.
+    pub src: u32,
+    /// Receiving core index.
+    pub dst: u32,
+    /// Cycle the message was accepted for injection.
+    pub inject: Cycle,
+    /// Cycle the tail flit reached the receiver.
+    pub at: Cycle,
+}
+
+impl NetDeliver {
+    /// End-to-end latency in cycles (inject → tail arrival).
+    pub fn latency_cycles(&self) -> Cycle {
+        self.at.saturating_sub(self.inject)
+    }
+}
+
+/// One optical transmission: the interval a hub's modulators drive the
+/// SWMR waveguide (grounds Table V's mode-occupancy accounting).
+#[derive(Debug, Clone, Copy)]
+pub struct OnetTx {
+    /// Sending hub (cluster) index.
+    pub hub: u32,
+    /// Laser mode for the burst: unicast or broadcast.
+    pub kind: TrafficKind,
+    /// First cycle data occupies the link.
+    pub start: Cycle,
+    /// Last cycle of the burst including waveguide propagation.
+    pub end: Cycle,
+    /// Flits modulated.
+    pub flits: u64,
+}
+
+/// Lifecycle phase of one coherence transaction. With in-order cores
+/// and one outstanding miss per core, the issuing core index is the
+/// transaction id: phases for the same core between a `Begin` and its
+/// `End` belong to one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnPhase {
+    /// Core missed in its private cache hierarchy and issued a request.
+    Begin {
+        /// True for write (exclusive/upgrade) requests.
+        write: bool,
+    },
+    /// The home directory received the request.
+    DirSeen,
+    /// The data (or upgrade) reply arrived back at the requester's tile.
+    DataReturn,
+    /// The requesting core resumed execution.
+    End,
+}
+
+/// One coherence-transaction lifecycle event.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnEvent {
+    /// Requesting core index (doubles as the transaction key).
+    pub core: u32,
+    /// Which lifecycle phase this event marks.
+    pub phase: TxnPhase,
+    /// Cycle the phase was observed.
+    pub at: Cycle,
+}
+
+/// One epoch sample: counter deltas and instantaneous state captured
+/// every N cycles by the engine's epoch sampler. A skip-ahead jump can
+/// cross several nominal epoch boundaries at once; the sampler then
+/// emits a single coalesced sample, which is why `start`/`end` are
+/// explicit rather than implied by an index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSample {
+    /// First cycle covered by this sample.
+    pub start: Cycle,
+    /// Last cycle covered (exclusive).
+    pub end: Cycle,
+    /// Laser link-cycles spent idle over the epoch (Table V).
+    pub laser_idle_cycles: u64,
+    /// Laser link-cycles in unicast mode over the epoch.
+    pub laser_unicast_cycles: u64,
+    /// Laser link-cycles in broadcast mode over the epoch.
+    pub laser_broadcast_cycles: u64,
+    /// Electrical mesh link traversals this epoch (link utilization).
+    pub enet_link_traversals: u64,
+    /// Optical flits modulated this epoch.
+    pub onet_flits_sent: u64,
+    /// Receive-network flits (BNet/StarNet, unicast + broadcast).
+    pub receive_net_flits: u64,
+    /// Flits accepted for injection this epoch (offered load).
+    pub flits_injected: u64,
+    /// Cores blocked on an outstanding miss at the sample instant.
+    pub stalled_cores: u64,
+    /// Coherence-layer outbox backlog (queued messages) at the sample
+    /// instant.
+    pub outbox_depth: u64,
+    /// Energy accrued over this epoch (dynamic + static, all
+    /// components).
+    pub energy: Joules,
+}
+
+impl EpochSample {
+    /// Cycles covered by this sample.
+    pub fn span_cycles(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Receiver of simulator instrumentation events.
+///
+/// Every method has a no-op default, so a probe implements only what it
+/// cares about. Probes must not feed anything back into the simulation
+/// — they observe copies of state handed to them.
+pub trait Probe: fmt::Debug {
+    /// A message delivery completed (tail flit at the receiver).
+    fn net_deliver(&mut self, ev: &NetDeliver) {
+        let _ = ev;
+    }
+
+    /// A hub transmitted a burst on the optical waveguide.
+    fn onet_tx(&mut self, ev: &OnetTx) {
+        let _ = ev;
+    }
+
+    /// A coherence transaction advanced one lifecycle phase.
+    fn txn(&mut self, ev: &TxnEvent) {
+        let _ = ev;
+    }
+
+    /// The epoch sampler closed an epoch.
+    fn epoch(&mut self, sample: &EpochSample) {
+        let _ = sample;
+    }
+}
+
+/// The probe that does nothing; semantically what a default
+/// [`ProbeHandle`] wires up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// Shared, cloneable handle the instrumented layers hold.
+///
+/// `Default` is the disabled state: every forwarding method is a single
+/// `Option` branch and event construction at the call site is dead code
+/// (see the module docs for the overhead argument). All probe dispatch
+/// goes through these inline forwarders — hot-path code never borrows
+/// the probe object directly (`atac-audit` rule `probe-api`).
+#[derive(Debug, Clone, Default)]
+pub struct ProbeHandle(Option<Rc<RefCell<dyn Probe>>>);
+
+impl ProbeHandle {
+    /// The disabled handle (same as `Default`).
+    pub fn disabled() -> Self {
+        ProbeHandle(None)
+    }
+
+    /// A handle forwarding to `probe`; clone it into each layer.
+    pub fn attach<P: Probe + 'static>(probe: Rc<RefCell<P>>) -> Self {
+        ProbeHandle(Some(probe))
+    }
+
+    /// Whether a probe is attached. Layers may use this to skip
+    /// *sampling work* (not state changes) when disabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Forward a delivery event.
+    #[inline]
+    pub fn net_deliver(&self, ev: &NetDeliver) {
+        if let Some(p) = &self.0 {
+            p.borrow_mut().net_deliver(ev);
+        }
+    }
+
+    /// Forward an optical-transmission event.
+    #[inline]
+    pub fn onet_tx(&self, ev: &OnetTx) {
+        if let Some(p) = &self.0 {
+            p.borrow_mut().onet_tx(ev);
+        }
+    }
+
+    /// Forward a transaction lifecycle event.
+    #[inline]
+    pub fn txn(&self, ev: &TxnEvent) {
+        if let Some(p) = &self.0 {
+            p.borrow_mut().txn(ev);
+        }
+    }
+
+    /// Forward an epoch sample.
+    #[inline]
+    pub fn epoch(&self, sample: &EpochSample) {
+        if let Some(p) = &self.0 {
+            p.borrow_mut().epoch(sample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct CountingProbe {
+        deliveries: u32,
+        epochs: u32,
+    }
+
+    impl Probe for CountingProbe {
+        fn net_deliver(&mut self, _ev: &NetDeliver) {
+            self.deliveries += 1;
+        }
+        fn epoch(&mut self, _sample: &EpochSample) {
+            self.epochs += 1;
+        }
+    }
+
+    fn delivery() -> NetDeliver {
+        NetDeliver {
+            subnet: Subnet::ONet,
+            kind: TrafficKind::Unicast,
+            src: 3,
+            dst: 17,
+            inject: 10,
+            at: 25,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = ProbeHandle::default();
+        assert!(!h.is_enabled());
+        h.net_deliver(&delivery()); // must not panic
+        h.txn(&TxnEvent {
+            core: 0,
+            phase: TxnPhase::End,
+            at: 1,
+        });
+    }
+
+    #[test]
+    fn attached_handle_forwards_and_shares() {
+        let probe = Rc::new(RefCell::new(CountingProbe::default()));
+        let h = ProbeHandle::attach(Rc::clone(&probe));
+        let h2 = h.clone();
+        assert!(h.is_enabled());
+        h.net_deliver(&delivery());
+        h2.net_deliver(&delivery());
+        assert_eq!(probe.borrow().deliveries, 2);
+        assert_eq!(probe.borrow().epochs, 0);
+    }
+
+    #[test]
+    fn latency_and_span_helpers() {
+        assert_eq!(delivery().latency_cycles(), 15);
+        let s = EpochSample {
+            start: 100,
+            end: 350,
+            laser_idle_cycles: 0,
+            laser_unicast_cycles: 0,
+            laser_broadcast_cycles: 0,
+            enet_link_traversals: 0,
+            onet_flits_sent: 0,
+            receive_net_flits: 0,
+            flits_injected: 0,
+            stalled_cores: 0,
+            outbox_depth: 0,
+            energy: Joules::ZERO,
+        };
+        assert_eq!(s.span_cycles(), 250);
+    }
+
+    #[test]
+    fn names_and_indices_are_dense_and_stable() {
+        for (i, s) in Subnet::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, k) in TrafficKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(Subnet::StarNet.name(), "starnet");
+        assert_eq!(TrafficKind::Broadcast.name(), "broadcast");
+    }
+}

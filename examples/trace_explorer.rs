@@ -1,0 +1,103 @@
+//! Cross-layer trace exploration: run `radix` on a traced ATAC+ chip and
+//! read the run the way the paper does — laser mode occupancy over time
+//! (the Table V idle/unicast/broadcast split) and per-class message
+//! latency percentiles.
+//!
+//! ```sh
+//! cargo run --release --example trace_explorer
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use atac::prelude::*;
+use atac::trace::percentile_row;
+
+fn main() {
+    let cfg = SimConfig {
+        topo: Topology::small(8, 4), // 64 cores: quick, still optical
+        ..SimConfig::default()
+    };
+    let epoch = 2_000u64;
+
+    let collector = Rc::new(RefCell::new(TraceCollector::new()));
+    let probe = ProbeHandle::attach(Rc::clone(&collector));
+    let r = atac::run_benchmark_traced(&cfg, Benchmark::Radix, Scale::Test, probe, Some(epoch));
+
+    println!(
+        "radix on {} cores ({}): {} cycles, ipc {:.3}",
+        cfg.topo.cores(),
+        cfg.arch.name(),
+        r.cycles,
+        r.ipc
+    );
+
+    let c = collector.borrow();
+
+    // --- laser mode occupancy time series (Table V) -------------------
+    // Each epoch splits every optical link's cycles into idle / unicast /
+    // broadcast. The laser is idle almost everywhere (the observation
+    // that motivates laser gating), so the bar scales *active* cycles to
+    // the busiest row to make the burst structure visible.
+    let rows: Vec<(u64, u64, u64, u64)> = {
+        let epochs = c.epochs();
+        let group = epochs.len().div_ceil(20).max(1);
+        epochs
+            .chunks(group)
+            .map(|g| {
+                let sum = |f: fn(&atac::trace::EpochSample) -> u64| g.iter().map(f).sum::<u64>();
+                (
+                    g[0].start,
+                    sum(|e| e.laser_idle_cycles),
+                    sum(|e| e.laser_unicast_cycles),
+                    sum(|e| e.laser_broadcast_cycles),
+                )
+            })
+            .collect()
+    };
+    let peak = rows
+        .iter()
+        .map(|&(_, _, u, b)| u + b)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    println!(
+        "\nlaser mode occupancy ({epoch}-cycle epochs, coalesced to {} rows)",
+        rows.len()
+    );
+    println!(
+        "{:>12}  {:>6} {:>6} {:>6}  active (u=unicast b=broadcast, peak-scaled)",
+        "cycles", "idle%", "uni%", "bcast%"
+    );
+    for (start, idle, uni, bcast) in rows {
+        let total = (idle + uni + bcast).max(1) as f64;
+        let bar_u = (40 * uni).div_ceil(peak) as usize;
+        let bar_b = (40 * bcast).div_ceil(peak) as usize;
+        println!(
+            "{:>12}  {:>6.1} {:>6.1} {:>6.1}  {}{}",
+            start,
+            100.0 * idle as f64 / total,
+            100.0 * uni as f64 / total,
+            100.0 * bcast as f64 / total,
+            "u".repeat(bar_u),
+            "b".repeat(bar_b)
+        );
+    }
+
+    // --- per-class latency percentiles --------------------------------
+    println!("\nmessage latency percentiles (cycles)");
+    for (subnet, kind, h) in c.net_histograms() {
+        if h.count() > 0 {
+            println!(
+                "  {}",
+                percentile_row(&format!("{}/{}", subnet.name(), kind.name()), h)
+            );
+        }
+    }
+    println!("\ncoherence transaction latency percentiles (cycles)");
+    for (name, h) in c.txn_histograms() {
+        if h.count() > 0 {
+            println!("  {}", percentile_row(name, h));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Workspace-level observability round-trip: a small traced simulation's
+//! exported artifacts must parse, validate against their schemas, and
+//! reconcile with the simulator's own event counters — and attaching the
+//! probe must not perturb the simulation by a single bit.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use atac::prelude::*;
+use atac::trace::{
+    chrome_trace, metrics_jsonl, validate_chrome_trace, validate_metrics_jsonl, Subnet, TrafficKind,
+};
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        topo: Topology::small(8, 4),
+        ..SimConfig::default()
+    }
+}
+
+fn traced_run(epoch: Option<u64>) -> (SimResult, Rc<RefCell<TraceCollector>>) {
+    let collector = Rc::new(RefCell::new(TraceCollector::new()));
+    let probe = ProbeHandle::attach(Rc::clone(&collector));
+    let r = atac::run_benchmark_traced(&cfg(), Benchmark::Radix, Scale::Test, probe, epoch);
+    (r, collector)
+}
+
+#[test]
+fn tracing_never_perturbs_the_simulation() {
+    let plain = atac::run_benchmark(&cfg(), Benchmark::Radix, Scale::Test);
+    let (traced, _) = traced_run(Some(1000));
+    assert_eq!(plain.cycles, traced.cycles);
+    assert_eq!(plain.instructions, traced.instructions);
+    assert_eq!(plain.ipc.to_bits(), traced.ipc.to_bits());
+    assert_eq!(plain.net.fields(), traced.net.fields());
+    assert_eq!(plain.coh.fields(), traced.coh.fields());
+    assert_eq!(
+        plain.energy.total().value().to_bits(),
+        traced.energy.total().value().to_bits()
+    );
+}
+
+#[test]
+fn metrics_jsonl_round_trips_and_reconciles_with_netstats() {
+    let (r, collector) = traced_run(Some(1000));
+    let c = collector.borrow();
+    let text = metrics_jsonl(&c);
+    let summary = validate_metrics_jsonl(&text).expect("exported metrics validate");
+
+    // Histogram totals equal the network's own delivery counters.
+    assert_eq!(
+        summary.net_delivery_total,
+        r.net.unicast_received + r.net.broadcast_received
+    );
+    assert_eq!(summary.net_histograms, 8);
+    assert_eq!(summary.txn_histograms, 4);
+    assert!(summary.epochs > 0, "epoch sampler was enabled");
+
+    // Laser mode-occupancy series reconciles with the counters the
+    // energy integration charges (Table V).
+    let [_idle, uni, bcast] = summary.laser_mode_cycles;
+    assert_eq!(uni, r.net.laser_unicast_cycles);
+    assert_eq!(bcast, r.net.laser_broadcast_cycles);
+    assert!(uni + bcast > 0, "radix on ATAC+ must transmit optically");
+}
+
+#[test]
+fn chrome_trace_round_trips_through_validator() {
+    let (_, collector) = traced_run(None);
+    let c = collector.borrow();
+    let events = validate_chrome_trace(&chrome_trace(&c)).expect("exported trace validates");
+    assert!(events > 0, "a real run must emit complete events");
+    assert_eq!(
+        events as u64,
+        c.spans().len() as u64,
+        "every collected span becomes one X event"
+    );
+}
+
+#[test]
+fn per_class_histograms_attribute_receive_networks() {
+    // ATAC+ uses StarNet: optical deliveries must land in the starnet
+    // class, never bnet; the electrical mesh carries the rest.
+    let (_, collector) = traced_run(None);
+    let c = collector.borrow();
+    let count = |s: Subnet, k: TrafficKind| c.net_histogram(s, k).count();
+    assert!(count(Subnet::ENet, TrafficKind::Unicast) > 0);
+    assert!(
+        count(Subnet::StarNet, TrafficKind::Unicast)
+            + count(Subnet::StarNet, TrafficKind::Broadcast)
+            > 0
+    );
+    assert_eq!(count(Subnet::BNet, TrafficKind::Unicast), 0);
+    assert_eq!(count(Subnet::BNet, TrafficKind::Broadcast), 0);
+}
