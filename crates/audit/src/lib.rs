@@ -1,6 +1,6 @@
 //! Project-specific static analysis for the ATAC+ workspace.
 //!
-//! Five rules, all enforced line/token-wise on the raw source text (so
+//! Six rules, all enforced line/token-wise on the raw source text (so
 //! they see code inside macro invocations, which `syn`-style tooling
 //! would not without expansion — and this crate must build with zero
 //! dependencies):
@@ -30,6 +30,15 @@
 //!    guarantee) and no raw `*_samples.push(…)` sample vectors (latency
 //!    observations belong in a mergeable `Histogram`). Waive with
 //!    `// audit: allow(probe) <reason>`.
+//! 6. **`sweep-api`** — all sweep concurrency and run-cache publication
+//!    go through the `atac-bench` executor/cache layer: no raw
+//!    `thread::spawn` anywhere in the first-party crates (the worker
+//!    pool owns threading; scoped `s.spawn` inside it is fine), and no
+//!    ad-hoc `fs::write`/`File::create`/`OpenOptions` in `crates/bench`
+//!    outside `executor.rs`/`cache.rs` — a bare write under
+//!    `target/atac-results/` would bypass the atomic temp-file + rename
+//!    protocol that keeps parallel sweeps torn-record-free. Waive with
+//!    `// audit: allow(sweep) <reason>`.
 //!
 //! The binary (`cargo run -p atac-audit`) exits non-zero on any
 //! violation; the same pass runs under `cargo test` via
@@ -46,7 +55,7 @@ pub struct Violation {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`raw-f64`, `counter-coverage`, `wildcard-arm`,
-    /// `hot-path`, `probe-api`).
+    /// `hot-path`, `probe-api`, `sweep-api`).
     pub rule: &'static str,
     /// Human-readable description of the problem and the fix.
     pub message: String,
@@ -91,6 +100,24 @@ const HOT_PATH_FILES: &[&str] = &[
 /// code that is not panic/cast-sensitive but must still use the probe
 /// API rather than ad-hoc sample collection.
 const PROBE_API_EXTRA_FILES: &[&str] = &["crates/net/src/harness.rs"];
+
+/// The two modules that own sweep concurrency and run-cache publication;
+/// rule 6 exempts them and polices everything else.
+const SWEEP_API_FILES: &[&str] = &["crates/bench/src/cache.rs", "crates/bench/src/executor.rs"];
+
+/// First-party source roots rule 6 scans for raw `thread::spawn`.
+/// `crates/rand` (vendored third-party) and `crates/audit` (this crate's
+/// own pattern literals) are deliberately absent.
+const SWEEP_API_DIRS: &[&str] = &[
+    "crates/bench/src",
+    "crates/coherence/src",
+    "crates/core/src",
+    "crates/net/src",
+    "crates/phys/src",
+    "crates/sim/src",
+    "crates/trace/src",
+    "crates/workloads/src",
+];
 
 /// Keywords marking a function (or parameter) as an energy/power/time
 /// API for rule 1.
@@ -142,6 +169,15 @@ pub fn audit_workspace(root: &Path) -> Vec<Violation> {
     for rel in HOT_PATH_FILES.iter().chain(PROBE_API_EXTRA_FILES) {
         let text = read(&root.join(rel));
         check_probe_api(rel, &text, &mut v);
+    }
+
+    // Rule 6 over every first-party source file.
+    for dir in SWEEP_API_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            let rel = rel_path(root, &file);
+            let text = read(&file);
+            check_sweep_api(&rel, &text, &mut v);
+        }
     }
 
     v.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -627,6 +663,55 @@ fn pushes_sample_vec(code: &str) -> bool {
 }
 
 // ----------------------------------------------------------------------
+// Rule 6: sweep concurrency and cache writes go through the executor
+// ----------------------------------------------------------------------
+
+fn check_sweep_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    if SWEEP_API_FILES.contains(&rel) {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let test_start = test_region_start(&lines);
+    for idx in 0..test_start {
+        let (code, _) = split_comment(lines[idx]);
+
+        if code.contains("thread::spawn(") && !has_waiver(&lines, idx, "sweep") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "sweep-api",
+                message: "raw `thread::spawn` outside the sweep executor; declare the \
+                          work as a `RunPlan` (atac-bench executor) so panics propagate \
+                          and the pool size honors ATAC_JOBS, or waive with \
+                          `// audit: allow(sweep) <reason>`"
+                    .to_string(),
+            });
+        }
+
+        // Ad-hoc file creation is policed only in `crates/bench`, the
+        // crate that owns `target/atac-results/` — a bare write there
+        // bypasses atomic publication.
+        if rel.starts_with("crates/bench/") {
+            for pat in ["fs::write(", "File::create(", "OpenOptions"] {
+                if code.contains(pat) && !has_waiver(&lines, idx, "sweep") {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "sweep-api",
+                        message: format!(
+                            "ad-hoc `{pat}…` in crates/bench outside the cache layer; \
+                             publish run records through `RunCache`/`publish_atomic` \
+                             (temp file + rename) or waive with \
+                             `// audit: allow(sweep) <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // Tests: each rule must fire on a seeded violation and stay quiet on
 // clean input; the shipped tree must audit clean.
 // ----------------------------------------------------------------------
@@ -840,6 +925,69 @@ pub struct NetStats {\n\
         let mut v = Vec::new();
         check_probe_api("n.rs", src, &mut v);
         assert!(v.is_empty());
+    }
+
+    // ---- rule 6 ----
+
+    #[test]
+    fn sweep_api_spawn_fires_and_waives() {
+        let bad = "let h = std::thread::spawn(move || simulate(cfg));\n";
+        let mut v = Vec::new();
+        check_sweep_api("crates/sim/src/engine.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sweep-api");
+
+        let waived = "// audit: allow(sweep) watchdog thread, not sweep work\n\
+                      let h = std::thread::spawn(watchdog);\n";
+        let mut v = Vec::new();
+        check_sweep_api("crates/sim/src/engine.rs", waived, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+
+        // Scoped spawns inside the executor's pool are the sanctioned
+        // form and the allowed files are exempt wholesale.
+        let mut v = Vec::new();
+        check_sweep_api(
+            "crates/bench/src/executor.rs",
+            "std::thread::spawn(f); fs::write(p, c);\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn sweep_api_file_writes_fire_in_bench_only() {
+        let bad = "fs::write(&path, runjson::encode(&rec));\n";
+        let mut v = Vec::new();
+        check_sweep_api("crates/bench/src/bin/fig99.rs", bad, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("publish_atomic"));
+
+        // The same write elsewhere in the workspace is out of scope
+        // (exporters etc. own their formats).
+        let mut v = Vec::new();
+        check_sweep_api("crates/trace/src/export.rs", bad, &mut v);
+        assert!(v.is_empty());
+
+        // File::create and OpenOptions are the same hole.
+        let mut v = Vec::new();
+        check_sweep_api(
+            "crates/bench/src/lib.rs",
+            "let f = File::create(&p)?;\nlet o = OpenOptions::new();\n",
+            &mut v,
+        );
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn sweep_api_skips_tests_and_comments() {
+        let src = "// never call thread::spawn( here\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn f() { std::thread::spawn(|| {}); fs::write(a, b); }\n\
+                   }\n";
+        let mut v = Vec::new();
+        check_sweep_api("crates/bench/src/lib.rs", src, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     // ---- shared machinery ----

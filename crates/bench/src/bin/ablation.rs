@@ -19,6 +19,10 @@ use atac::prelude::*;
 use atac_bench::{base_config, header, run_cached, Table};
 
 fn main() {
+    // Warm every needed run (both ablation sweeps) in parallel before
+    // rendering.
+    atac_bench::plans::ablation().execute();
+
     // ------------------------------------------------------------------
     header(
         "Ablation 1",

@@ -10,6 +10,9 @@ use atac::prelude::*;
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
+    // Warm every needed run in parallel before rendering (the loss
+    // sweep itself is energy-only re-integration of cached counters).
+    atac_bench::plans::fig09().execute();
     header(
         "Fig. 9",
         "energy vs waveguide loss, normalized to EMesh-BCast",

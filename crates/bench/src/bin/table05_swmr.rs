@@ -8,6 +8,8 @@
 use atac_bench::{base_config, benchmarks, header, run_cached, Table};
 
 fn main() {
+    // Warm every needed run in parallel before rendering.
+    atac_bench::plans::table05().execute();
     header(
         "Table V",
         "adaptive SWMR link utilization; unicasts between broadcasts",

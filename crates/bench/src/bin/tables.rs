@@ -5,6 +5,10 @@ use atac::phys::{PhotonicParams, PhotonicScenario, TechNode};
 use atac::prelude::*;
 
 fn main() {
+    // Declared plan is empty — the tables print live model parameters,
+    // no simulation — but going through the executor keeps every
+    // reproduce entry point on the same declare-then-render shape.
+    atac_bench::plans::tables().execute();
     atac_bench::header("Table I", "Network parameters");
     let cfg = SimConfig::default();
     println!(

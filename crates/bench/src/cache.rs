@@ -1,0 +1,352 @@
+//! The run-record cache, made safe for concurrent sweeps.
+//!
+//! Completed full-system runs persist as JSON under `target/atac-results/`
+//! (override with `ATAC_RESULTS_DIR`) and are shared across every figure
+//! binary. With the parallel executor several workers — and, on a shared
+//! checkout, several *processes* — can race on the same cache, so this
+//! layer provides three guarantees:
+//!
+//! 1. **Atomic publication** — a record is written to a temp file in the
+//!    cache directory and then `rename`d into place, so a reader sees
+//!    either no file or a complete record, never a torn prefix. A crash
+//!    mid-write leaves only a stray temp file, not a poisoned record
+//!    every later run re-pays to reject.
+//! 2. **In-process single-flight** — two callers needing the same run key
+//!    concurrently simulate it once: the first becomes the leader, the
+//!    rest block on a condvar and clone the leader's record. A leader
+//!    that panics marks the flight failed so joiners fail loudly instead
+//!    of hanging.
+//! 3. **Cross-process tolerance** — there is no inter-process lock, by
+//!    design: a concurrent writer in another process publishes the same
+//!    bytes (runs are deterministic), and `rename` makes the last
+//!    publication win wholesale. A truncated or stale record decodes to
+//!    `None` and is simply re-simulated.
+//!
+//! Determinism contract: a given `(config, benchmark)` key always encodes
+//! to the same bytes, whichever worker or process produced it — asserted
+//! by `tests/executor.rs` and re-checked in CI against a serial run.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+use atac::prelude::*;
+use atac::trace::TraceCollector;
+use atac::workloads::BuiltWorkload;
+
+use crate::{run_key, runjson, RunRecord};
+
+/// How a requested run record was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// Decoded from a published cache file.
+    CacheHit,
+    /// Simulated by this caller (and published).
+    Simulated,
+    /// Cloned from a concurrent in-process simulation of the same key.
+    Joined,
+}
+
+impl RunSource {
+    /// Stable lower-case name used in `BENCH_sweep.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunSource::CacheHit => "cache-hit",
+            RunSource::Simulated => "simulated",
+            RunSource::Joined => "joined",
+        }
+    }
+}
+
+/// Handle to one cache directory. Cheap to clone; safe to share across
+/// the executor's worker threads.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+impl RunCache {
+    /// The default cache: `ATAC_RESULTS_DIR` or `target/atac-results`.
+    pub fn from_env() -> Self {
+        let root =
+            std::env::var("ATAC_RESULTS_DIR").unwrap_or_else(|_| "target/atac-results".into());
+        RunCache {
+            dir: PathBuf::from(root),
+        }
+    }
+
+    /// A cache rooted at an explicit directory (tests, scratch checks).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        RunCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Published location of one run key's record.
+    pub fn record_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}.json", key.replace(['|', '[', ']'], "_")))
+    }
+
+    /// Decode the published record for `key`, if present and current.
+    pub fn load(&self, key: &str) -> Option<RunRecord> {
+        load_path(&self.record_path(key))
+    }
+
+    /// Run (or load, or join an in-flight simulation of) one benchmark
+    /// under one configuration. Builds the workload itself on a miss.
+    pub fn get_or_run(&self, cfg: &SimConfig, bench: Benchmark) -> (RunRecord, RunSource) {
+        self.get_or_run_with(cfg, bench, None)
+    }
+
+    /// [`Self::get_or_run`] with an optionally pre-built workload, so a
+    /// sweep builds each `(benchmark, core-count)` script set once and
+    /// shares it immutably across workers instead of rebuilding per run.
+    pub fn get_or_run_with(
+        &self,
+        cfg: &SimConfig,
+        bench: Benchmark,
+        workload: Option<&BuiltWorkload>,
+    ) -> (RunRecord, RunSource) {
+        let key = run_key(cfg, bench);
+        let path = self.record_path(&key);
+        if let Some(rec) = load_path(&path) {
+            return (rec, RunSource::CacheHit);
+        }
+
+        // Single-flight: first requester of a key becomes the leader and
+        // simulates; concurrent requesters block and clone its result.
+        // The table is keyed by (dir, key) so distinct caches never
+        // dedup against each other.
+        let flights = flight_table();
+        let flight_key = format!("{}::{key}", self.dir.display());
+        let (flight, leader) = {
+            let mut map = lock_ok(flights);
+            match map.get(&flight_key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::default());
+                    map.insert(flight_key.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !leader {
+            let mut state = lock_ok(&flight.state);
+            while matches!(*state, FlightState::Pending) {
+                state = flight
+                    .done
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            return match &*state {
+                FlightState::Done(rec) => ((**rec).clone(), RunSource::Joined),
+                FlightState::Failed => panic!("concurrent simulation of `{key}` failed"),
+                FlightState::Pending => unreachable!("condvar loop exits only when settled"),
+            };
+        }
+
+        // Leader path. The guard settles the flight as Failed if the
+        // simulation panics, so joiners propagate the failure instead of
+        // waiting forever.
+        let guard = FlightGuard {
+            flights,
+            flight_key,
+            flight: &flight,
+            settled: false,
+        };
+        // Re-check under flight ownership: another *process* may have
+        // published while this one raced to the table.
+        let (rec, source) = match load_path(&path) {
+            Some(rec) => (rec, RunSource::CacheHit),
+            None => {
+                let rec = simulate(cfg, bench, workload, &key);
+                publish_atomic(&path, &runjson::encode(&rec))
+                    .unwrap_or_else(|e| panic!("cannot publish run cache {}: {e}", path.display()));
+                (rec, RunSource::Simulated)
+            }
+        };
+        guard.finish(rec.clone());
+        (rec, source)
+    }
+}
+
+/// Write `contents` to `path` atomically: a temp file in the target
+/// directory, then a same-filesystem `rename`. Concurrent readers see
+/// the old bytes, the new bytes, or no file — never a torn record; a
+/// crash mid-write leaves a stray `.tmp` file, not a truncated record.
+pub fn publish_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let dir = dir.unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(dir)?;
+    let name = path
+        .file_name()
+        .map_or_else(|| "record".into(), |n| n.to_string_lossy().into_owned());
+    // The pid suffix keeps concurrent *processes* off each other's temp
+    // files; within one process the single-flight table already
+    // guarantees one writer per key.
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+fn load_path(path: &Path) -> Option<RunRecord> {
+    let text = fs::read_to_string(path).ok()?;
+    runjson::decode(&text)
+}
+
+/// Simulate one run, observing per-class latency histograms through a
+/// worker-local collector.
+fn simulate(
+    cfg: &SimConfig,
+    bench: Benchmark,
+    shared: Option<&BuiltWorkload>,
+    key: &str,
+) -> RunRecord {
+    eprintln!("  [sim] {key}");
+    let start = std::time::Instant::now();
+    let built;
+    let workload = match shared {
+        Some(w) => w,
+        None => {
+            built = bench.build(cfg.topo.cores(), Scale::Paper);
+            &built
+        }
+    };
+    // Per-worker collector: `ProbeHandle` is `Rc`-based and `!Send`, so
+    // each pool worker constructs its own pair inside its thread — two
+    // workers can never interleave events into one collector.
+    let (collector, probe) = TraceCollector::metrics_worker();
+    let result = atac::sim::run_with_probe(cfg, workload, probe, None);
+    eprintln!(
+        "  [sim] {key} done in {:.1}s ({} cycles)",
+        start.elapsed().as_secs_f64(),
+        result.cycles
+    );
+    let latency = collector
+        .borrow()
+        .net_histograms()
+        .into_iter()
+        .map(|(s, k, h)| (format!("{}/{}", s.name(), k.name()), h.clone()))
+        .collect();
+    RunRecord {
+        cycles: result.cycles,
+        instructions: result.instructions,
+        ipc: result.ipc,
+        net: result.net,
+        coh: result.coh,
+        latency,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Single-flight machinery
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(Box<RunRecord>),
+    Failed,
+}
+
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Default for Flight {
+    fn default() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+}
+
+fn flight_table() -> &'static Mutex<HashMap<String, Arc<Flight>>> {
+    static FLIGHTS: OnceLock<Mutex<HashMap<String, Arc<Flight>>>> = OnceLock::new();
+    FLIGHTS.get_or_init(Mutex::default)
+}
+
+/// Recover from mutex poisoning: every guarded section here performs a
+/// single whole-value assignment or map mutation, so the data is
+/// consistent even if a holder panicked.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Settles the leader's flight exactly once: `finish` on success, `Drop`
+/// (unwind) marks it failed. Either way the flight leaves the table and
+/// waiters wake.
+struct FlightGuard<'a> {
+    flights: &'static Mutex<HashMap<String, Arc<Flight>>>,
+    flight_key: String,
+    flight: &'a Arc<Flight>,
+    settled: bool,
+}
+
+impl FlightGuard<'_> {
+    fn finish(mut self, rec: RunRecord) {
+        self.settle(FlightState::Done(Box::new(rec)));
+        self.settled = true;
+    }
+
+    fn settle(&self, state: FlightState) {
+        *lock_ok(&self.flight.state) = state;
+        self.flight.done.notify_all();
+        lock_ok(self.flights).remove(&self.flight_key);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.settle(FlightState::Failed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_paths_sanitize_key_punctuation() {
+        let cache = RunCache::at("/tmp/x");
+        let p = cache.record_path("8x8|atac[distance-15]|flit64");
+        let name = p.file_name().expect("file name").to_string_lossy();
+        assert_eq!(name, "8x8_atac_distance-15__flit64.json");
+    }
+
+    #[test]
+    fn publish_atomic_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("atac-publish-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("rec.json");
+        publish_atomic(&path, "{\"k\": 1}").expect("publish");
+        assert_eq!(fs::read_to_string(&path).expect("read back"), "{\"k\": 1}");
+        let names: Vec<String> = fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["rec.json"], "temp file must be renamed away");
+        // Overwrite goes through the same protocol.
+        publish_atomic(&path, "{\"k\": 2}").expect("republish");
+        assert_eq!(fs::read_to_string(&path).expect("read back"), "{\"k\": 2}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_names_are_stable() {
+        assert_eq!(RunSource::CacheHit.name(), "cache-hit");
+        assert_eq!(RunSource::Simulated.name(), "simulated");
+        assert_eq!(RunSource::Joined.name(), "joined");
+    }
+}

@@ -1,0 +1,397 @@
+//! The parallel sweep executor.
+//!
+//! The figure suite is embarrassingly parallel *across* runs — hundreds
+//! of independent deterministic full-system simulations — so a figure
+//! binary declares the `(config, benchmark)` run keys it needs as a
+//! [`RunPlan`] up front and [`RunPlan::execute`] warms the run cache
+//! with a fixed-size pool of scoped worker threads (`ATAC_JOBS` workers,
+//! default: available parallelism). Within a plan keys are deduplicated
+//! at `add` time; across plans and threads the cache layer's
+//! single-flight table (see [`crate::cache`]) keeps every key to one
+//! simulation per process.
+//!
+//! Each needed `(benchmark, core-count)` workload is built once and
+//! shared immutably by reference across workers (`SimConfig` and
+//! `BuiltWorkload` are `Send + Sync` — statically asserted in
+//! `atac-sim`). Runs themselves stay single-threaded and deterministic,
+//! so a parallel sweep publishes byte-identical records to a serial one;
+//! a worker panic propagates out of `execute` once the pool joins
+//! (`std::thread::scope` re-raises it) rather than being swallowed.
+//!
+//! Timing of every phase and run key can be recorded to
+//! `BENCH_sweep.json` via [`SweepLog`], giving later changes a
+//! wall-clock trajectory to regress against.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use atac::prelude::*;
+use atac::workloads::BuiltWorkload;
+
+use crate::cache::{RunCache, RunSource};
+use crate::run_key;
+
+/// Worker count for sweeps: `ATAC_JOBS` if set, else the machine's
+/// available parallelism.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("ATAC_JOBS") {
+        Ok(v) => parse_jobs(&v)
+            .unwrap_or_else(|| panic!("ATAC_JOBS must be a positive integer, got `{v}`")),
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+fn parse_jobs(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// A declared set of runs: `(timing configuration, benchmark)` pairs,
+/// deduplicated by [`run_key`] at insertion.
+#[derive(Debug, Default)]
+pub struct RunPlan {
+    entries: Vec<(SimConfig, Benchmark)>,
+    keys: BTreeSet<String>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one run; a `(config, benchmark)` pair whose run key is
+    /// already planned is ignored.
+    pub fn add(&mut self, cfg: SimConfig, bench: Benchmark) {
+        if self.keys.insert(run_key(&cfg, bench)) {
+            self.entries.push((cfg, bench));
+        }
+    }
+
+    /// Union another plan into this one (same dedup rule).
+    pub fn merge(&mut self, other: RunPlan) {
+        for (cfg, bench) in other.entries {
+            self.add(cfg, bench);
+        }
+    }
+
+    /// Number of distinct run keys planned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The planned runs, in insertion order.
+    pub fn entries(&self) -> &[(SimConfig, Benchmark)] {
+        &self.entries
+    }
+
+    /// Execute against the default cache with `ATAC_JOBS` workers.
+    pub fn execute(&self) -> SweepReport {
+        self.execute_on(&RunCache::from_env(), jobs_from_env())
+    }
+
+    /// Execute every planned run against `cache` with a pool of `jobs`
+    /// worker threads, simulating only the keys the cache is missing.
+    /// Returns per-run timings; panics if any run panics.
+    pub fn execute_on(&self, cache: &RunCache, jobs: usize) -> SweepReport {
+        let t0 = Instant::now();
+        let mut missing: Vec<&(SimConfig, Benchmark)> = Vec::new();
+        let mut cached_hits = 0usize;
+        for entry in &self.entries {
+            if cache.load(&run_key(&entry.0, entry.1)).is_some() {
+                cached_hits += 1;
+            } else {
+                missing.push(entry);
+            }
+        }
+
+        // One immutable build per (benchmark, core-count), shared by
+        // reference across the pool instead of rebuilt per run.
+        let mut workloads: BTreeMap<(&'static str, usize), BuiltWorkload> = BTreeMap::new();
+        for (cfg, bench) in &missing {
+            workloads
+                .entry((bench.name(), cfg.topo.cores()))
+                .or_insert_with(|| bench.build(cfg.topo.cores(), Scale::Paper));
+        }
+
+        let timings: Mutex<Vec<RunTiming>> = Mutex::new(Vec::with_capacity(missing.len()));
+        run_pool(jobs, missing.len(), |i| {
+            let (cfg, bench) = missing[i];
+            let workload = &workloads[&(bench.name(), cfg.topo.cores())];
+            let start = Instant::now();
+            let (_, source) = cache.get_or_run_with(cfg, *bench, Some(workload));
+            timings
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(RunTiming {
+                    key: run_key(cfg, *bench),
+                    secs: start.elapsed().as_secs_f64(),
+                    source,
+                });
+        });
+
+        let mut runs = timings
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        runs.sort_by(|a, b| a.key.cmp(&b.key));
+        let report = SweepReport {
+            jobs,
+            planned: self.entries.len(),
+            cached_hits,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            runs,
+        };
+        if !self.is_empty() {
+            eprintln!(
+                "[sweep] {} key(s): {} simulated, {} cached, {} joined in {:.1}s with {} worker(s)",
+                report.planned,
+                report.simulated(),
+                report.cached_hits + report.count(RunSource::CacheHit),
+                report.count(RunSource::Joined),
+                report.wall_secs,
+                report.jobs,
+            );
+        }
+        report
+    }
+}
+
+/// Run `f(0)..f(n-1)` on a fixed pool of `jobs` scoped worker threads.
+/// Workers claim indices from a shared atomic counter, so long runs
+/// naturally load-balance. A panic in any worker propagates out of this
+/// function once all workers joined (`std::thread::scope` re-raises
+/// it): a failing run aborts the sweep loudly, never silently.
+fn run_pool(jobs: usize, n: usize, f: impl Fn(usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.clamp(1, n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// Wall-clock and provenance of one executed run.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// The run key (see [`run_key`]).
+    pub key: String,
+    /// Wall-clock seconds this worker spent obtaining the record.
+    pub secs: f64,
+    /// Whether the record was simulated, joined, or re-read from cache.
+    pub source: RunSource,
+}
+
+/// The outcome of one [`RunPlan::execute_on`] pass.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Worker-pool size used.
+    pub jobs: usize,
+    /// Distinct keys in the plan.
+    pub planned: usize,
+    /// Keys already published before the pool started.
+    pub cached_hits: usize,
+    /// Wall-clock seconds for the whole pass.
+    pub wall_secs: f64,
+    /// Per-run timings for the keys the pool touched, sorted by key.
+    pub runs: Vec<RunTiming>,
+}
+
+impl SweepReport {
+    /// Runs this pass actually simulated.
+    pub fn simulated(&self) -> usize {
+        self.count(RunSource::Simulated)
+    }
+
+    fn count(&self, source: RunSource) -> usize {
+        self.runs.iter().filter(|r| r.source == source).count()
+    }
+}
+
+/// Accumulates a sweep's timings and writes `BENCH_sweep.json`: phase
+/// and per-run wall-clock plus the knob values (`ATAC_JOBS`,
+/// `ATAC_CORES`, `ATAC_BENCHES`), so successive changes to the
+/// simulator or executor leave a comparable perf trajectory behind.
+#[derive(Debug, Default)]
+pub struct SweepLog {
+    jobs: usize,
+    phases: Vec<(String, f64)>,
+    runs: Vec<RunTiming>,
+    verify: Option<(String, bool)>,
+}
+
+impl SweepLog {
+    /// A log for a sweep using `jobs` workers.
+    pub fn new(jobs: usize) -> Self {
+        SweepLog {
+            jobs,
+            ..Default::default()
+        }
+    }
+
+    /// Record one named phase's wall-clock seconds.
+    pub fn phase(&mut self, name: &str, secs: f64) {
+        self.phases.push((name.to_string(), secs));
+    }
+
+    /// Copy a report's per-run timings into the log.
+    pub fn absorb(&mut self, report: &SweepReport) {
+        self.runs.extend(report.runs.iter().cloned());
+    }
+
+    /// Record the serial re-check outcome for one key.
+    pub fn set_verify(&mut self, key: &str, identical: bool) {
+        self.verify = Some((key.to_string(), identical));
+    }
+
+    /// Render the log as a self-describing JSON document.
+    pub fn to_json(&self) -> String {
+        let cores = std::env::var("ATAC_CORES").unwrap_or_else(|_| "1024".into());
+        let benches = std::env::var("ATAC_BENCHES").unwrap_or_else(|_| "all".into());
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"atac-bench-sweep-v1\",\n");
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"cores\": \"{}\",\n", escape(&cores)));
+        out.push_str(&format!("  \"benches\": \"{}\",\n", escape(&benches)));
+        out.push_str("  \"phases\": {\n");
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            let comma = if i + 1 == self.phases.len() { "" } else { "," };
+            out.push_str(&format!("    \"{}\": {secs:?}{comma}\n", escape(name)));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            let comma = if i + 1 == self.runs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"key\": \"{}\", \"secs\": {:?}, \"source\": \"{}\"}}{comma}\n",
+                escape(&run.key),
+                run.secs,
+                run.source.name()
+            ));
+        }
+        out.push_str("  ]");
+        if let Some((key, identical)) = &self.verify {
+            out.push_str(&format!(
+                ",\n  \"verify\": {{\"key\": \"{}\", \"identical\": {identical}}}",
+                escape(key)
+            ));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Minimal JSON string escaping (keys and env values are plain ASCII,
+/// but stay safe against quotes and backslashes).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_dedups_identical_run_keys() {
+        let mut plan = RunPlan::new();
+        let cfg = SimConfig::small();
+        plan.add(cfg.clone(), Benchmark::Radix);
+        plan.add(cfg.clone(), Benchmark::Radix);
+        // The photonic scenario is energy-only; same run key.
+        plan.add(
+            SimConfig {
+                scenario: PhotonicScenario::Conservative,
+                ..cfg.clone()
+            },
+            Benchmark::Radix,
+        );
+        assert_eq!(plan.len(), 1);
+        plan.add(cfg, Benchmark::Barnes);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let hits = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            run_pool(2, 8, |i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 3, "injected failure");
+            });
+        });
+        assert!(result.is_err(), "a panicking run must fail the sweep");
+    }
+
+    #[test]
+    fn pool_covers_every_index_once() {
+        let n = 64;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_pool(5, n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // Degenerate pools still work.
+        run_pool(0, 0, |_| unreachable!("no indices"));
+        let one = AtomicUsize::new(0);
+        run_pool(16, 1, |_| {
+            one.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(one.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_parser_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 16 "), Some(16));
+        assert_eq!(parse_jobs("0"), None);
+        assert_eq!(parse_jobs("-2"), None);
+        assert_eq!(parse_jobs("many"), None);
+    }
+
+    #[test]
+    fn sweep_log_renders_valid_shape() {
+        let mut log = SweepLog::new(4);
+        log.phase("warm", 1.5);
+        log.phase("render", 0.25);
+        log.runs.push(RunTiming {
+            key: "8x8|atac[distance-15]|radix".into(),
+            secs: 1.25,
+            source: RunSource::Simulated,
+        });
+        log.set_verify("8x8|atac[distance-15]|radix", true);
+        let json = log.to_json();
+        assert!(json.contains("\"schema\": \"atac-bench-sweep-v1\""));
+        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"warm\": 1.5"));
+        assert!(json.contains("\"source\": \"simulated\""));
+        assert!(json.contains("\"identical\": true"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -15,17 +15,20 @@
 //! crates.
 
 use std::collections::BTreeMap;
-use std::fs;
-use std::path::PathBuf;
 
 use atac::coherence::{CoherenceStats, ProtocolKind};
 use atac::net::NetStats;
 use atac::phys::units::{JouleSeconds, Seconds};
 use atac::prelude::*;
 use atac::sim::energy::integrate;
-use atac::trace::TraceCollector;
 
+pub mod cache;
+pub mod executor;
+pub mod plans;
 pub mod runjson;
+
+pub use cache::{publish_atomic, RunCache, RunSource};
+pub use executor::{jobs_from_env, RunPlan, RunTiming, SweepLog, SweepReport};
 
 /// A cached full-system run: everything needed to recompute energy under
 /// any photonic scenario / receive-net flavor without re-simulating.
@@ -91,53 +94,11 @@ pub fn run_key(cfg: &SimConfig, bench: Benchmark) -> String {
     )
 }
 
-fn cache_dir() -> PathBuf {
-    let root = std::env::var("ATAC_RESULTS_DIR").unwrap_or_else(|_| "target/atac-results".into());
-    PathBuf::from(root)
-}
-
-fn cache_path(key: &str) -> PathBuf {
-    cache_dir().join(format!("{}.json", key.replace(['|', '[', ']'], "_")))
-}
-
-/// Run (or load from cache) one benchmark under one configuration.
+/// Run (or load from cache) one benchmark under one configuration, via
+/// the default [`RunCache`]. Safe to call from concurrent workers: the
+/// cache layer deduplicates in-flight keys and publishes atomically.
 pub fn run_cached(cfg: &SimConfig, bench: Benchmark) -> RunRecord {
-    let key = run_key(cfg, bench);
-    let path = cache_path(&key);
-    if let Ok(text) = fs::read_to_string(&path) {
-        if let Some(rec) = runjson::decode(&text) {
-            return rec;
-        }
-    }
-    eprintln!("  [sim] {key}");
-    let start = std::time::Instant::now();
-    // Metrics-only collector: per-class latency histograms ride along in
-    // the cache (no spans, no epochs — pure counters + histograms).
-    let collector = std::rc::Rc::new(std::cell::RefCell::new(TraceCollector::metrics_only()));
-    let probe = ProbeHandle::attach(std::rc::Rc::clone(&collector));
-    let result = atac::run_benchmark_traced(cfg, bench, Scale::Paper, probe, None);
-    eprintln!(
-        "  [sim] {key} done in {:.1}s ({} cycles)",
-        start.elapsed().as_secs_f64(),
-        result.cycles
-    );
-    let latency = collector
-        .borrow()
-        .net_histograms()
-        .into_iter()
-        .map(|(s, k, h)| (format!("{}/{}", s.name(), k.name()), h.clone()))
-        .collect();
-    let rec = RunRecord {
-        cycles: result.cycles,
-        instructions: result.instructions,
-        ipc: result.ipc,
-        net: result.net,
-        coh: result.coh,
-        latency,
-    };
-    let _ = fs::create_dir_all(cache_dir());
-    let _ = fs::write(&path, runjson::encode(&rec));
-    rec
+    RunCache::from_env().get_or_run(cfg, bench).0
 }
 
 /// The benchmark subset to evaluate: all eight by default, overridable

@@ -1,0 +1,199 @@
+//! Run plans for the paper's figures and tables.
+//!
+//! Each function declares the `(config, benchmark)` run keys one figure
+//! binary consumes, so the binary can warm the cache in parallel with
+//! [`RunPlan::execute`] before rendering, and `reproduce` can union the
+//! whole suite into one pool-sized sweep. Plans only carry
+//! *timing-relevant* keys — energy-only knobs (photonic scenario,
+//! receive net, waveguide loss) re-integrate from the same cached
+//! counters, which is why e.g. Fig. 8's six columns need only three runs
+//! per benchmark.
+
+use atac::prelude::*;
+
+use crate::executor::RunPlan;
+use crate::{base_config, benchmarks};
+
+/// Tables I–IV print model parameters only; nothing to simulate.
+pub fn tables() -> RunPlan {
+    RunPlan::new()
+}
+
+/// The three-architecture runtime comparison shared by Figs. 4, 7 and
+/// 17: ATAC+, EMesh-BCast and EMesh-Pure over the benchmark set.
+pub fn runtime_suite() -> RunPlan {
+    let mut plan = RunPlan::new();
+    for b in benchmarks() {
+        for arch in [Arch::atac_plus(), Arch::EMeshBcast, Arch::EMeshPure] {
+            plan.add(
+                SimConfig {
+                    arch,
+                    ..base_config()
+                },
+                b,
+            );
+        }
+    }
+    plan
+}
+
+/// Fig. 8 (normalized EDP): the four photonic scenarios share one ATAC+
+/// timing run per benchmark; the meshes add two more.
+pub fn fig08() -> RunPlan {
+    runtime_suite()
+}
+
+/// Fig. 9 (waveguide-loss sensitivity): the loss sweep is energy-only,
+/// so each benchmark needs just the ATAC+ run and the EMesh-BCast
+/// reference.
+pub fn fig09() -> RunPlan {
+    let mut plan = RunPlan::new();
+    for b in benchmarks() {
+        plan.add(base_config(), b);
+        plan.add(
+            SimConfig {
+                arch: Arch::EMeshBcast,
+                ..base_config()
+            },
+            b,
+        );
+    }
+    plan
+}
+
+/// Table V (SWMR utilization): the default configuration per benchmark.
+pub fn table05() -> RunPlan {
+    let mut plan = RunPlan::new();
+    for b in benchmarks() {
+        plan.add(base_config(), b);
+    }
+    plan
+}
+
+/// The ablation studies: buffer-depth sweep on radix/ocean_non_contig
+/// and the §IV-C-1 sequence-machinery incidence per routing policy on
+/// barnes/dynamic_graph (fixed benchmarks — not `ATAC_BENCHES`-scoped,
+/// matching the binary).
+pub fn ablation() -> RunPlan {
+    let mut plan = RunPlan::new();
+    for b in [Benchmark::Radix, Benchmark::OceanNonContig] {
+        for depth in [2usize, 4, 8] {
+            plan.add(
+                SimConfig {
+                    buffer_depth: depth,
+                    ..base_config()
+                },
+                b,
+            );
+        }
+    }
+    for policy in [
+        RoutingPolicy::Cluster,
+        RoutingPolicy::Distance(15),
+        RoutingPolicy::Distance(35),
+    ] {
+        for b in [Benchmark::Barnes, Benchmark::DynamicGraph] {
+            plan.add(
+                SimConfig {
+                    arch: Arch::Atac(policy, ReceiveNet::StarNet),
+                    ..base_config()
+                },
+                b,
+            );
+        }
+    }
+    plan
+}
+
+/// Every run the full figure suite needs, deduplicated: the union the
+/// `reproduce` driver warms before rendering anything.
+pub fn full_suite() -> RunPlan {
+    let mut plan = runtime_suite(); // figs 4, 7, 8, 17
+    plan.merge(fig09());
+    plan.merge(table05()); // figs 5, 6, table V
+    plan.merge(ablation());
+    for b in benchmarks() {
+        // Fig. 11: flit-width sweep.
+        for flit_width in [16u32, 32, 64, 128, 256] {
+            plan.add(
+                SimConfig {
+                    flit_width,
+                    ..base_config()
+                },
+                b,
+            );
+        }
+        // Figs. 12 + 13: routing policies (BNet vs StarNet is
+        // energy-only, so fig. 12 shares the Cluster key).
+        for policy in [
+            RoutingPolicy::Cluster,
+            RoutingPolicy::Distance(5),
+            RoutingPolicy::Distance(15),
+            RoutingPolicy::Distance(25),
+            RoutingPolicy::Distance(35),
+        ] {
+            plan.add(
+                SimConfig {
+                    arch: Arch::Atac(policy, ReceiveNet::StarNet),
+                    ..base_config()
+                },
+                b,
+            );
+        }
+        // Fig. 14: Dir4B on both fabrics (ACKwise4 already covered).
+        for arch in [Arch::atac_plus(), Arch::EMeshBcast] {
+            plan.add(
+                SimConfig {
+                    arch,
+                    protocol: ProtocolKind::DirB { k: 4 },
+                    ..base_config()
+                },
+                b,
+            );
+        }
+        // Figs. 15 + 16: ACKwise_k sharer sweep.
+        for k in [4usize, 8, 16, 32, 1024] {
+            plan.add(
+                SimConfig {
+                    protocol: ProtocolKind::AckWise { k },
+                    ..base_config()
+                },
+                b,
+            );
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_plan_is_empty() {
+        assert!(tables().is_empty());
+    }
+
+    #[test]
+    fn ablation_covers_depths_and_policies() {
+        // 2 benches × 3 depths + 3 policies × 2 benches, no overlap
+        // (depth 4 = base ATAC+ key differs from the policy keys).
+        assert_eq!(ablation().len(), 12);
+    }
+
+    #[test]
+    fn full_suite_subsumes_every_figure_plan() {
+        let full = full_suite();
+        let full_keys: std::collections::BTreeSet<String> = full
+            .entries()
+            .iter()
+            .map(|(cfg, b)| crate::run_key(cfg, *b))
+            .collect();
+        for plan in [fig08(), fig09(), table05(), ablation(), runtime_suite()] {
+            for (cfg, b) in plan.entries() {
+                assert!(full_keys.contains(&crate::run_key(cfg, *b)));
+            }
+        }
+        assert_eq!(full.len(), full_keys.len(), "plan entries stay deduped");
+    }
+}

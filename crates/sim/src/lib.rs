@@ -28,3 +28,17 @@ pub use atac_trace::{ProbeHandle, TraceCollector};
 pub use config::{Arch, SimConfig};
 pub use energy::EnergyBreakdown;
 pub use engine::{run, run_with_probe, SimResult};
+
+// Send-safety audit for the parallel sweep executor (atac-bench): a
+// sweep shares one `SimConfig` and one immutably-built workload across
+// worker threads, and ships `SimResult`s back. These types are plain
+// data today; the asserts turn an accidental `Rc`/`RefCell`/raw-pointer
+// field added later into a compile error at the layer that owns the
+// contract instead of a cryptic one inside the executor.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<SimResult>();
+    assert_send_sync::<EnergyBreakdown>();
+    assert_send_sync::<atac_workloads::BuiltWorkload>();
+};

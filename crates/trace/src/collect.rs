@@ -1,7 +1,9 @@
 //! The standard [`Probe`] implementation: histograms per message class
 //! and transaction type, Chrome-trace spans, and the epoch time series.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use crate::hist::Histogram;
 use crate::probe::{
@@ -85,6 +87,17 @@ impl TraceCollector {
     /// cheap mode the bench run-cache uses).
     pub fn metrics_only() -> Self {
         Self::with_span_capacity(0)
+    }
+
+    /// A metrics-only collector pre-attached to a fresh [`ProbeHandle`],
+    /// for per-worker instrumentation in a parallel sweep: the returned
+    /// pair is `Rc`-based and deliberately `!Send`, so each worker
+    /// thread must construct its own inside the thread — two workers can
+    /// never interleave events into one collector by construction.
+    pub fn metrics_worker() -> (Rc<RefCell<TraceCollector>>, crate::ProbeHandle) {
+        let collector = Rc::new(RefCell::new(Self::metrics_only()));
+        let probe = crate::ProbeHandle::attach(Rc::clone(&collector));
+        (collector, probe)
     }
 
     /// Collector retaining at most `max_spans` spans.

@@ -248,6 +248,19 @@ impl Probe for NullProbe {}
 /// (see the module docs for the overhead argument). All probe dispatch
 /// goes through these inline forwarders — hot-path code never borrows
 /// the probe object directly (`atac-audit` rule `probe-api`).
+///
+/// ## Thread confinement
+///
+/// The handle is `Rc`-based and therefore deliberately `!Send`: a probe
+/// and everything it collects belong to the worker thread that created
+/// them, so parallel sweep workers can never interleave events into one
+/// collector. This is a compile-time guarantee:
+///
+/// ```compile_fail,E0277
+/// use atac_trace::ProbeHandle;
+/// fn requires_send<T: Send>(_: T) {}
+/// requires_send(ProbeHandle::disabled());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct ProbeHandle(Option<Rc<RefCell<dyn Probe>>>);
 
