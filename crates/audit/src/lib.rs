@@ -1,6 +1,6 @@
 //! Project-specific static analysis for the ATAC+ workspace.
 //!
-//! Six rules, all enforced line/token-wise on the raw source text (so
+//! Seven rules, all enforced line/token-wise on the raw source text (so
 //! they see code inside macro invocations, which `syn`-style tooling
 //! would not without expansion — and this crate must build with zero
 //! dependencies):
@@ -39,6 +39,14 @@
 //!    `target/atac-results/` would bypass the atomic temp-file + rename
 //!    protocol that keeps parallel sweeps torn-record-free. Waive with
 //!    `// audit: allow(sweep) <reason>`.
+//! 7. **`report-api`** — all run-history and report file writes go
+//!    through the `crates/report` history writers
+//!    (`append_lines`/`write_text` in `history.rs`): no ad-hoc
+//!    `fs::write`/`File::create`/`OpenOptions` elsewhere in
+//!    `crates/report`. The registry is append-only and
+//!    schema-versioned; a stray write could truncate or interleave
+//!    `BENCH_history.jsonl` and silently blind the regression gate.
+//!    Waive with `// audit: allow(report) <reason>`.
 //!
 //! The binary (`cargo run -p atac-audit`) exits non-zero on any
 //! violation; the same pass runs under `cargo test` via
@@ -55,7 +63,7 @@ pub struct Violation {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`raw-f64`, `counter-coverage`, `wildcard-arm`,
-    /// `hot-path`, `probe-api`, `sweep-api`).
+    /// `hot-path`, `probe-api`, `sweep-api`, `report-api`).
     pub rule: &'static str,
     /// Human-readable description of the problem and the fix.
     pub message: String,
@@ -114,10 +122,15 @@ const SWEEP_API_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/net/src",
     "crates/phys/src",
+    "crates/report/src",
     "crates/sim/src",
     "crates/trace/src",
     "crates/workloads/src",
 ];
+
+/// The module that owns every history/report file write; rule 7 exempts
+/// it and polices the rest of `crates/report`.
+const REPORT_API_FILES: &[&str] = &["crates/report/src/history.rs"];
 
 /// Keywords marking a function (or parameter) as an energy/power/time
 /// API for rule 1.
@@ -178,6 +191,13 @@ pub fn audit_workspace(root: &Path) -> Vec<Violation> {
             let text = read(&file);
             check_sweep_api(&rel, &text, &mut v);
         }
+    }
+
+    // Rule 7 over the report crate.
+    for file in rust_files(&root.join("crates/report/src")) {
+        let rel = rel_path(root, &file);
+        let text = read(&file);
+        check_report_api(&rel, &text, &mut v);
     }
 
     v.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -712,6 +732,35 @@ fn check_sweep_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
 }
 
 // ----------------------------------------------------------------------
+// Rule 7: history/report writes go through the report-crate writers
+// ----------------------------------------------------------------------
+
+fn check_report_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    if REPORT_API_FILES.contains(&rel) {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let test_start = test_region_start(&lines);
+    for idx in 0..test_start {
+        let (code, _) = split_comment(lines[idx]);
+        for pat in ["fs::write(", "File::create(", "OpenOptions"] {
+            if code.contains(pat) && !has_waiver(&lines, idx, "report") {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "report-api",
+                    message: format!(
+                        "ad-hoc `{pat}…` in crates/report outside history.rs; write \
+                         through `append_lines`/`write_text` so the registry stays \
+                         append-only, or waive with `// audit: allow(report) <reason>`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // Tests: each rule must fire on a seeded violation and stay quiet on
 // clean input; the shipped tree must audit clean.
 // ----------------------------------------------------------------------
@@ -987,6 +1036,38 @@ pub struct NetStats {\n\
                    }\n";
         let mut v = Vec::new();
         check_sweep_api("crates/bench/src/lib.rs", src, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- rule 7 ----
+
+    #[test]
+    fn report_api_writes_fire_outside_history() {
+        let bad = "fs::write(&path, &markdown)?;\nlet f = File::create(&out)?;\n";
+        let mut v = Vec::new();
+        check_report_api("crates/report/src/render.rs", bad, &mut v);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].rule, "report-api");
+        assert!(v[0].message.contains("append_lines"));
+
+        // The designated writer module is exempt wholesale.
+        let writer = "let f = OpenOptions::new().append(true).open(p)?;\nfs::write(p, t)?;\n";
+        let mut v = Vec::new();
+        check_report_api("crates/report/src/history.rs", writer, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn report_api_waiver_and_test_module_are_honored() {
+        let waived = "// audit: allow(report) debug dump, not a registry artifact\n\
+                      fs::write(&dbg_path, &dump)?;\n";
+        let mut v = Vec::new();
+        check_report_api("crates/report/src/main.rs", waived, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn f() { fs::write(a, b); }\n}\n";
+        let mut v = Vec::new();
+        check_report_api("crates/report/src/gate.rs", test_only, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -8,7 +8,7 @@ fn main() -> ExitCode {
     let root = atac_audit::workspace_root();
     let violations = atac_audit::audit_workspace(&root);
     if violations.is_empty() {
-        println!("atac-audit: clean ({} rules, 0 violations)", 6);
+        println!("atac-audit: clean ({} rules, 0 violations)", 7);
         ExitCode::SUCCESS
     } else {
         for v in &violations {

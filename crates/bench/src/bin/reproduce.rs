@@ -10,8 +10,11 @@
 //!    phase is pure formatting.
 //!
 //! Wall-clock per phase and per simulated run key lands in
-//! `BENCH_sweep.json` (schema `atac-bench-sweep-v1`) in the working
-//! directory, giving later PRs a perf trajectory to regress against.
+//! `BENCH_sweep.json` (schema `atac-bench-sweep-v2`, which adds per-key
+//! figure-level summaries and host self-profiles) in the working
+//! directory. `atac-report` (crates/report) records these sweeps into
+//! the append-only `BENCH_history.jsonl` registry and gates new runs
+//! against it, giving later PRs a perf trajectory to regress against.
 //!
 //! Environment knobs: `ATAC_JOBS=<n>` (default: available parallelism),
 //! `ATAC_CORES=64|256|1024` (default 1024),

@@ -32,10 +32,18 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 use atac::prelude::*;
-use atac::trace::TraceCollector;
+use atac::trace::{HostPhase, HostProfile, HostProfiler, TraceCollector};
 use atac::workloads::BuiltWorkload;
 
 use crate::{run_key, runjson, RunRecord};
+
+/// Whether simulated runs carry a host self-profile (`ATAC_PROFILE`,
+/// default on; set `ATAC_PROFILE=0` to disable). Profiles are observers
+/// of the *host* clock only — they never enter the published run record,
+/// whose bytes stay governed by the determinism contract.
+pub fn profiling_enabled() -> bool {
+    std::env::var("ATAC_PROFILE").as_deref() != Ok("0")
+}
 
 /// How a requested run record was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,10 +120,25 @@ impl RunCache {
         bench: Benchmark,
         workload: Option<&BuiltWorkload>,
     ) -> (RunRecord, RunSource) {
+        let (rec, source, _) = self.get_or_run_profiled(cfg, bench, workload);
+        (rec, source)
+    }
+
+    /// [`Self::get_or_run_with`], additionally returning the host
+    /// self-profile of the simulation. The profile is `Some` only when
+    /// this call actually simulated *and* [`profiling_enabled`] — cache
+    /// hits and joins do no attributable host work — and covers workload
+    /// build through record publication (`setup` … `export` laps).
+    pub fn get_or_run_profiled(
+        &self,
+        cfg: &SimConfig,
+        bench: Benchmark,
+        workload: Option<&BuiltWorkload>,
+    ) -> (RunRecord, RunSource, Option<HostProfile>) {
         let key = run_key(cfg, bench);
         let path = self.record_path(&key);
         if let Some(rec) = load_path(&path) {
-            return (rec, RunSource::CacheHit);
+            return (rec, RunSource::CacheHit, None);
         }
 
         // Single-flight: first requester of a key becomes the leader and
@@ -145,7 +168,7 @@ impl RunCache {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             return match &*state {
-                FlightState::Done(rec) => ((**rec).clone(), RunSource::Joined),
+                FlightState::Done(rec) => ((**rec).clone(), RunSource::Joined, None),
                 FlightState::Failed => panic!("concurrent simulation of `{key}` failed"),
                 FlightState::Pending => unreachable!("condvar loop exits only when settled"),
             };
@@ -162,17 +185,23 @@ impl RunCache {
         };
         // Re-check under flight ownership: another *process* may have
         // published while this one raced to the table.
-        let (rec, source) = match load_path(&path) {
-            Some(rec) => (rec, RunSource::CacheHit),
+        let (rec, source, profile) = match load_path(&path) {
+            Some(rec) => (rec, RunSource::CacheHit, None),
             None => {
-                let rec = simulate(cfg, bench, workload, &key);
+                let prof = if profiling_enabled() {
+                    HostProfiler::enabled()
+                } else {
+                    HostProfiler::disabled()
+                };
+                let rec = simulate(cfg, bench, workload, &key, &prof);
                 publish_atomic(&path, &runjson::encode(&rec))
                     .unwrap_or_else(|e| panic!("cannot publish run cache {}: {e}", path.display()));
-                (rec, RunSource::Simulated)
+                prof.lap(HostPhase::Export);
+                (rec, RunSource::Simulated, prof.finish())
             }
         };
         guard.finish(rec.clone());
-        (rec, source)
+        (rec, source, profile)
     }
 }
 
@@ -201,12 +230,15 @@ fn load_path(path: &Path) -> Option<RunRecord> {
 }
 
 /// Simulate one run, observing per-class latency histograms through a
-/// worker-local collector.
+/// worker-local collector and host phase time through `prof` (which
+/// shares its lap timeline with the engine; the caller laps `export`
+/// after publishing and snapshots the profile).
 fn simulate(
     cfg: &SimConfig,
     bench: Benchmark,
     shared: Option<&BuiltWorkload>,
     key: &str,
+    prof: &HostProfiler,
 ) -> RunRecord {
     eprintln!("  [sim] {key}");
     let start = std::time::Instant::now();
@@ -220,9 +252,11 @@ fn simulate(
     };
     // Per-worker collector: `ProbeHandle` is `Rc`-based and `!Send`, so
     // each pool worker constructs its own pair inside its thread — two
-    // workers can never interleave events into one collector.
+    // workers can never interleave events into one collector. The same
+    // confinement applies to the `HostProfiler` clone handed down here.
     let (collector, probe) = TraceCollector::metrics_worker();
-    let result = atac::sim::run_with_probe(cfg, workload, probe, None);
+    prof.lap(HostPhase::Setup);
+    let result = atac::sim::run_profiled(cfg, workload, probe, None, prof.clone());
     eprintln!(
         "  [sim] {key} done in {:.1}s ({} cycles)",
         start.elapsed().as_secs_f64(),
@@ -234,6 +268,7 @@ fn simulate(
         .into_iter()
         .map(|(s, k, h)| (format!("{}/{}", s.name(), k.name()), h.clone()))
         .collect();
+    prof.lap(HostPhase::Export);
     RunRecord {
         cycles: result.cycles,
         instructions: result.instructions,

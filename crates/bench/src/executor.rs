@@ -29,10 +29,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use atac::prelude::*;
+use atac::trace::{HostPhase, HostProfile};
 use atac::workloads::BuiltWorkload;
 
 use crate::cache::{RunCache, RunSource};
-use crate::run_key;
+use crate::{run_key, RunSummary};
 
 /// Worker count for sweeps: `ATAC_JOBS` if set, else the machine's
 /// available parallelism.
@@ -126,7 +127,7 @@ impl RunPlan {
             let (cfg, bench) = missing[i];
             let workload = &workloads[&(bench.name(), cfg.topo.cores())];
             let start = Instant::now();
-            let (_, source) = cache.get_or_run_with(cfg, *bench, Some(workload));
+            let (_, source, profile) = cache.get_or_run_profiled(cfg, *bench, Some(workload));
             timings
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -134,6 +135,7 @@ impl RunPlan {
                     key: run_key(cfg, *bench),
                     secs: start.elapsed().as_secs_f64(),
                     source,
+                    profile,
                 });
         });
 
@@ -141,12 +143,25 @@ impl RunPlan {
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         runs.sort_by(|a, b| a.key.cmp(&b.key));
+        // Summarize every planned record (they are all published by
+        // now) into the figure-level metrics the run-history registry
+        // and regression gate consume.
+        let mut summaries: Vec<RunSummary> = self
+            .entries
+            .iter()
+            .filter_map(|(cfg, bench)| {
+                let rec = cache.load(&run_key(cfg, *bench))?;
+                Some(RunSummary::from_record(cfg, *bench, &rec))
+            })
+            .collect();
+        summaries.sort_by(|a, b| a.key.cmp(&b.key));
         let report = SweepReport {
             jobs,
             planned: self.entries.len(),
             cached_hits,
             wall_secs: t0.elapsed().as_secs_f64(),
             runs,
+            summaries,
         };
         if !self.is_empty() {
             eprintln!(
@@ -195,6 +210,9 @@ pub struct RunTiming {
     pub secs: f64,
     /// Whether the record was simulated, joined, or re-read from cache.
     pub source: RunSource,
+    /// Host self-profile of the simulation (simulated runs with
+    /// `ATAC_PROFILE` enabled only; see [`crate::profiling_enabled`]).
+    pub profile: Option<HostProfile>,
 }
 
 /// The outcome of one [`RunPlan::execute_on`] pass.
@@ -210,6 +228,10 @@ pub struct SweepReport {
     pub wall_secs: f64,
     /// Per-run timings for the keys the pool touched, sorted by key.
     pub runs: Vec<RunTiming>,
+    /// Figure-level metrics for *every* planned key (cached or
+    /// simulated), sorted by key — what the run-history registry and
+    /// regression gate consume.
+    pub summaries: Vec<RunSummary>,
 }
 
 impl SweepReport {
@@ -221,17 +243,34 @@ impl SweepReport {
     fn count(&self, source: RunSource) -> usize {
         self.runs.iter().filter(|r| r.source == source).count()
     }
+
+    /// All runs' host self-profiles merged, if any run carried one.
+    pub fn merged_profile(&self) -> Option<HostProfile> {
+        let mut merged = HostProfile::zero();
+        let mut any = false;
+        for run in &self.runs {
+            if let Some(p) = &run.profile {
+                merged.merge(p);
+                any = true;
+            }
+        }
+        any.then_some(merged)
+    }
 }
 
 /// Accumulates a sweep's timings and writes `BENCH_sweep.json`: phase
-/// and per-run wall-clock plus the knob values (`ATAC_JOBS`,
-/// `ATAC_CORES`, `ATAC_BENCHES`), so successive changes to the
-/// simulator or executor leave a comparable perf trajectory behind.
+/// and per-run wall-clock, per-run host self-profiles, figure-level
+/// run summaries, plus the knob values (`ATAC_JOBS`, `ATAC_CORES`,
+/// `ATAC_BENCHES`), so successive changes to the simulator or executor
+/// leave a comparable perf trajectory behind. Schema
+/// `atac-bench-sweep-v2` (v1 lacked `summaries` and profiles; readers
+/// treat unknown fields as forward-compatible).
 #[derive(Debug, Default)]
 pub struct SweepLog {
     jobs: usize,
     phases: Vec<(String, f64)>,
     runs: Vec<RunTiming>,
+    summaries: Vec<RunSummary>,
     verify: Option<(String, bool)>,
 }
 
@@ -249,9 +288,10 @@ impl SweepLog {
         self.phases.push((name.to_string(), secs));
     }
 
-    /// Copy a report's per-run timings into the log.
+    /// Copy a report's per-run timings and summaries into the log.
     pub fn absorb(&mut self, report: &SweepReport) {
         self.runs.extend(report.runs.iter().cloned());
+        self.summaries.extend(report.summaries.iter().cloned());
     }
 
     /// Record the serial re-check outcome for one key.
@@ -265,7 +305,7 @@ impl SweepLog {
         let benches = std::env::var("ATAC_BENCHES").unwrap_or_else(|_| "all".into());
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"atac-bench-sweep-v1\",\n");
+        out.push_str("  \"schema\": \"atac-bench-sweep-v2\",\n");
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"cores\": \"{}\",\n", escape(&cores)));
         out.push_str(&format!("  \"benches\": \"{}\",\n", escape(&benches)));
@@ -279,13 +319,30 @@ impl SweepLog {
         for (i, run) in self.runs.iter().enumerate() {
             let comma = if i + 1 == self.runs.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"key\": \"{}\", \"secs\": {:?}, \"source\": \"{}\"}}{comma}\n",
+                "    {{\"key\": \"{}\", \"secs\": {:?}, \"source\": \"{}\"",
                 escape(&run.key),
                 run.secs,
                 run.source.name()
             ));
+            if let Some(p) = &run.profile {
+                out.push_str(&format!(", \"profile\": {}", profile_json(p)));
+            }
+            out.push_str(&format!("}}{comma}\n"));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"summaries\": [\n");
+        for (i, s) in self.summaries.iter().enumerate() {
+            let comma = if i + 1 == self.summaries.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    {}{comma}\n", summary_json(s)));
         }
         out.push_str("  ]");
+        if let Some(total) = self.merged_profile() {
+            out.push_str(&format!(",\n  \"self_profile\": {}", profile_json(&total)));
+        }
         if let Some((key, identical)) = &self.verify {
             out.push_str(&format!(
                 ",\n  \"verify\": {{\"key\": \"{}\", \"identical\": {identical}}}",
@@ -294,6 +351,19 @@ impl SweepLog {
         }
         out.push_str("\n}\n");
         out
+    }
+
+    /// All logged runs' host self-profiles merged, if any carried one.
+    pub fn merged_profile(&self) -> Option<HostProfile> {
+        let mut merged = HostProfile::zero();
+        let mut any = false;
+        for run in &self.runs {
+            if let Some(p) = &run.profile {
+                merged.merge(p);
+                any = true;
+            }
+        }
+        any.then_some(merged)
     }
 
     /// Write the JSON document to `path`.
@@ -306,6 +376,45 @@ impl SweepLog {
 /// but stay safe against quotes and backslashes).
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One host self-profile as a JSON object: per-phase seconds (nonzero
+/// phases only, stable [`HostPhase::name`] keys), total and coverage.
+fn profile_json(p: &HostProfile) -> String {
+    let phases: Vec<String> = HostPhase::ALL
+        .into_iter()
+        .filter(|ph| p.phase_secs(*ph) > 0.0)
+        .map(|ph| format!("\"{}\": {:?}", ph.name(), p.phase_secs(ph)))
+        .collect();
+    format!(
+        "{{\"total_secs\": {:?}, \"coverage\": {:?}, \"phases\": {{{}}}}}",
+        p.total_secs,
+        p.coverage(),
+        phases.join(", ")
+    )
+}
+
+/// One run summary as a JSON object. Floats print via `{:?}` so they
+/// round-trip exactly — the regression gate compares them bit-for-bit.
+fn summary_json(s: &RunSummary) -> String {
+    format!(
+        "{{\"key\": \"{}\", \"bench\": \"{}\", \"cycles\": {}, \"instructions\": {}, \
+         \"ipc\": {:?}, \"runtime_s\": {:?}, \"energy_j\": {:?}, \"edp_js\": {:?}, \
+         \"latency\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"count\": {}}}}}",
+        escape(&s.key),
+        escape(&s.bench),
+        s.cycles,
+        s.instructions,
+        s.ipc,
+        s.runtime.value(),
+        s.energy.value(),
+        s.edp.value(),
+        s.latency_p50,
+        s.latency_p95,
+        s.latency_p99,
+        s.latency_max,
+        s.latency_count,
+    )
 }
 
 #[cfg(test)]
@@ -375,14 +484,21 @@ mod tests {
         let mut log = SweepLog::new(4);
         log.phase("warm", 1.5);
         log.phase("render", 0.25);
+        let mut profile = HostProfile::zero();
+        profile.secs[HostPhase::Replay.index()] = 1.0;
+        profile.total_secs = 1.25;
         log.runs.push(RunTiming {
             key: "8x8|atac[distance-15]|radix".into(),
             secs: 1.25,
             source: RunSource::Simulated,
+            profile: Some(profile),
         });
         log.set_verify("8x8|atac[distance-15]|radix", true);
         let json = log.to_json();
-        assert!(json.contains("\"schema\": \"atac-bench-sweep-v1\""));
+        assert!(json.contains("\"schema\": \"atac-bench-sweep-v2\""));
+        assert!(json.contains("\"replay\": 1.0"));
+        assert!(json.contains("\"self_profile\""));
+        assert!(json.contains("\"summaries\""));
         assert!(json.contains("\"jobs\": 4"));
         assert!(json.contains("\"warm\": 1.5"));
         assert!(json.contains("\"source\": \"simulated\""));

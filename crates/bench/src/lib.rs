@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use atac::coherence::{CoherenceStats, ProtocolKind};
 use atac::net::NetStats;
-use atac::phys::units::{JouleSeconds, Seconds};
+use atac::phys::units::{JouleSeconds, Joules, Seconds};
 use atac::prelude::*;
 use atac::sim::energy::integrate;
 
@@ -27,7 +27,7 @@ pub mod executor;
 pub mod plans;
 pub mod runjson;
 
-pub use cache::{publish_atomic, RunCache, RunSource};
+pub use cache::{profiling_enabled, publish_atomic, RunCache, RunSource};
 pub use executor::{jobs_from_env, RunPlan, RunTiming, SweepLog, SweepReport};
 
 /// A cached full-system run: everything needed to recompute energy under
@@ -68,6 +68,75 @@ impl RunRecord {
     /// Energy-delay product under `cfg`.
     pub fn edp(&self, cfg: &SimConfig) -> JouleSeconds {
         self.energy(cfg).total() * self.runtime(cfg)
+    }
+
+    /// All message classes' latency histograms merged into one
+    /// distribution (histograms are mergeable without raw samples).
+    pub fn merged_latency(&self) -> atac::trace::Histogram {
+        let mut all = atac::trace::Histogram::new();
+        for (_, h) in &self.latency {
+            all.merge(h);
+        }
+        all
+    }
+}
+
+/// The figure-level metrics of one run, as recorded into the run-history
+/// registry (`BENCH_history.jsonl` via `atac-report`): everything a
+/// cross-PR regression gate compares, detached from the full counter set.
+///
+/// Simulated metrics (`cycles` … `edp`) are deterministic per the cache's
+/// contract and gate by exact match; the latency percentiles come from
+/// the merged per-class histograms and are equally exact.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The run key (see [`run_key`]).
+    pub key: String,
+    /// Benchmark name (the trailing run-key component, kept parsed).
+    pub bench: String,
+    /// Completion time in cycles.
+    pub cycles: u64,
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Average per-core IPC.
+    pub ipc: f64,
+    /// Runtime under the run's clock.
+    pub runtime: Seconds,
+    /// Total energy under the run's configuration.
+    pub energy: Joules,
+    /// Energy-delay product.
+    pub edp: JouleSeconds,
+    /// Median message latency in cycles (merged across classes).
+    pub latency_p50: u64,
+    /// 95th-percentile message latency in cycles.
+    pub latency_p95: u64,
+    /// 99th-percentile message latency in cycles.
+    pub latency_p99: u64,
+    /// Exact maximum message latency in cycles.
+    pub latency_max: u64,
+    /// Messages across every class histogram.
+    pub latency_count: u64,
+}
+
+impl RunSummary {
+    /// Summarize one cached record under the configuration it ran with.
+    pub fn from_record(cfg: &SimConfig, bench: Benchmark, rec: &RunRecord) -> Self {
+        let lat = rec.merged_latency();
+        RunSummary {
+            key: run_key(cfg, bench),
+            bench: bench.name().to_string(),
+            cycles: rec.cycles,
+            instructions: rec.instructions,
+            ipc: rec.ipc,
+            runtime: rec.runtime(cfg),
+            energy: rec.energy(cfg).total(),
+            edp: rec.edp(cfg),
+            latency_p50: lat.p50(),
+            latency_p95: lat.p95(),
+            latency_p99: lat.p99(),
+            latency_max: lat.max(),
+            latency_count: lat.count(),
+        }
     }
 }
 

@@ -38,7 +38,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use atac_net::{CoreId, Cycle, Delivery, Dest, Message, Network, Topology};
-use atac_trace::{ProbeHandle, TxnEvent, TxnPhase};
+use atac_trace::{HostPhase, HostProfiler, ProbeHandle, TxnEvent, TxnPhase};
 
 use crate::addr::Addr;
 use crate::cache::{LineState, SetAssocCache, Victim};
@@ -136,6 +136,10 @@ pub struct MemorySystem {
     /// Observability probe (disabled by default; reports transaction
     /// lifecycle phases, never alters protocol behavior).
     probe: ProbeHandle,
+    /// Host self-profiler (disabled by default). Shares the engine's lap
+    /// timeline so outbox-flush and memory-controller host time is
+    /// attributed from inside this crate; never reads simulator state.
+    profiler: HostProfiler,
 }
 
 impl MemorySystem {
@@ -157,6 +161,7 @@ impl MemorySystem {
             outbox_is_active: vec![false; n],
             stats: CoherenceStats::default(),
             probe: ProbeHandle::default(),
+            profiler: HostProfiler::default(),
         }
     }
 
@@ -168,6 +173,12 @@ impl MemorySystem {
     /// Attach an observability probe.
     pub fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    /// Attach a host self-profiler (a clone of the engine's handle, so
+    /// the lap timeline stays contiguous across the crate boundary).
+    pub fn set_profiler(&mut self, profiler: HostProfiler) {
+        self.profiler = profiler;
     }
 
     /// Messages currently queued across every per-core outbox (the
@@ -290,6 +301,7 @@ impl MemorySystem {
                 i += 1;
             }
         }
+        self.profiler.lap(HostPhase::Coherence);
     }
 
     /// Are any protocol messages still waiting to enter the network?
@@ -328,6 +340,7 @@ impl MemorySystem {
         self.stats.mem_queue_cycles = self.memctrls.iter().map(|m| m.queue_cycles).sum();
         self.stats.mem_reads = self.memctrls.iter().map(|m| m.reads).sum();
         self.stats.mem_writes = self.memctrls.iter().map(|m| m.writes).sum();
+        self.profiler.lap(HostPhase::Memctrl);
     }
 
     /// Earliest pending memory-controller completion (for skip-ahead).

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::atac::Network;
 use crate::types::{CoreId, Cycle, Delivery, Dest, Message, MessageClass};
-use atac_trace::Histogram;
+use atac_trace::{Histogram, HostPhase, HostProfiler};
 
 /// Configuration of one synthetic run.
 #[derive(Debug, Clone)]
@@ -80,6 +80,20 @@ pub struct SyntheticResult {
 
 /// Run synthetic traffic through a network.
 pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) -> SyntheticResult {
+    run_synthetic_profiled(net, cfg, HostProfiler::default())
+}
+
+/// [`run_synthetic`] with host self-profiling: traffic generation and
+/// source-queue drain lap as [`HostPhase::Inject`], fabric advancement
+/// and delivery accounting as [`HostPhase::Network`], and final result
+/// assembly as [`HostPhase::Integrate`]. The profiler only reads the
+/// host clock, so the synthetic result is bit-identical to an
+/// unprofiled run with the same seed.
+pub fn run_synthetic_profiled<N: Network + ?Sized>(
+    net: &mut N,
+    cfg: &SyntheticConfig,
+    prof: HostProfiler,
+) -> SyntheticResult {
     let cores = net.cores();
     let flits_per_msg = f64::from(cfg.class.flits(net.flit_width()));
     let gen_prob = (cfg.load / flits_per_msg).min(1.0);
@@ -149,6 +163,7 @@ pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) ->
                 }
             }
         }
+        prof.lap(HostPhase::Inject);
         net.tick(now);
         net.drain_deliveries(&mut deliveries);
         for d in deliveries.drain(..) {
@@ -160,10 +175,12 @@ pub fn run_synthetic<N: Network + ?Sized>(net: &mut N, cfg: &SyntheticConfig) ->
                 outstanding -= 1;
             }
         }
+        prof.lap(HostPhase::Network);
         now += 1;
     }
 
     let saturated = outstanding > 0;
+    prof.lap(HostPhase::Integrate);
     SyntheticResult {
         avg_latency: latency.mean(),
         p50_latency: latency.p50(),
@@ -250,6 +267,27 @@ mod tests {
         assert!(r.p99_latency <= r.max_latency);
         assert!(r.avg_latency <= r.max_latency as f64);
         assert!((r.avg_latency - r.latency.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiled_synthetic_run_is_bit_identical() {
+        let t = Topology::small(8, 4);
+        let plain = {
+            let mut net = AtacNet::atac_plus(t);
+            run_synthetic(&mut net, &small_cfg(0.05))
+        };
+        let prof = HostProfiler::enabled();
+        let profiled = {
+            let mut net = AtacNet::atac_plus(t);
+            run_synthetic_profiled(&mut net, &small_cfg(0.05), prof.clone())
+        };
+        assert_eq!(plain.generated, profiled.generated);
+        assert_eq!(plain.delivered, profiled.delivered);
+        assert_eq!(plain.avg_latency.to_bits(), profiled.avg_latency.to_bits());
+        let profile = prof.finish().expect("enabled");
+        assert!(profile.phase_secs(HostPhase::Inject) > 0.0);
+        assert!(profile.phase_secs(HostPhase::Network) > 0.0);
+        assert!(profile.coverage() >= 0.9, "coverage {}", profile.coverage());
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! The regression gate: does the current sweep regress the baseline?
+//!
+//! Two classes of metric, two disciplines:
+//!
+//! * **Simulated metrics** (cycles, instructions, runtime, energy, EDP,
+//!   latency quantiles) are deterministic under the executor's
+//!   bit-stability contract, so they gate by *exact* comparison against
+//!   the latest baseline record per key. A worse value is a regression;
+//!   a better one is an improvement (reported, passing by default); an
+//!   instruction/message-count change is drift in the workload itself
+//!   and always counts as a regression — intentional changes re-seed
+//!   the baseline.
+//! * **Host seconds** are noisy (machine, load, cache state), so they
+//!   gate against the *median* of every baseline sample for the key
+//!   with a MAD-scaled tolerance plus a relative floor — a lone
+//!   baseline sample (MAD = 0) still admits normal cross-machine
+//!   variance. Host checks warn by default and fail only under
+//!   `strict_host` (CI machines differ from the machine that seeded
+//!   the baseline).
+//!
+//! The verdict table names every offending key, and [`GateReport::passed`]
+//! drives the CLI's exit code.
+
+use std::fmt::Write as _;
+
+use crate::history::History;
+use crate::sweep::{RunMetrics, SweepDoc};
+
+/// Gate tolerances and strictness knobs.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Host-seconds tolerance in normal-consistent MADs above the
+    /// baseline median.
+    pub host_mads: f64,
+    /// Relative tolerance floor on host seconds (fraction of the
+    /// median), covering single-sample baselines.
+    pub host_rel_floor: f64,
+    /// Absolute host tolerance floor in seconds, covering sub-second
+    /// runs whose relative floor would be microscopic.
+    pub host_abs_floor: f64,
+    /// Fail (not just warn) on host-time regressions.
+    pub strict_host: bool,
+    /// Fail when a baseline key is missing from the current sweep.
+    pub require_all: bool,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            host_mads: 5.0,
+            host_rel_floor: 0.35,
+            host_abs_floor: 2.0,
+            strict_host: false,
+            require_all: false,
+        }
+    }
+}
+
+/// One exact-metric mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name (stable vocabulary: `cycles`, `energy_j`, …).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Whether the change is in the regression direction.
+    pub worse: bool,
+}
+
+impl Delta {
+    /// Signed relative change in percent (`+` means increased).
+    pub fn pct(&self) -> f64 {
+        if self.base == 0.0 {
+            if self.cur == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.cur - self.base) / self.base * 100.0
+        }
+    }
+}
+
+/// The host-seconds check for one key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostCheck {
+    /// Median of the baseline samples.
+    pub median: f64,
+    /// Normal-consistent MAD (1.4826 × raw MAD) of the samples.
+    pub mad: f64,
+    /// Number of baseline samples behind the median.
+    pub samples: usize,
+    /// Current sweep's host seconds for the key.
+    pub cur: f64,
+    /// The upper bound the current value was held to.
+    pub bound: f64,
+}
+
+impl HostCheck {
+    /// Did the current value exceed the noise bound?
+    pub fn regressed(&self) -> bool {
+        self.cur > self.bound
+    }
+}
+
+/// Per-key verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Bit-identical simulated metrics, host within bounds.
+    Ok,
+    /// Simulated metrics changed, all in the improving direction.
+    Improved,
+    /// At least one simulated metric moved in the regression direction.
+    Regressed,
+    /// Simulated metrics fine but host seconds exceeded the noise bound.
+    HostSlow,
+    /// Key exists in the current sweep but not in the baseline.
+    New,
+    /// Key exists in the baseline but the current sweep never ran it.
+    Missing,
+}
+
+impl Verdict {
+    /// Fixed-width display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::HostSlow => "host-slow",
+            Verdict::New => "new",
+            Verdict::Missing => "missing",
+        }
+    }
+}
+
+/// Everything the gate concluded about one key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyReport {
+    /// The run key.
+    pub key: String,
+    /// Overall verdict.
+    pub verdict: Verdict,
+    /// Exact-metric mismatches (empty when `Ok`/`New`/`Missing`).
+    pub deltas: Vec<Delta>,
+    /// Host-seconds check, when both sides had simulated samples.
+    pub host: Option<HostCheck>,
+}
+
+/// The whole gate outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Per-key reports, baseline order then new keys.
+    pub keys: Vec<KeyReport>,
+}
+
+/// The exact-comparison metrics: `(name, extractor, any_change_is_worse)`.
+/// Metrics with a regression *direction* (third field `false`) count as
+/// worse only when they increase; counters whose every change is drift
+/// (third field `true`) regress in either direction.
+type Extract = fn(&RunMetrics) -> f64;
+const EXACT_METRICS: &[(&str, Extract, bool)] = &[
+    ("cycles", |m| m.cycles as f64, false),
+    ("instructions", |m| m.instructions as f64, true),
+    ("runtime_s", |m| m.runtime_s, false),
+    ("energy_j", |m| m.energy_j, false),
+    ("edp_js", |m| m.edp_js, false),
+    ("latency_p50", |m| m.latency.p50 as f64, false),
+    ("latency_p95", |m| m.latency.p95 as f64, false),
+    ("latency_p99", |m| m.latency.p99 as f64, false),
+    ("latency_max", |m| m.latency.max as f64, false),
+    ("latency_count", |m| m.latency.count as f64, true),
+];
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        f64::midpoint(sorted[n / 2 - 1], sorted[n / 2])
+    }
+}
+
+/// Median and normal-consistent MAD of a host-seconds sample set.
+pub fn median_mad(samples: &[f64]) -> (f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let med = median(&sorted);
+    let mut dev: Vec<f64> = sorted.iter().map(|s| (s - med).abs()).collect();
+    dev.sort_by(f64::total_cmp);
+    (med, 1.4826 * median(&dev))
+}
+
+fn exact_deltas(base: &RunMetrics, cur: &RunMetrics) -> Vec<Delta> {
+    EXACT_METRICS
+        .iter()
+        .filter_map(|&(metric, extract, drift)| {
+            let (b, c) = (extract(base), extract(cur));
+            // Exact comparison on purpose: these values are emitted and
+            // re-parsed via round-trip-exact formatting, and the
+            // simulator's determinism contract makes them bit-stable.
+            (b != c).then_some(Delta {
+                metric,
+                base: b,
+                cur: c,
+                worse: drift || c > b,
+            })
+        })
+        .collect()
+}
+
+/// Compare the current sweep against the baseline history.
+pub fn compare(baseline: &History, current: &SweepDoc, cfg: &GateConfig) -> GateReport {
+    let latest = baseline.latest_runs();
+    let mut keys = Vec::new();
+    let mut seen: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+
+    for base in &latest {
+        let key = base.metrics.key.as_str();
+        seen.insert(key);
+        let Some(cur) = current.summaries.iter().find(|s| s.key == key) else {
+            keys.push(KeyReport {
+                key: key.to_string(),
+                verdict: Verdict::Missing,
+                deltas: Vec::new(),
+                host: None,
+            });
+            continue;
+        };
+        let deltas = exact_deltas(&base.metrics, cur);
+        let host = current.simulated_secs(key).and_then(|cur_secs| {
+            let samples = baseline.host_samples(key);
+            if samples.is_empty() {
+                return None;
+            }
+            let (med, mad) = median_mad(&samples);
+            let tolerance = (cfg.host_mads * mad)
+                .max(cfg.host_rel_floor * med)
+                .max(cfg.host_abs_floor);
+            Some(HostCheck {
+                median: med,
+                mad,
+                samples: samples.len(),
+                cur: cur_secs,
+                bound: med + tolerance,
+            })
+        });
+        let verdict = if deltas.iter().any(|d| d.worse) {
+            Verdict::Regressed
+        } else if !deltas.is_empty() {
+            Verdict::Improved
+        } else if host.as_ref().is_some_and(HostCheck::regressed) {
+            Verdict::HostSlow
+        } else {
+            Verdict::Ok
+        };
+        keys.push(KeyReport {
+            key: key.to_string(),
+            verdict,
+            deltas,
+            host,
+        });
+    }
+
+    for cur in &current.summaries {
+        if !seen.contains(cur.key.as_str()) {
+            keys.push(KeyReport {
+                key: cur.key.clone(),
+                verdict: Verdict::New,
+                deltas: Vec::new(),
+                host: None,
+            });
+        }
+    }
+
+    GateReport { keys }
+}
+
+impl GateReport {
+    /// Keys whose verdict fails the gate under `cfg`.
+    pub fn failures(&self, cfg: &GateConfig) -> Vec<&KeyReport> {
+        self.keys
+            .iter()
+            .filter(|k| match k.verdict {
+                Verdict::Regressed => true,
+                Verdict::HostSlow => cfg.strict_host,
+                Verdict::Missing => cfg.require_all,
+                Verdict::Ok | Verdict::Improved | Verdict::New => false,
+            })
+            .collect()
+    }
+
+    /// Does the gate pass under `cfg`?
+    pub fn passed(&self, cfg: &GateConfig) -> bool {
+        self.failures(cfg).is_empty()
+    }
+
+    /// Count of keys with the given verdict.
+    pub fn count(&self, verdict: Verdict) -> usize {
+        self.keys.iter().filter(|k| k.verdict == verdict).count()
+    }
+
+    /// The per-key verdict table the CLI prints: one line per key, with
+    /// every offending metric named inline.
+    pub fn table(&self) -> String {
+        let key_w = self
+            .keys
+            .iter()
+            .map(|k| k.key.len())
+            .chain(std::iter::once(3))
+            .max()
+            .unwrap_or(3);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:key_w$}  {:9}  detail", "key", "verdict");
+        for k in &self.keys {
+            let mut detail = String::new();
+            for d in &k.deltas {
+                let _ = write!(
+                    detail,
+                    "{}{}: {} -> {} ({:+.2}%)",
+                    if detail.is_empty() { "" } else { "; " },
+                    d.metric,
+                    d.base,
+                    d.cur,
+                    d.pct()
+                );
+            }
+            if let Some(h) = &k.host {
+                let _ = write!(
+                    detail,
+                    "{}host {:.2}s vs median {:.2}s (bound {:.2}s, n={})",
+                    if detail.is_empty() { "" } else { "; " },
+                    h.cur,
+                    h.median,
+                    h.bound,
+                    h.samples
+                );
+            }
+            let _ = writeln!(out, "{:key_w$}  {:9}  {detail}", k.key, k.verdict.label());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{lines_from_sweep, History};
+    use crate::sweep::parse_sweep;
+
+    fn baseline() -> (History, SweepDoc) {
+        let doc = parse_sweep(crate::sweep::SAMPLE).expect("fixture parses");
+        let h = History {
+            lines: lines_from_sweep(&doc, "base-sha"),
+            skipped: 0,
+        };
+        (h, doc)
+    }
+
+    #[test]
+    fn identical_sweep_passes() {
+        let (h, doc) = baseline();
+        let cfg = GateConfig::default();
+        let report = compare(&h, &doc, &cfg);
+        assert!(report.passed(&cfg), "{}", report.table());
+        assert_eq!(report.count(Verdict::Ok), 2);
+        assert!(report.keys.iter().all(|k| k.deltas.is_empty()));
+    }
+
+    #[test]
+    fn ten_percent_cycle_regression_fails_and_names_the_key() {
+        let (h, mut doc) = baseline();
+        let cfg = GateConfig::default();
+        let key = doc.summaries[0].key.clone();
+        doc.summaries[0].cycles = doc.summaries[0].cycles * 11 / 10;
+        let report = compare(&h, &doc, &cfg);
+        assert!(!report.passed(&cfg));
+        let failures = report.failures(&cfg);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].key, key);
+        assert_eq!(failures[0].verdict, Verdict::Regressed);
+        let delta = &failures[0].deltas[0];
+        assert_eq!(delta.metric, "cycles");
+        assert!((delta.pct() - 10.0).abs() < 0.01);
+        assert!(report.table().contains(&key), "table names the key");
+        assert!(report.table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvement_passes_but_is_reported() {
+        let (h, mut doc) = baseline();
+        let cfg = GateConfig::default();
+        doc.summaries[0].cycles -= 50_000;
+        doc.summaries[0].edp_js *= 0.9;
+        let report = compare(&h, &doc, &cfg);
+        assert!(report.passed(&cfg));
+        assert_eq!(report.count(Verdict::Improved), 1);
+    }
+
+    #[test]
+    fn instruction_drift_regresses_in_either_direction() {
+        let (h, mut doc) = baseline();
+        let cfg = GateConfig::default();
+        doc.summaries[0].instructions -= 1; // "better" is still drift
+        let report = compare(&h, &doc, &cfg);
+        assert!(!report.passed(&cfg));
+        assert_eq!(report.failures(&cfg)[0].deltas[0].metric, "instructions");
+    }
+
+    #[test]
+    fn host_noise_warns_by_default_and_fails_under_strict() {
+        let (h, mut doc) = baseline();
+        // Blow way past median + max(5 MADs, 35%, 2s) on the simulated key.
+        doc.runs[0].secs = 1000.0;
+        let lax = GateConfig::default();
+        let report = compare(&h, &doc, &lax);
+        assert_eq!(report.count(Verdict::HostSlow), 1);
+        assert!(report.passed(&lax), "host noise is advisory by default");
+        let strict = GateConfig {
+            strict_host: true,
+            ..GateConfig::default()
+        };
+        let report = compare(&h, &doc, &strict);
+        assert!(!report.passed(&strict));
+        // Within the bound: fine even under strict.
+        doc.runs[0].secs = 6.0; // median 5.5 + floor 2.0 = 7.5 bound
+        let report = compare(&h, &doc, &strict);
+        assert!(report.passed(&strict), "{}", report.table());
+    }
+
+    #[test]
+    fn new_and_missing_keys() {
+        let (h, mut doc) = baseline();
+        let cfg = GateConfig::default();
+        doc.summaries[0].key = "8x4|brand-new|flit64|buf4|ackwise4|radix".into();
+        let report = compare(&h, &doc, &cfg);
+        assert_eq!(report.count(Verdict::New), 1);
+        assert_eq!(report.count(Verdict::Missing), 1);
+        assert!(report.passed(&cfg), "coverage drift warns by default");
+        let strict = GateConfig {
+            require_all: true,
+            ..GateConfig::default()
+        };
+        assert!(!report.passed(&strict));
+    }
+
+    #[test]
+    fn median_mad_is_robust() {
+        let (med, mad) = median_mad(&[1.0, 1.1, 0.9, 1.05, 50.0]);
+        assert!((med - 1.05).abs() < 1e-12, "outlier does not move median");
+        assert!(mad < 0.2, "outlier does not inflate MAD: {mad}");
+        let (med1, mad1) = median_mad(&[3.0]);
+        assert_eq!((med1, mad1), (3.0, 0.0));
+        assert_eq!(median_mad(&[]), (0.0, 0.0));
+        let (med2, _) = median_mad(&[2.0, 4.0]);
+        assert_eq!(med2, 3.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Render `BENCH_report.md`: the human-readable face of the registry.
+//!
+//! The report answers, in order: *did anything regress* (gate verdicts
+//! and delta table vs the baseline), *where is each metric heading*
+//! (unicode sparkline per key over the recorded history), *what moved
+//! most* (top movers by |Δ%|), and *where do the host seconds go* (the
+//! merged self-profile breakdown). Markdown so it reads in a terminal,
+//! a PR comment, or a CI artifact viewer alike.
+
+use std::fmt::Write as _;
+
+use crate::gate::{GateConfig, GateReport, Verdict};
+use crate::history::History;
+use crate::sweep::SweepDoc;
+
+/// Sparkline glyphs, lowest to highest.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a value series as a unicode sparkline. A flat (or singleton)
+/// series renders at mid-height; an empty series is empty.
+pub fn sparkline(values: &[f64]) -> String {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if hi <= lo {
+                SPARK[3]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                // index 0..=7; t is in 0..=1 so the cast is in range.
+                SPARK[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Compact engineering formatting for mixed-magnitude metric values.
+fn fmt_value(v: f64) -> String {
+    let a = v.abs();
+    if v == v.trunc() && a < 1e9 {
+        format!("{v}")
+    } else if !(1e-3..1e7).contains(&a) && v != 0.0 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn verdict_row(report: &GateReport, out: &mut String) {
+    let _ = writeln!(out, "| key | verdict | detail |");
+    let _ = writeln!(out, "|---|---|---|");
+    for k in &report.keys {
+        let mut detail = String::new();
+        for d in &k.deltas {
+            let _ = write!(
+                detail,
+                "{}`{}` {} → {} ({:+.2}%)",
+                if detail.is_empty() { "" } else { "; " },
+                d.metric,
+                fmt_value(d.base),
+                fmt_value(d.cur),
+                d.pct()
+            );
+        }
+        if let Some(h) = &k.host {
+            let _ = write!(
+                detail,
+                "{}host {:.2}s vs {:.2}s median (bound {:.2}s)",
+                if detail.is_empty() { "" } else { "; " },
+                h.cur,
+                h.median,
+                h.bound
+            );
+        }
+        let flag = match k.verdict {
+            Verdict::Regressed => "**REGRESSED**",
+            Verdict::HostSlow => "host-slow",
+            Verdict::Improved => "improved",
+            Verdict::Ok => "ok",
+            Verdict::New => "new",
+            Verdict::Missing => "missing",
+        };
+        let _ = writeln!(out, "| `{}` | {flag} | {detail} |", k.key);
+    }
+}
+
+/// Top-N keys by absolute percent change of one metric, from the gate's
+/// deltas (which only exist where something changed).
+fn top_movers(report: &GateReport, out: &mut String, top_n: usize) {
+    let mut movers: Vec<(&str, &'static str, f64)> = report
+        .keys
+        .iter()
+        .flat_map(|k| {
+            k.deltas
+                .iter()
+                .map(move |d| (k.key.as_str(), d.metric, d.pct()))
+        })
+        .filter(|(_, _, pct)| pct.is_finite())
+        .collect();
+    movers.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
+    movers.truncate(top_n);
+    if movers.is_empty() {
+        let _ = writeln!(out, "No simulated-metric changes vs the baseline.");
+        return;
+    }
+    let _ = writeln!(out, "| key | metric | Δ% |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (key, metric, pct) in movers {
+        let _ = writeln!(out, "| `{key}` | {metric} | {pct:+.2}% |");
+    }
+}
+
+fn history_sparklines(history: &History, out: &mut String) {
+    let latest = history.latest_runs();
+    if latest.is_empty() {
+        let _ = writeln!(out, "History is empty — record a sweep first.");
+        return;
+    }
+    let _ = writeln!(out, "| key | n | cycles | edp | host s |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for entry in latest {
+        let series = history.series(&entry.metrics.key);
+        let cycles: Vec<f64> = series.iter().map(|r| r.metrics.cycles as f64).collect();
+        let edp: Vec<f64> = series.iter().map(|r| r.metrics.edp_js).collect();
+        let host: Vec<f64> = series.iter().filter_map(|r| r.host_secs).collect();
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} {} | {} {} | {} |",
+            entry.metrics.key,
+            series.len(),
+            sparkline(&cycles),
+            fmt_value(entry.metrics.cycles as f64),
+            sparkline(&edp),
+            fmt_value(entry.metrics.edp_js),
+            if host.is_empty() {
+                "—".to_string()
+            } else {
+                format!("{} {:.2}", sparkline(&host), host[host.len() - 1])
+            }
+        );
+    }
+}
+
+fn self_profile(history: &History, sweep: Option<&SweepDoc>, out: &mut String) {
+    // Prefer the freshly-gated sweep's merged profile; fall back to the
+    // most recent recorded sweep that carried one.
+    let profile = sweep.and_then(|d| d.self_profile.as_ref()).or_else(|| {
+        history
+            .sweeps()
+            .filter_map(|s| s.self_profile.as_ref())
+            .last()
+    });
+    let Some(p) = profile else {
+        let _ = writeln!(out, "No self-profile recorded (`ATAC_PROFILE=0`?).");
+        return;
+    };
+    let tracked: f64 = p.phases.iter().map(|(_, s)| s).sum();
+    let _ = writeln!(out, "| phase | seconds | share |");
+    let _ = writeln!(out, "|---|---|---|");
+    let mut phases: Vec<&(String, f64)> = p.phases.iter().collect();
+    phases.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, secs) in phases {
+        let _ = writeln!(
+            out,
+            "| {name} | {secs:.3} | {:.1}% |",
+            secs / p.total_secs.max(f64::MIN_POSITIVE) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nPhase laps cover **{:.1}%** of {:.2}s total simulated-run wall time \
+         (tracked {tracked:.2}s).",
+        p.coverage * 100.0,
+        p.total_secs
+    );
+}
+
+/// Render the full report. `gate` is present when a baseline was given;
+/// `sweep` is the current sweep being reported on, when available.
+pub fn render(
+    history: &History,
+    sweep: Option<&SweepDoc>,
+    gate: Option<(&GateReport, &GateConfig)>,
+    top_n: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# ATAC bench report");
+    let _ = writeln!(out);
+    let last_sha = history
+        .runs()
+        .last()
+        .map_or("(none)", |r| r.sha.as_str())
+        .to_string();
+    let _ = writeln!(
+        out,
+        "{} recorded sweep(s), {} run record(s) over {} key(s); latest sha `{last_sha}`.",
+        history.sweeps().count(),
+        history.runs().count(),
+        history.latest_runs().len(),
+    );
+    if history.skipped > 0 {
+        let _ = writeln!(
+            out,
+            "({} newer-schema line(s) skipped by this reader.)",
+            history.skipped
+        );
+    }
+
+    if let Some((report, cfg)) = gate {
+        let _ = writeln!(out, "\n## Regression gate vs baseline\n");
+        let failures = report.failures(cfg);
+        if failures.is_empty() {
+            let _ = writeln!(
+                out,
+                "**PASS** — {} ok, {} improved, {} new, {} missing, {} host-slow.\n",
+                report.count(Verdict::Ok),
+                report.count(Verdict::Improved),
+                report.count(Verdict::New),
+                report.count(Verdict::Missing),
+                report.count(Verdict::HostSlow),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "**FAIL** — {} offending key(s): {}\n",
+                failures.len(),
+                failures
+                    .iter()
+                    .map(|k| format!("`{}`", k.key))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        verdict_row(report, &mut out);
+        let _ = writeln!(out, "\n## Top movers\n");
+        top_movers(report, &mut out, top_n);
+    }
+
+    let _ = writeln!(out, "\n## Metric history\n");
+    history_sparklines(history, &mut out);
+
+    let _ = writeln!(out, "\n## Host self-profile\n");
+    self_profile(history, sweep, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::compare;
+    use crate::history::{lines_from_sweep, read_history};
+    use crate::sweep::parse_sweep;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0]), "▄", "singleton sits mid-height");
+        assert_eq!(sparkline(&[2.0, 2.0, 2.0]), "▄▄▄", "flat series too");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+        assert_eq!(sparkline(&[1.0, 0.0]), "█▁");
+    }
+
+    #[test]
+    fn report_covers_every_section() {
+        let doc = parse_sweep(crate::sweep::SAMPLE).expect("fixture parses");
+        let mut text = String::new();
+        for sha in ["s1", "s2", "s3"] {
+            for line in lines_from_sweep(&doc, sha) {
+                text.push_str(&crate::history::encode_line(&line));
+                text.push('\n');
+            }
+        }
+        let history = read_history(&text).expect("parses");
+        let cfg = GateConfig::default();
+        let mut cur = doc.clone();
+        cur.summaries[0].cycles += 1; // one regression to render
+        let gate = compare(&history, &cur, &cfg);
+        let md = render(&history, Some(&cur), Some((&gate, &cfg)), 5);
+        for section in [
+            "# ATAC bench report",
+            "## Regression gate vs baseline",
+            "**FAIL**",
+            "## Top movers",
+            "## Metric history",
+            "## Host self-profile",
+            "replay",
+        ] {
+            assert!(md.contains(section), "missing {section:?} in:\n{md}");
+        }
+        assert!(md.contains(&cur.summaries[0].key));
+        // Sparklines appear for the 3-sweep history.
+        assert!(md.chars().any(|c| SPARK.contains(&c)));
+
+        // A passing render without a gate still has history + profile.
+        let md = render(&history, None, None, 5);
+        assert!(!md.contains("Regression gate"));
+        assert!(md.contains("## Metric history"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Reader for the executor's `BENCH_sweep.json` documents.
+//!
+//! `atac-bench`'s `SweepLog` emits the sweep artifact (schema
+//! `atac-bench-sweep-v2`); this module parses it back into typed form
+//! for the history registry, the regression gate, and the renderer.
+//! Parsing is *forward-compatible*: unknown object members are ignored,
+//! so a newer emitter can add fields without orphaning older readers —
+//! only a schema outside the `atac-bench-sweep-v*` family is rejected.
+//! A v1 document (no `summaries`, no profiles) still parses; it simply
+//! yields nothing for the gate to compare, which the CLI reports.
+
+use atac_trace::json::{parse, Json};
+
+/// Figure-level simulated metrics of one run, as carried by a sweep's
+/// `summaries` array and by history `run` lines. All of these are
+/// deterministic (bit-stable) under the executor's contract, so the
+/// gate compares them exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// The run key (timing configuration × benchmark).
+    pub key: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Completion time in cycles.
+    pub cycles: u64,
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Average per-core IPC.
+    pub ipc: f64,
+    /// Runtime in seconds under the run's clock.
+    pub runtime_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Energy-delay product in joule-seconds.
+    pub edp_js: f64,
+    /// Merged-class message-latency summary.
+    pub latency: LatencySummary,
+}
+
+/// Quantiles of the merged per-class latency histograms (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Total messages observed.
+    pub count: u64,
+}
+
+/// A host self-profile: where the simulator's own wall-clock went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Wall-clock seconds from profiler creation to snapshot.
+    pub total_secs: f64,
+    /// Fraction of `total_secs` the phase laps account for.
+    pub coverage: f64,
+    /// `(phase name, seconds)` pairs, emitter order.
+    pub phases: Vec<(String, f64)>,
+}
+
+/// One pool-touched run's wall-clock entry from the sweep's `runs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRun {
+    /// The run key.
+    pub key: String,
+    /// Wall-clock seconds this key took on its worker.
+    pub secs: f64,
+    /// `"simulated"`, `"cache_hit"`, or `"joined"`.
+    pub source: String,
+    /// Host self-profile (simulated runs with profiling enabled only).
+    pub profile: Option<PhaseProfile>,
+}
+
+/// A parsed `BENCH_sweep.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDoc {
+    /// The emitter's schema string (`atac-bench-sweep-v*`).
+    pub schema: String,
+    /// Worker-pool size (`ATAC_JOBS`).
+    pub jobs: u64,
+    /// `ATAC_CORES` at emit time (`"default"` when unset).
+    pub cores: String,
+    /// `ATAC_BENCHES` at emit time (`"all"` when unset).
+    pub benches: String,
+    /// `(phase name, wall seconds)` pairs, emit order.
+    pub phases: Vec<(String, f64)>,
+    /// Per-run wall-clock entries for the keys the pool touched.
+    pub runs: Vec<SweepRun>,
+    /// Figure-level metrics for every planned key (empty on v1 docs).
+    pub summaries: Vec<RunMetrics>,
+    /// All runs' self-profiles merged (absent when none profiled).
+    pub self_profile: Option<PhaseProfile>,
+}
+
+impl SweepDoc {
+    /// Wall-clock seconds of the whole sweep: the `total` phase when the
+    /// emitter logged one, else the sum of per-run worker seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == "total")
+            .map_or_else(|| self.runs.iter().map(|r| r.secs).sum(), |(_, s)| *s)
+    }
+
+    /// Wall-clock seconds the pool spent on `key`, if this sweep
+    /// actually simulated it (cache hits and joins do no attributable
+    /// simulation work, so they carry no host cost).
+    pub fn simulated_secs(&self, key: &str) -> Option<f64> {
+        self.runs
+            .iter()
+            .find(|r| r.key == key && r.source == "simulated")
+            .map(|r| r.secs)
+    }
+}
+
+fn get_f64(obj: &Json, key: &str) -> Option<f64> {
+    obj.get(key)?.as_f64()
+}
+
+fn get_u64(obj: &Json, key: &str) -> Option<u64> {
+    obj.get(key)?.as_u64()
+}
+
+fn get_str(obj: &Json, key: &str) -> Option<String> {
+    Some(obj.get(key)?.as_str()?.to_string())
+}
+
+/// Parse a `"name": seconds` object into ordered pairs.
+fn parse_phase_map(obj: &Json) -> Option<Vec<(String, f64)>> {
+    match obj {
+        Json::Obj(members) => members
+            .iter()
+            .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+            .collect(),
+        _ => None,
+    }
+}
+
+/// Parse a profile object (`total_secs`/`coverage`/`phases`).
+pub(crate) fn parse_profile(obj: &Json) -> Option<PhaseProfile> {
+    Some(PhaseProfile {
+        total_secs: get_f64(obj, "total_secs")?,
+        coverage: get_f64(obj, "coverage")?,
+        phases: parse_phase_map(obj.get("phases")?)?,
+    })
+}
+
+/// Parse one `summaries` element (shared with history `run` lines,
+/// which carry the same member names).
+pub(crate) fn parse_metrics(obj: &Json) -> Option<RunMetrics> {
+    let lat = obj.get("latency")?;
+    Some(RunMetrics {
+        key: get_str(obj, "key")?,
+        bench: get_str(obj, "bench")?,
+        cycles: get_u64(obj, "cycles")?,
+        instructions: get_u64(obj, "instructions")?,
+        ipc: get_f64(obj, "ipc")?,
+        runtime_s: get_f64(obj, "runtime_s")?,
+        energy_j: get_f64(obj, "energy_j")?,
+        edp_js: get_f64(obj, "edp_js")?,
+        latency: LatencySummary {
+            p50: get_u64(lat, "p50")?,
+            p95: get_u64(lat, "p95")?,
+            p99: get_u64(lat, "p99")?,
+            max: get_u64(lat, "max")?,
+            count: get_u64(lat, "count")?,
+        },
+    })
+}
+
+/// Parse a `BENCH_sweep.json` document. Returns a message naming the
+/// first structural problem on failure.
+pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let schema = get_str(&doc, "schema").ok_or("sweep document has no `schema` string")?;
+    if !schema.starts_with("atac-bench-sweep-v") {
+        return Err(format!("unrecognized sweep schema `{schema}`"));
+    }
+    let mut runs = Vec::new();
+    if let Some(arr) = doc.get("runs").and_then(Json::as_arr) {
+        for (i, r) in arr.iter().enumerate() {
+            runs.push(SweepRun {
+                key: get_str(r, "key").ok_or(format!("runs[{i}] has no `key`"))?,
+                secs: get_f64(r, "secs").ok_or(format!("runs[{i}] has no `secs`"))?,
+                source: get_str(r, "source").ok_or(format!("runs[{i}] has no `source`"))?,
+                profile: r.get("profile").and_then(parse_profile),
+            });
+        }
+    }
+    let mut summaries = Vec::new();
+    if let Some(arr) = doc.get("summaries").and_then(Json::as_arr) {
+        for (i, s) in arr.iter().enumerate() {
+            summaries.push(parse_metrics(s).ok_or(format!("summaries[{i}] is malformed"))?);
+        }
+    }
+    Ok(SweepDoc {
+        schema,
+        jobs: get_u64(&doc, "jobs").ok_or("sweep document has no `jobs`")?,
+        cores: get_str(&doc, "cores").unwrap_or_else(|| "default".into()),
+        benches: get_str(&doc, "benches").unwrap_or_else(|| "all".into()),
+        phases: doc
+            .get("phases")
+            .and_then(parse_phase_map)
+            .unwrap_or_default(),
+        runs,
+        summaries,
+        self_profile: doc.get("self_profile").and_then(parse_profile),
+    })
+}
+
+/// A two-run v2 sweep fixture shared by this crate's tests.
+#[cfg(test)]
+pub(crate) const SAMPLE: &str = r#"{
+  "schema": "atac-bench-sweep-v2",
+  "jobs": 4,
+  "cores": "64",
+  "benches": "radix,barnes",
+  "phases": {
+    "warm": 10.5,
+    "render": 2.0,
+    "total": 12.75
+  },
+  "runs": [
+    {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "secs": 5.5, "source": "simulated", "profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}}},
+    {"key": "8x4|emesh-pure|flit64|buf4|ackwise4|radix", "secs": 0.01, "source": "cache_hit"}
+  ],
+  "summaries": [
+    {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "bench": "radix", "cycles": 500000, "instructions": 1000000, "ipc": 0.3125, "runtime_s": 0.0005, "energy_j": 0.125, "edp_js": 6.25e-5, "latency": {"p50": 15, "p95": 63, "p99": 127, "max": 90, "count": 40000}},
+    {"key": "8x4|emesh-pure|flit64|buf4|ackwise4|radix", "bench": "radix", "cycles": 800000, "instructions": 1000000, "ipc": 0.2, "runtime_s": 0.0008, "energy_j": 0.25, "edp_js": 2.0e-4, "latency": {"p50": 31, "p95": 127, "p99": 255, "max": 300, "count": 40000}}
+  ],
+  "self_profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}}
+}"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_v2_document() {
+        let doc = parse_sweep(SAMPLE).expect("valid sweep");
+        assert_eq!(doc.jobs, 4);
+        assert_eq!(doc.runs.len(), 2);
+        assert_eq!(doc.summaries.len(), 2);
+        assert_eq!(doc.summaries[0].cycles, 500_000);
+        assert_eq!(doc.summaries[0].latency.p95, 63);
+        assert_eq!(doc.wall_secs(), 12.75);
+        let profile = doc.runs[0].profile.as_ref().expect("profiled run");
+        assert_eq!(profile.phases.len(), 3);
+        assert!(doc.self_profile.is_some());
+        assert_eq!(
+            doc.simulated_secs("8x4|atac[distance-15]|flit64|buf4|ackwise4|radix"),
+            Some(5.5)
+        );
+        // Cache hits never report simulated host seconds.
+        assert_eq!(
+            doc.simulated_secs("8x4|emesh-pure|flit64|buf4|ackwise4|radix"),
+            None
+        );
+    }
+
+    #[test]
+    fn v1_documents_parse_with_empty_summaries() {
+        let v1 = r#"{"schema": "atac-bench-sweep-v1", "jobs": 2, "phases": {"warm": 1.0},
+                     "runs": [{"key": "k", "secs": 1.0, "source": "simulated"}]}"#;
+        let doc = parse_sweep(v1).expect("v1 parses");
+        assert!(doc.summaries.is_empty());
+        assert!(doc.self_profile.is_none());
+        assert_eq!(
+            doc.wall_secs(),
+            1.0,
+            "no total phase: falls back to run secs"
+        );
+    }
+
+    #[test]
+    fn unknown_members_are_ignored_but_foreign_schemas_are_not() {
+        let future = r#"{"schema": "atac-bench-sweep-v3", "jobs": 1, "new_field": [1, 2],
+                         "runs": [{"key": "k", "secs": 0.5, "source": "simulated", "extra": true}]}"#;
+        let doc = parse_sweep(future).expect("future minor version parses");
+        assert_eq!(doc.runs.len(), 1);
+        assert!(parse_sweep(r#"{"schema": "something-else", "jobs": 1}"#).is_err());
+        assert!(parse_sweep("not json").is_err());
+        assert!(
+            parse_sweep(r#"{"jobs": 1}"#).is_err(),
+            "schema is mandatory"
+        );
+    }
+}

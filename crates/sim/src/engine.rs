@@ -21,7 +21,7 @@ use std::collections::BinaryHeap;
 use atac_coherence::{AccessResult, Addr, CoherenceStats, MemorySystem};
 use atac_net::{CoreId, Cycle, Delivery, NetStats, Network};
 use atac_phys::units::{JouleSeconds, Seconds};
-use atac_trace::{EpochSample, ProbeHandle, TxnEvent, TxnPhase};
+use atac_trace::{EpochSample, HostPhase, HostProfiler, ProbeHandle, TxnEvent, TxnPhase};
 use atac_workloads::{BuiltWorkload, Op};
 
 use crate::config::SimConfig;
@@ -105,6 +105,27 @@ pub fn run_with_probe(
     probe: ProbeHandle,
     epoch_cycles: Option<u64>,
 ) -> SimResult {
+    run_profiled(cfg, workload, probe, epoch_cycles, HostProfiler::default())
+}
+
+/// Run one workload with instrumentation *and* host self-profiling.
+///
+/// `prof` is a lap-timeline handle: the engine (and, via a cloned
+/// handle, the memory system) attributes every stretch of host wall
+/// time to a [`HostPhase`], so a sweep can report where the simulator's
+/// own seconds went. The caller keeps its clone and snapshots the
+/// profile with [`HostProfiler::finish`] after the run. Like the probe,
+/// the profiler is an observer — it reads the host clock, never
+/// simulator state — so a profiled run is bit-identical in simulated
+/// results to an unprofiled one (tested below). With both handles
+/// disabled this is exactly [`run`].
+pub fn run_profiled(
+    cfg: &SimConfig,
+    workload: &BuiltWorkload,
+    probe: ProbeHandle,
+    epoch_cycles: Option<u64>,
+    prof: HostProfiler,
+) -> SimResult {
     let n = cfg.topo.cores();
     assert_eq!(
         workload.scripts.len(),
@@ -117,6 +138,9 @@ pub fn run_with_probe(
     let mut ms = MemorySystem::new(cfg.topo, cfg.protocol);
     net.set_probe(probe.clone());
     ms.set_probe(probe.clone());
+    // The memory system laps its own phases (outbox flush → Coherence,
+    // controller tick → Memctrl) on the shared timeline.
+    ms.set_profiler(prof.clone());
     let mut sampler = epoch_cycles
         .filter(|_| probe.is_enabled())
         .map(|every| EpochSampler::new(every.max(1), cfg));
@@ -136,6 +160,7 @@ pub fn run_with_probe(
     let mut deliveries: Vec<Delivery> = Vec::new();
     let mut completed: Vec<CoreId> = Vec::new();
     let mut now: Cycle = 0;
+    prof.lap(HostPhase::Setup);
 
     while running > 0 {
         // --- core execution for this cycle ---
@@ -194,14 +219,18 @@ pub fn run_with_probe(
             }
         }
 
+        prof.lap(HostPhase::Replay);
+
         // --- network + memory subsystem ---
-        ms.flush_outbox(net.as_mut(), now);
+        ms.flush_outbox(net.as_mut(), now); // laps Coherence internally
         net.tick(now);
         net.drain_deliveries(&mut deliveries);
+        prof.lap(HostPhase::Network);
         for d in deliveries.drain(..) {
             ms.handle_delivery(&d, now);
         }
-        ms.memctrl_tick(now);
+        prof.lap(HostPhase::Coherence);
+        ms.memctrl_tick(now); // laps Memctrl internally
         ms.drain_completions(&mut completed);
         for c in completed.drain(..) {
             debug_assert_eq!(cores[c.idx()].state, CoreState::BlockedOnMiss);
@@ -213,6 +242,7 @@ pub fn run_with_probe(
             });
             heap.push(Reverse((now + 1, c.0)));
         }
+        prof.lap(HostPhase::Coherence);
 
         // --- advance the clock (skip-ahead when the chip is quiet) ---
         if !net.is_idle() || ms.outbox_pending() {
@@ -249,6 +279,7 @@ pub fn run_with_probe(
                 s.close_epoch(now, cfg, net.as_ref(), &ms, &cores, &probe);
             }
         }
+        prof.lap(HostPhase::Advance);
     }
 
     let cycles = now.max(1);
@@ -272,6 +303,7 @@ pub fn run_with_probe(
         "memory system failed to drain at simulation end"
     );
     ms.check_invariants(ms.is_quiescent());
+    prof.lap(HostPhase::Integrate);
 
     SimResult {
         cycles,
@@ -546,6 +578,57 @@ mod tests {
         for e in epochs {
             assert!(e.laser_idle_cycles <= links * e.span_cycles());
             assert!(e.energy.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_laps_cover_the_run() {
+        use atac_trace::{HostPhase, HostProfiler, TraceCollector};
+
+        let cfg = SimConfig::small();
+        let w = Benchmark::Radix.build(cfg.topo.cores(), Scale::Test);
+        let plain = run(&cfg, &w);
+
+        // Profile *and* trace together: the strongest observer load.
+        let (_collector, probe) = TraceCollector::metrics_worker();
+        let prof = HostProfiler::enabled();
+        let profiled = run_profiled(&cfg, &w, probe, None, prof.clone());
+
+        // Profilers read the host clock, never simulator state: the
+        // profiled result must be bit-identical to the plain one.
+        assert_eq!(plain.cycles, profiled.cycles);
+        assert_eq!(plain.instructions, profiled.instructions);
+        assert_eq!(plain.ipc.to_bits(), profiled.ipc.to_bits());
+        assert_eq!(plain.net.fields(), profiled.net.fields());
+        assert_eq!(plain.coh.fields(), profiled.coh.fields());
+        assert_eq!(
+            plain.energy.total().value().to_bits(),
+            profiled.energy.total().value().to_bits()
+        );
+
+        let profile = prof.finish().expect("profiler enabled");
+        // The lap timeline is contiguous from creation through
+        // Integrate, so the phases must tile (nearly) the whole wall
+        // time — the ≥ 90 % acceptance bound with slack only for the
+        // finish() call itself.
+        assert!(
+            profile.coverage() >= 0.9,
+            "phase laps cover {:.1}% of {:.4}s",
+            profile.coverage() * 100.0,
+            profile.total_secs
+        );
+        // The run's main phases all saw host time.
+        for phase in [
+            HostPhase::Replay,
+            HostPhase::Network,
+            HostPhase::Coherence,
+            HostPhase::Advance,
+        ] {
+            assert!(
+                profile.phase_secs(phase) > 0.0,
+                "phase {} never lapped",
+                phase.name()
+            );
         }
     }
 

@@ -20,14 +20,18 @@
 //! `atac_trace::ProbeHandle` through the network, coherence and engine
 //! layers and (optionally) drives an epoch sampler; [`engine::run`] is
 //! the same loop with a disabled probe and is bit-identical to it.
+//! [`engine::run_profiled`] additionally threads an
+//! `atac_trace::HostProfiler` through the loop so sweeps can attribute
+//! the *host* wall-clock seconds to simulator phases; profiled runs are
+//! likewise bit-identical in simulated results.
 pub mod config;
 pub mod energy;
 pub mod engine;
 
-pub use atac_trace::{ProbeHandle, TraceCollector};
+pub use atac_trace::{HostPhase, HostProfile, HostProfiler, ProbeHandle, TraceCollector};
 pub use config::{Arch, SimConfig};
 pub use energy::EnergyBreakdown;
-pub use engine::{run, run_with_probe, SimResult};
+pub use engine::{run, run_profiled, run_with_probe, SimResult};
 
 // Send-safety audit for the parallel sweep executor (atac-bench): a
 // sweep shares one `SimConfig` and one immutably-built workload across

@@ -282,6 +282,81 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 64, 4095, 4096] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before, "empty right-operand must change nothing");
+
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into empty must copy exactly");
+
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert_eq!(both, Histogram::new());
+        assert!(both.is_empty());
+    }
+
+    #[test]
+    fn quantiles_on_zero_and_one_samples() {
+        // Zero samples: every quantile (and the extremes) reports 0
+        // rather than panicking or reading a bucket bound.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.max(), 0);
+
+        // One sample: every quantile is that sample, exactly — the
+        // max clamp must defeat the one-octave bucket bound.
+        let mut one = Histogram::new();
+        one.record(1000); // bucket 10, bound 1023
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 1000);
+        }
+
+        // One zero-valued sample stays in bucket 0.
+        let mut zero = Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.count(), 1);
+        assert_eq!(zero.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn bucket_boundary_values_survive_raw_roundtrip() {
+        // Samples pinned to both edges of every octave up to 2^63 — the
+        // exact sum of all of them still fits in the `sum` field.
+        let mut h = Histogram::new();
+        h.record(0);
+        for shift in 1..63 {
+            h.record(1u64 << shift); // opens bucket shift+1
+            h.record((1u64 << shift) - 1); // closes bucket shift
+        }
+        let back = Histogram::from_raw(h.count(), h.sum(), h.max(), h.nonzero_buckets())
+            .expect("boundary-valued parts are self-consistent");
+        assert_eq!(back, h);
+
+        // The extremes get their own histogram: 0 + u64::MAX is the
+        // largest sum `record` can represent exactly.
+        let mut top = Histogram::new();
+        top.record(0);
+        top.record(u64::MAX);
+        // u64::MAX lives in the last bucket, so the compact form is the
+        // full array — no boundary bucket may be dropped by trimming.
+        assert_eq!(top.nonzero_buckets().len(), BUCKETS);
+        let back = Histogram::from_raw(top.count(), top.sum(), top.max(), top.nonzero_buckets())
+            .expect("extreme-valued parts are self-consistent");
+        assert_eq!(back, top);
+        assert_eq!(back.max(), u64::MAX);
+        assert_eq!(back.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
     fn raw_roundtrip_via_nonzero_buckets() {
         let mut h = Histogram::new();
         for v in [0, 3, 3, 250, 251] {

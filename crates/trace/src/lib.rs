@@ -23,6 +23,9 @@
 //!   the schema validators used by tests, CI, and the
 //!   `trace-schema-check` binary.
 //! * [`json`] — the dependency-free JSON reader backing the validators.
+//! * [`profile`] — [`HostProfiler`], the lap-based *host* wall-clock
+//!   phase profiler the engine and memory system thread through their
+//!   loops, so sweeps can report where the simulator's own seconds go.
 //!
 //! This crate sits *below* `atac-net` in the dependency graph (it only
 //! depends on `atac-phys` for unit newtypes), so every simulator layer
@@ -33,6 +36,7 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod probe;
+pub mod profile;
 
 pub use collect::{Span, TraceCollector, Track, DEFAULT_SPAN_CAPACITY};
 pub use export::{
@@ -44,3 +48,4 @@ pub use probe::{
     Cycle, EpochSample, NetDeliver, NullProbe, OnetTx, Probe, ProbeHandle, Subnet, TrafficKind,
     TxnEvent, TxnPhase,
 };
+pub use profile::{HostPhase, HostProfile, HostProfiler};
