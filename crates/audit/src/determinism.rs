@@ -1,0 +1,171 @@
+//! Rule 8: statically enforce the bit-identical-results contract.
+//!
+//! The regression gate (`atac-report gate --baseline`) and the parallel
+//! executor's `ATAC_VERIFY` mode both *compare* results exactly; this
+//! rule removes the two classic ways a simulator silently stops being
+//! comparable in the first place:
+//!
+//! * **Hash-order iteration.** `std::collections::HashMap`/`HashSet`
+//!   randomize their iteration order per process (SipHash keyed from the
+//!   OS). Any iteration that reaches simulated state, message order, or
+//!   exported stats makes results differ run-to-run. Result-bearing
+//!   crates must use `BTreeMap`/`BTreeSet`; a container that is provably
+//!   never iterated (or sorted before iteration) can be waived with
+//!   `// audit: allow(nondet-map) <reason>`.
+//! * **Ambient input.** Wall clocks (`Instant`, `SystemTime`),
+//!   environment variables (`env::var`), and OS-seeded randomness
+//!   (`thread_rng`, `from_entropy`, `RandomState`) inject host state
+//!   into the run. Host-*profiling* code is exempt by construction: it
+//!   lives in `crates/trace`/`crates/bench`, which this rule does not
+//!   scan. The vendored `crates/rand` with an explicit
+//!   `SmallRng::seed_from_u64` seed is the sanctioned randomness.
+//!   Genuine orchestration entry points can be waived with
+//!   `// audit: allow(ambient) <reason>`.
+
+use crate::lex::{has_token, FileModel};
+use crate::{has_waiver, violation, Violation};
+
+/// Source prefixes of the result-bearing crates: everything whose output
+/// feeds figures, sweep artifacts, or the history registry.
+pub const DETERMINISM_PREFIXES: &[&str] = &[
+    "crates/net/src/",
+    "crates/coherence/src/",
+    "crates/sim/src/",
+    "crates/phys/src/",
+    "crates/workloads/src/",
+];
+
+/// Hash containers whose iteration order is process-randomized.
+const HASH_CONTAINERS: &[&str] = &["HashMap", "HashSet"];
+
+/// Identifiers that read host wall-clocks or OS entropy.
+const AMBIENT_TOKENS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+];
+
+/// Run the determinism rule over one file. Files outside
+/// [`DETERMINISM_PREFIXES`] are skipped, as are `#[cfg(test)]` regions
+/// (tests may hash and time freely — they assert on outputs, they do not
+/// produce them).
+pub fn check_determinism(rel: &str, model: &FileModel, out: &mut Vec<Violation>) {
+    if !DETERMINISM_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    for idx in 0..model.lines.len() {
+        let line = &model.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+
+        for container in HASH_CONTAINERS {
+            if has_token(code, container) && !has_waiver(model, idx, "nondet-map") {
+                let msg = format!(
+                    "`{container}` in a result-bearing crate: iteration order is \
+                     process-randomized and can leak into simulated state or exported \
+                     stats; use BTreeMap/BTreeSet, or sort before iterating and waive \
+                     with `// audit: allow(nondet-map) <reason>`"
+                );
+                out.push(violation(rel, model, idx, "determinism", msg));
+            }
+        }
+
+        for tok in AMBIENT_TOKENS {
+            if has_token(code, tok) && !has_waiver(model, idx, "ambient") {
+                let msg = format!(
+                    "`{tok}` in a result-bearing crate injects host state into the \
+                     run; keep wall-clock/entropy out of simulated results (host \
+                     profiling lives in crates/trace), or waive a genuine \
+                     orchestration entry with `// audit: allow(ambient) <reason>`"
+                );
+                out.push(violation(rel, model, idx, "determinism", msg));
+            }
+        }
+
+        if code.contains("env::var") && !has_waiver(model, idx, "ambient") {
+            out.push(violation(
+                rel,
+                model,
+                idx,
+                "determinism",
+                "`env::var` in a result-bearing crate makes results depend on the \
+                 caller's environment; thread configuration through SimConfig (it \
+                 is part of the run key), or waive an orchestration entry with \
+                 `// audit: allow(ambient) <reason>`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let m = FileModel::parse(src);
+        let mut v = Vec::new();
+        check_determinism(rel, &m, &mut v);
+        v
+    }
+
+    const FIXTURE: &str = include_str!("../tests/fixtures/determinism_fixture.rs");
+
+    #[test]
+    fn fixture_fires_on_live_code_only() {
+        let v = run("crates/net/src/fixture.rs", FIXTURE);
+        let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert!(rules.iter().all(|r| *r == "determinism"), "{v:?}");
+        // Exactly the four seeded live violations: HashMap field,
+        // HashSet local, Instant::now, env::var. The decoys (string
+        // literal, doc comment, commented-out code, #[cfg(test)] module,
+        // "Instantiate" prose, waived lines) must all stay quiet.
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("HashMap")));
+        assert!(v.iter().any(|x| x.message.contains("HashSet")));
+        assert!(v.iter().any(|x| x.message.contains("Instant")));
+        assert!(v.iter().any(|x| x.message.contains("env::var")));
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let v = run(
+            "crates/bench/src/executor.rs",
+            "use std::collections::HashMap;\nlet t = Instant::now();\n",
+        );
+        assert!(v.is_empty(), "host-side crates may hash and time: {v:?}");
+    }
+
+    #[test]
+    fn waivers_are_honored() {
+        let v = run(
+            "crates/sim/src/x.rs",
+            "// audit: allow(nondet-map) never iterated, keyed lookups only\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             let t = std::env::var(\"ATAC_X\"); // audit: allow(ambient) CLI entry, part of run key\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn instantiate_prose_is_not_instant() {
+        let v = run(
+            "crates/sim/src/config.rs",
+            "/// Instantiate the configured network.\nfn build() { net(); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn seeded_small_rng_is_sanctioned() {
+        let v = run(
+            "crates/workloads/src/x.rs",
+            "use rand::rngs::SmallRng;\nlet mut rng = SmallRng::seed_from_u64(seed);\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

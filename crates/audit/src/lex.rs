@@ -1,0 +1,652 @@
+//! A lightweight string/comment-aware Rust lexer and per-file scope
+//! tracker — the substrate every audit rule runs on.
+//!
+//! [`FileModel::parse`] classifies every byte of a source file as code,
+//! comment, or string-literal interior (line + nested block comments,
+//! plain/raw/byte strings, char literals vs lifetimes), then walks the
+//! code text tracking `fn` / `mod` / `impl` brace scopes. Rules
+//! therefore see, per line:
+//!
+//! * `code` — the line with comments and string interiors blanked out,
+//!   so a pattern inside a doc comment, an error message, or a
+//!   commented-out experiment can never fire a rule;
+//! * `comment` — just the comment text, where waiver markers live;
+//! * `strings` — the string-literal payloads (the schema-drift rule
+//!   reads JSON key vocabularies out of these);
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` module
+//!   or a `#[test]` function, *anywhere* in the file (the old audit
+//!   only skipped a trailing test module);
+//! * the innermost enclosing function, via [`FnSpan`] — which is what
+//!   lets the allocation census and the float-accumulation rule reason
+//!   about *where* a pattern occurs, not just that it occurs.
+
+/// One function's extent in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// 0-based line where the item header began (attributes included).
+    pub sig_line: usize,
+    /// 0-based line of the body's opening `{`.
+    pub body_start: usize,
+    /// 0-based line of the matching `}` (== `body_start` for one-liners).
+    pub body_end: usize,
+    /// Inside a `#[cfg(test)]` module, or itself a `#[test]` fn.
+    pub in_test: bool,
+}
+
+/// One source line, classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// The line exactly as written.
+    pub raw: String,
+    /// The line with comment bytes and string/char interiors replaced
+    /// by spaces (delimiters kept). Same length as `raw`.
+    pub code: String,
+    /// Only the comment bytes of the line, concatenated.
+    pub comment: String,
+    /// Contents of string literals that *start* on this line (a
+    /// multi-line literal contributes its whole payload here).
+    pub strings: Vec<String>,
+    /// Line is inside test-only code (`#[cfg(test)]` mod / `#[test]` fn).
+    pub in_test: bool,
+    /// Index into [`FileModel::fns`] of the innermost enclosing fn.
+    pub fn_idx: Option<usize>,
+}
+
+/// A lexed + scope-tracked source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Per-line classification, in file order.
+    pub lines: Vec<Line>,
+    /// Every `fn` item found, in order of appearance.
+    pub fns: Vec<FnSpan>,
+}
+
+/// Byte classification produced by the lexer pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cls {
+    Code,
+    Comment,
+    Str,
+}
+
+impl FileModel {
+    /// Lex and scope-track `text`.
+    pub fn parse(text: &str) -> FileModel {
+        let (cls, strings_by_line) = classify(text);
+        let mut lines: Vec<Line> = Vec::new();
+        let bytes = text.as_bytes();
+        let mut start = 0usize;
+        let mut line_no = 0usize;
+        for i in 0..=bytes.len() {
+            if i == bytes.len() || bytes[i] == b'\n' {
+                let raw = &text[start..i];
+                let mut code = String::with_capacity(raw.len());
+                let mut comment = String::new();
+                for (off, ch) in raw.char_indices() {
+                    match cls[start + off] {
+                        Cls::Code => code.push(ch),
+                        Cls::Comment => {
+                            code.push(' ');
+                            comment.push(ch);
+                        }
+                        Cls::Str => code.push(' '),
+                    }
+                }
+                lines.push(Line {
+                    raw: raw.to_string(),
+                    code,
+                    comment,
+                    strings: strings_by_line
+                        .iter()
+                        .filter(|(l, _)| *l == line_no)
+                        .map(|(_, s)| s.clone())
+                        .collect(),
+                    in_test: false,
+                    fn_idx: None,
+                });
+                line_no += 1;
+                start = i + 1;
+            }
+        }
+        let mut model = FileModel {
+            lines,
+            fns: Vec::new(),
+        };
+        track_scopes(&mut model);
+        model
+    }
+
+    /// The extent of the named function (first match), if present.
+    pub fn find_fn(&self, name: &str) -> Option<&FnSpan> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+
+    /// All spans with the given name (trait impls repeat names).
+    pub fn find_fns<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a FnSpan> {
+        self.fns.iter().filter(move |f| f.name == name)
+    }
+}
+
+/// Classify every byte of `text`; also collect `(start_line, payload)`
+/// for each string literal.
+#[allow(clippy::too_many_lines)]
+fn classify(text: &str) -> (Vec<Cls>, Vec<(usize, String)>) {
+    let b = text.as_bytes();
+    let n = b.len();
+    let mut cls = vec![Cls::Code; n];
+    let mut strings: Vec<(usize, String)> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Current string accumulator: (start_line, payload).
+    let mut cur_str: Option<(usize, String)> = None;
+
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str { raw_hashes: Option<u32> },
+        CharLit,
+    }
+    let mut st = St::Code;
+
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+        }
+        match st {
+            St::Code => {
+                if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+                    st = St::LineComment;
+                    cls[i] = Cls::Comment;
+                    cls[i + 1] = Cls::Comment;
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    st = St::BlockComment(1);
+                    cls[i] = Cls::Comment;
+                    cls[i + 1] = Cls::Comment;
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte strings: r"...", r#"..."#, b"...", br#"..."#.
+                let prev_ident = i > 0 && is_ident_byte(b[i - 1]);
+                if !prev_ident && (c == b'r' || c == b'b') {
+                    let mut j = i + 1;
+                    if c == b'b' && j < n && b[j] == b'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while j < n && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = j > i + 1 || c == b'r'; // saw 'r' (maybe after 'b')
+                    let rawish = c == b'r' || (c == b'b' && i + 1 < n && b[i + 1] == b'r');
+                    if j < n && b[j] == b'"' && (is_raw || hashes == 0) && (rawish || hashes == 0) {
+                        if rawish {
+                            st = St::Str {
+                                raw_hashes: Some(hashes),
+                            };
+                            cur_str = Some((line, String::new()));
+                            i = j + 1;
+                            continue;
+                        }
+                        // b"..." — ordinary escape rules.
+                        if c == b'b' && i + 1 < n && b[i + 1] == b'"' {
+                            st = St::Str { raw_hashes: None };
+                            cur_str = Some((line, String::new()));
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                if c == b'"' {
+                    st = St::Str { raw_hashes: None };
+                    cur_str = Some((line, String::new()));
+                    i += 1;
+                    continue;
+                }
+                if c == b'\'' {
+                    // Char literal vs lifetime.
+                    if i + 1 < n && b[i + 1] == b'\\' {
+                        st = St::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                        // 'x' — blank the payload byte (may start a
+                        // multibyte char; blank until the closing quote).
+                        let mut j = i + 1;
+                        while j < n && b[j] != b'\'' {
+                            cls[j] = Cls::Str;
+                            j += 1;
+                        }
+                        i = (j + 1).min(n);
+                        continue;
+                    }
+                    // Multibyte char literal like 'é' (payload > 1 byte,
+                    // closing quote not at i+2): detect by scanning a few
+                    // bytes for a close quote with no ident chars after.
+                    if i + 2 < n && !b[i + 1].is_ascii() {
+                        let mut j = i + 1;
+                        while j < n && b[j] != b'\'' && j - i <= 5 {
+                            j += 1;
+                        }
+                        if j < n && b[j] == b'\'' {
+                            for slot in &mut cls[i + 1..j] {
+                                *slot = Cls::Str;
+                            }
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    // Lifetime — leave as code.
+                    i += 1;
+                    continue;
+                }
+                i += 1;
+            }
+            St::LineComment => {
+                if c == b'\n' {
+                    st = St::Code;
+                } else {
+                    cls[i] = Cls::Comment;
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    cls[i] = Cls::Comment;
+                    cls[i + 1] = Cls::Comment;
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    cls[i] = Cls::Comment;
+                    cls[i + 1] = Cls::Comment;
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                if c != b'\n' {
+                    cls[i] = Cls::Comment;
+                }
+                i += 1;
+            }
+            St::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == b'\\' && i + 1 < n {
+                        cls[i] = Cls::Str;
+                        cls[i + 1] = Cls::Str;
+                        if let Some((_, s)) = cur_str.as_mut() {
+                            s.push(b[i] as char);
+                            s.push(b[i + 1] as char);
+                        }
+                        if b[i + 1] == b'\n' {
+                            line += 1;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if c == b'"' {
+                        st = St::Code;
+                        if let Some(done) = cur_str.take() {
+                            strings.push(done);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    cls[i] = Cls::Str;
+                    if let Some((_, s)) = cur_str.as_mut() {
+                        // Multibyte payload bytes are pushed lossily as
+                        // replacement spaces; key extraction only needs
+                        // ASCII.
+                        s.push(if c.is_ascii() { c as char } else { ' ' });
+                    }
+                    i += 1;
+                }
+                Some(h) => {
+                    if c == b'"' {
+                        let mut k = 0u32;
+                        while (k as usize) < n - i - 1 && b[i + 1 + k as usize] == b'#' && k < h {
+                            k += 1;
+                        }
+                        if k == h {
+                            st = St::Code;
+                            if let Some(done) = cur_str.take() {
+                                strings.push(done);
+                            }
+                            i += 1 + h as usize;
+                            continue;
+                        }
+                    }
+                    cls[i] = Cls::Str;
+                    if let Some((_, s)) = cur_str.as_mut() {
+                        s.push(if c.is_ascii() { c as char } else { ' ' });
+                    }
+                    i += 1;
+                }
+            },
+            St::CharLit => {
+                if c == b'\\' && i + 1 < n {
+                    cls[i] = Cls::Str;
+                    cls[i + 1] = Cls::Str;
+                    i += 2;
+                    continue;
+                }
+                if c == b'\'' {
+                    st = St::Code;
+                    i += 1;
+                    continue;
+                }
+                cls[i] = Cls::Str;
+                i += 1;
+            }
+        }
+    }
+    (cls, strings)
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// What a brace scope is, decided from the item header preceding `{`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ScopeKind {
+    Fn(usize),
+    TestScope,
+    Other,
+}
+
+struct Frame {
+    kind: ScopeKind,
+}
+
+/// Walk the code text, pushing a frame per `{` and popping per `}`,
+/// classifying each frame from the accumulated item header.
+fn track_scopes(model: &mut FileModel) {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut header = String::new();
+    let mut header_start: Option<usize> = None;
+    let mut open_fns: Vec<usize> = Vec::new(); // indices into model.fns
+    let mut fn_bodies: Vec<(usize, usize, usize)> = Vec::new(); // (fn idx, start, end)
+
+    let line_count = model.lines.len();
+    for ln in 0..line_count {
+        let code = model.lines[ln].code.clone();
+        let start_in_test = stack.iter().any(|f| f.kind == ScopeKind::TestScope);
+        let start_fn = open_fns.last().copied();
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    let kind = classify_header(&header, header_start.unwrap_or(ln), ln, model);
+                    if let ScopeKind::Fn(idx) = kind {
+                        open_fns.push(idx);
+                        model.fns[idx].body_start = ln;
+                    }
+                    stack.push(Frame { kind });
+                    header.clear();
+                    header_start = None;
+                }
+                '}' => {
+                    if let Some(frame) = stack.pop() {
+                        if let ScopeKind::Fn(idx) = frame.kind {
+                            open_fns.pop();
+                            fn_bodies.push((idx, model.fns[idx].body_start, ln));
+                        }
+                    }
+                    header.clear();
+                    header_start = None;
+                }
+                ';' => {
+                    header.clear();
+                    header_start = None;
+                }
+                c => {
+                    if !c.is_whitespace() && header_start.is_none() {
+                        header_start = Some(ln);
+                    }
+                    header.push(c);
+                }
+            }
+        }
+        header.push(' ');
+        let end_in_test = stack.iter().any(|f| f.kind == ScopeKind::TestScope);
+        let end_fn = open_fns.last().copied();
+        let l = &mut model.lines[ln];
+        l.in_test = start_in_test || end_in_test;
+        l.fn_idx = end_fn.or(start_fn);
+    }
+    for (idx, _start, end) in fn_bodies {
+        model.fns[idx].body_end = end;
+    }
+    // Propagate test-ness onto the fn spans themselves.
+    for f in &mut model.fns {
+        if model.lines[f.body_start].in_test {
+            f.in_test = true;
+        }
+    }
+}
+
+/// Decide what scope a `{` opens, registering a new [`FnSpan`] when the
+/// header declares a function.
+fn classify_header(
+    header: &str,
+    header_start: usize,
+    brace_line: usize,
+    model: &mut FileModel,
+) -> ScopeKind {
+    let compact: String = header.chars().filter(|c| !c.is_whitespace()).collect();
+    let is_test_attr = compact.contains("#[cfg(test)]")
+        || compact.contains("#[cfg(all(test")
+        || compact.contains("#[cfg(any(test")
+        || compact.contains("#[test]");
+
+    // `fn name` — token scan so `Fn`/`FnMut` bounds and `fn(` pointer
+    // types don't count.
+    let toks: Vec<&str> = tokens(header).collect();
+    let mut fn_name = None;
+    for w in toks.windows(2) {
+        if w[0] == "fn" && is_ident(w[1]) {
+            fn_name = Some(w[1].to_string());
+            break;
+        }
+    }
+    if let Some(name) = fn_name {
+        let idx = model.fns.len();
+        model.fns.push(FnSpan {
+            name,
+            sig_line: header_start,
+            body_start: brace_line,
+            body_end: brace_line,
+            in_test: is_test_attr,
+        });
+        if is_test_attr {
+            return ScopeKind::TestScope;
+        }
+        return ScopeKind::Fn(idx);
+    }
+    if is_test_attr && has_token(header, "mod") {
+        return ScopeKind::TestScope;
+    }
+    ScopeKind::Other
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| !c.is_ascii_digit())
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Identifier-like tokens of `code` (split on non-word characters).
+pub fn tokens(code: &str) -> impl Iterator<Item = &str> {
+    code.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+}
+
+/// Whole-token containment: `has_token("Instantiate x", "Instant")` is
+/// false, which substring matching gets wrong.
+pub fn has_token(code: &str, tok: &str) -> bool {
+    tokens(code).any(|t| t == tok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let m = FileModel::parse(
+            "let a = 1; // HashMap in a comment\nlet s = \"HashMap::new()\"; let b = 2;\n",
+        );
+        assert!(!m.lines[0].code.contains("HashMap"));
+        assert!(m.lines[0].comment.contains("HashMap"));
+        assert!(!m.lines[1].code.contains("HashMap"));
+        assert_eq!(m.lines[1].strings, vec!["HashMap::new()".to_string()]);
+        assert!(m.lines[1].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let m = FileModel::parse("/* outer /* inner */ still comment */ let x = 1;\n/*\nunwrap()\n*/\nlet y = q.unwrap();\n");
+        assert!(m.lines[0].code.contains("let x = 1;"));
+        assert!(!m.lines[0].code.contains("inner"));
+        assert!(!m.lines[2].code.contains("unwrap"));
+        assert!(m.lines[4].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let m = FileModel::parse(
+            "let a = r#\"say \"_ =>\" here\"#;\nlet b = \"esc \\\" _ => quote\";\nlet c = 'x';\nlet lt: &'static str = \"s\";\n",
+        );
+        assert!(!m.lines[0].code.contains("=>"));
+        assert!(m.lines[0].strings[0].contains("_ =>"));
+        assert!(!m.lines[1].code.contains("=>"));
+        assert!(!m.lines[2].code.contains('x'));
+        assert!(m.lines[3].code.contains("'static"));
+    }
+
+    #[test]
+    fn string_with_comment_marker_does_not_eat_line() {
+        let m = FileModel::parse("let s = \"a // b\"; q.unwrap();\n");
+        assert!(m.lines[0].code.contains(".unwrap()"));
+        assert!(m.lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn fn_scopes_and_extents() {
+        let src = "\
+pub fn outer(x: u32) -> u32 {
+    let v = x + 1;
+    v
+}
+
+impl Foo {
+    fn method(&self) {
+        helper();
+    }
+}
+";
+        let m = FileModel::parse(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "method"]);
+        let outer = m.find_fn("outer").unwrap();
+        assert_eq!((outer.body_start, outer.body_end), (0, 3));
+        let method = m.find_fn("method").unwrap();
+        assert_eq!((method.body_start, method.body_end), (6, 8));
+        assert_eq!(m.lines[1].fn_idx, Some(0));
+        assert_eq!(m.lines[7].fn_idx, Some(1));
+        assert_eq!(m.lines[5].fn_idx, None, "impl body line, not inside a fn");
+    }
+
+    #[test]
+    fn multi_line_signature_attaches_to_fn() {
+        let src = "\
+fn long(
+    a: u32,
+    b: u32,
+) -> u32 {
+    a + b
+}
+";
+        let m = FileModel::parse(src);
+        let f = m.find_fn("long").unwrap();
+        assert_eq!(f.sig_line, 0);
+        assert_eq!(f.body_start, 3);
+        assert_eq!(f.body_end, 5);
+        assert_eq!(m.lines[4].fn_idx, Some(0));
+    }
+
+    #[test]
+    fn cfg_test_module_anywhere_marks_lines() {
+        let src = "\
+fn real() {
+    work();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        fake();
+    }
+}
+
+fn after_tests() {
+    more_work();
+}
+";
+        let m = FileModel::parse(src);
+        assert!(!m.lines[1].in_test);
+        assert!(m.lines[8].in_test, "inside #[cfg(test)] mod");
+        assert!(
+            !m.lines[13].in_test,
+            "code after the test module is live again"
+        );
+        assert!(m.find_fn("t").unwrap().in_test);
+        assert!(!m.find_fn("after_tests").unwrap().in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_outside_mod_is_test() {
+        let src = "#[test]\nfn standalone() {\n    fake();\n}\n";
+        let m = FileModel::parse(src);
+        assert!(m.lines[2].in_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_and_fn_bounds_are_not_fns() {
+        let src = "fn real(cb: fn(u32) -> u32) -> Box<dyn Fn()> {\n    cb(1);\n}\n";
+        let m = FileModel::parse(src);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "real");
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("let t = Instant::now();", "Instant"));
+        assert!(!has_token("/// Instantiate the network", "Instant"));
+        assert!(!has_token("Instantiate", "Instant"));
+        assert!(has_token("use std::env;", "env"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let m = FileModel::parse("let a = '\"'; let b = q.unwrap();\nlet c = '\\n';\n");
+        assert!(m.lines[0].code.contains(".unwrap()"));
+        assert!(m.lines[1].code.contains("let c"));
+    }
+}

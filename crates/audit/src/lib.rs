@@ -1,9 +1,15 @@
 //! Project-specific static analysis for the ATAC+ workspace.
 //!
-//! Seven rules, all enforced line/token-wise on the raw source text (so
-//! they see code inside macro invocations, which `syn`-style tooling
-//! would not without expansion — and this crate must build with zero
-//! dependencies):
+//! Eleven rules, enforced on a lexed view of the source (see [`lex`]):
+//! every file is classified byte-by-byte into code / comment / string
+//! before any rule runs, and a brace-tracking scope pass attributes
+//! each line to its enclosing `fn` and to `#[cfg(test)]` regions. Rules
+//! therefore cannot false-positive inside string literals, doc
+//! comments, commented-out code, or test modules — and the newer rules
+//! reason about *where* a pattern occurs, not merely that it occurs.
+//! (The pass still sees code inside macro invocations, which
+//! `syn`-style tooling would not without expansion, and the only
+//! dependency is the in-tree `atac-trace` JSON reader.)
 //!
 //! 1. **`raw-f64`** — public functions in `crates/phys`, `crates/sim`
 //!    and `crates/trace` whose name (or a parameter name) speaks of
@@ -14,8 +20,6 @@
 //!    and `NetStats` must either be read by the energy integration in
 //!    `crates/sim/src/energy.rs` or carry an explicit
 //!    `// audit: non-energy` waiver explaining why it carries no energy.
-//!    This catches the classic drift bug where an event is counted but
-//!    silently never charged.
 //! 3. **`wildcard-arm`** — the protocol/network state machines must
 //!    match exhaustively: no `_ =>` (or `_ if … =>`) arms in the listed
 //!    files, so adding a message kind or route forces every handler to
@@ -26,34 +30,70 @@
 //!    invariant that makes them safe.
 //! 5. **`probe-api`** — instrumentation in hot paths must go through the
 //!    `atac_trace::ProbeHandle` forwarders: no direct `.borrow_mut(`
-//!    probe access (which would bypass the one-branch disabled-probe
-//!    guarantee) and no raw `*_samples.push(…)` sample vectors (latency
-//!    observations belong in a mergeable `Histogram`). Waive with
-//!    `// audit: allow(probe) <reason>`.
+//!    probe access and no raw `*_samples.push(…)` sample vectors. Waive
+//!    with `// audit: allow(probe) <reason>`.
 //! 6. **`sweep-api`** — all sweep concurrency and run-cache publication
 //!    go through the `atac-bench` executor/cache layer: no raw
-//!    `thread::spawn` anywhere in the first-party crates (the worker
-//!    pool owns threading; scoped `s.spawn` inside it is fine), and no
-//!    ad-hoc `fs::write`/`File::create`/`OpenOptions` in `crates/bench`
-//!    outside `executor.rs`/`cache.rs` — a bare write under
-//!    `target/atac-results/` would bypass the atomic temp-file + rename
-//!    protocol that keeps parallel sweeps torn-record-free. Waive with
+//!    `thread::spawn` in first-party crates, no ad-hoc file writes in
+//!    `crates/bench` outside `executor.rs`/`cache.rs`. Waive with
 //!    `// audit: allow(sweep) <reason>`.
 //! 7. **`report-api`** — all run-history and report file writes go
 //!    through the `crates/report` history writers
-//!    (`append_lines`/`write_text` in `history.rs`): no ad-hoc
-//!    `fs::write`/`File::create`/`OpenOptions` elsewhere in
-//!    `crates/report`. The registry is append-only and
-//!    schema-versioned; a stray write could truncate or interleave
-//!    `BENCH_history.jsonl` and silently blind the regression gate.
-//!    Waive with `// audit: allow(report) <reason>`.
+//!    (`append_lines`/`write_text` in `history.rs`). Waive with
+//!    `// audit: allow(report) <reason>`.
+//! 8. **`determinism`** — in the result-bearing crates (`net`,
+//!    `coherence`, `sim`, `phys`, `workloads`), no `HashMap`/`HashSet`
+//!    (iteration order is randomized per process; use
+//!    `BTreeMap`/`BTreeSet` or sort before iterating and waive with
+//!    `// audit: allow(nondet-map) <reason>`), and no wall-clock or
+//!    ambient input — `Instant`, `SystemTime`, `env::var`,
+//!    `thread_rng`/`from_entropy`/`RandomState` — outside
+//!    host-profiling code (waive with
+//!    `// audit: allow(ambient) <reason>`). This is the static face of
+//!    the bit-identical-results contract the regression gate and the
+//!    parallel-vs-serial verifier enforce at run time.
+//! 9. **`hot-alloc`** — an allocation census over the rule-4 hot-path
+//!    files: every `push`/`Box::new`/`clone()`/`format!`/`to_string`/
+//!    `collect()`/… site is inventoried (machine-readable via
+//!    `--json`), and sites inside the registered *per-cycle* functions
+//!    are violations unless waived with
+//!    `// audit: allow(alloc) <reason>`. Existing sites are frozen in
+//!    the committed baseline; the census scopes the ROADMAP item 1
+//!    network hot-path overhaul.
+//! 10. **`float-accum`** — `+=` accumulation in merge/reduction code
+//!     reachable from the parallel sweep executor must be declared
+//!     order-stable (`// audit: order-stable — <why>` on the function),
+//!     because float addition is not associative and a
+//!     worker-completion-order-dependent sum would break byte-identical
+//!     sweep artifacts. Waive a single site with
+//!     `// audit: allow(float-accum) <reason>`.
+//! 11. **`schema-drift`** — the JSON field vocabularies emitted by the
+//!     `trace`/`bench`/`report` writers are cross-checked against their
+//!     in-tree validators/parsers, and the committed
+//!     `BENCH_history.jsonl` is checked against the history emitter, so
+//!     an exporter field cannot silently diverge from its reader. Waive
+//!     with `// audit: allow(schema) <reason>` on the emitter line.
 //!
-//! The binary (`cargo run -p atac-audit`) exits non-zero on any
-//! violation; the same pass runs under `cargo test` via
-//! [`tests::shipped_tree_is_clean`].
+//! The binary (`cargo run -p atac-audit`) compares findings against the
+//! committed `audit_baseline.json` *ratchet*: pre-existing findings are
+//! tolerated but frozen, any new finding fails, and fixing one turns
+//! the stale baseline entry into a failure until the baseline is
+//! regenerated (`--write-baseline`) — mirroring the append-only
+//! discipline of `BENCH_history.jsonl`. The same pass runs under
+//! `cargo test` via [`tests::shipped_tree_is_clean`].
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod determinism;
+pub mod floatsum;
+pub mod hotalloc;
+pub mod lex;
+pub mod report;
+pub mod schema;
+
+pub use hotalloc::AllocSite;
+use lex::FileModel;
 
 /// One rule violation at a specific source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,11 +102,13 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`raw-f64`, `counter-coverage`, `wildcard-arm`,
-    /// `hot-path`, `probe-api`, `sweep-api`, `report-api`).
+    /// Rule identifier (see [`RULES`]).
     pub rule: &'static str,
     /// Human-readable description of the problem and the fix.
     pub message: String,
+    /// The offending source line, trimmed — the line-number-independent
+    /// part of the baseline fingerprint.
+    pub snippet: String,
 }
 
 impl fmt::Display for Violation {
@@ -77,6 +119,76 @@ impl fmt::Display for Violation {
             self.file, self.line, self.rule, self.message
         )
     }
+}
+
+/// One entry of the rule registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// The identifier violations carry in [`Violation::rule`].
+    pub id: &'static str,
+    /// One-line summary for `--help`-style output.
+    pub summary: &'static str,
+}
+
+/// Every rule this crate enforces. The CLI banner, the findings
+/// document, and the docs all derive their rule count from here, so a
+/// new rule cannot leave a stale hard-coded `7` behind.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "raw-f64",
+        summary: "unit-bearing public signatures use newtypes, not bare f64",
+    },
+    RuleInfo {
+        id: "counter-coverage",
+        summary: "every stats counter feeds the energy model or is waived",
+    },
+    RuleInfo {
+        id: "wildcard-arm",
+        summary: "protocol/network state machines match exhaustively",
+    },
+    RuleInfo {
+        id: "hot-path",
+        summary: "hot-path unwrap/expect/lossy casts carry justifying waivers",
+    },
+    RuleInfo {
+        id: "probe-api",
+        summary: "hot-path instrumentation goes through ProbeHandle",
+    },
+    RuleInfo {
+        id: "sweep-api",
+        summary: "sweep concurrency and cache writes go through the executor",
+    },
+    RuleInfo {
+        id: "report-api",
+        summary: "history/report writes go through the report-crate writers",
+    },
+    RuleInfo {
+        id: "determinism",
+        summary: "result-bearing crates: no hash-order iteration or ambient input",
+    },
+    RuleInfo {
+        id: "hot-alloc",
+        summary: "allocation census over per-cycle hot-path functions",
+    },
+    RuleInfo {
+        id: "float-accum",
+        summary: "merge/reduction float sums declare their accumulation order",
+    },
+    RuleInfo {
+        id: "schema-drift",
+        summary: "JSON emitter vocabularies match their validators and history",
+    },
+];
+
+/// Everything one audit pass produces: the violations (ratcheted against
+/// the baseline by the CLI) and the full hot-path allocation census
+/// (informational sites included).
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Rule violations, sorted by (file, line).
+    pub violations: Vec<Violation>,
+    /// Every allocation site in the hot-path files, per-cycle or not.
+    pub census: Vec<AllocSite>,
 }
 
 /// Files whose `match` statements must be exhaustive (rule 3).
@@ -90,8 +202,8 @@ const EXHAUSTIVE_MATCH_FILES: &[&str] = &[
 ];
 
 /// Simulator hot paths where panics and lossy casts need waivers
-/// (rule 4).
-const HOT_PATH_FILES: &[&str] = &[
+/// (rule 4) and where rule 9 takes its allocation census.
+pub const HOT_PATH_FILES: &[&str] = &[
     "crates/net/src/mesh.rs",
     "crates/net/src/onet.rs",
     "crates/net/src/atac.rs",
@@ -104,19 +216,17 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/sim/src/energy.rs",
 ];
 
-/// Files rule 5 checks beyond [`HOT_PATH_FILES`]: instrumentation-heavy
-/// code that is not panic/cast-sensitive but must still use the probe
-/// API rather than ad-hoc sample collection.
+/// Files rule 5 checks beyond [`HOT_PATH_FILES`].
 const PROBE_API_EXTRA_FILES: &[&str] = &["crates/net/src/harness.rs"];
 
 /// The two modules that own sweep concurrency and run-cache publication;
 /// rule 6 exempts them and polices everything else.
 const SWEEP_API_FILES: &[&str] = &["crates/bench/src/cache.rs", "crates/bench/src/executor.rs"];
 
-/// First-party source roots rule 6 scans for raw `thread::spawn`.
+/// First-party source roots scanned by the whole-workspace rules.
 /// `crates/rand` (vendored third-party) and `crates/audit` (this crate's
 /// own pattern literals) are deliberately absent.
-const SWEEP_API_DIRS: &[&str] = &[
+const FIRST_PARTY_DIRS: &[&str] = &[
     "crates/bench/src",
     "crates/coherence/src",
     "crates/core/src",
@@ -143,65 +253,90 @@ const UNIT_KEYWORDS: &[&str] = &[
 /// # Panics
 /// Panics if a source file listed by the rules cannot be read — the
 /// audit is meaningless against a partial tree.
-pub fn audit_workspace(root: &Path) -> Vec<Violation> {
+pub fn audit_workspace(root: &Path) -> AuditReport {
     let mut v = Vec::new();
+    let mut census = Vec::new();
 
-    // Rule 1 over every source file of the unit-bearing crates.
-    for dir in ["crates/phys/src", "crates/sim/src", "crates/trace/src"] {
+    // Lex every first-party file exactly once; all rules share the
+    // models.
+    let mut models: Vec<(String, FileModel)> = Vec::new();
+    for dir in FIRST_PARTY_DIRS {
         for file in rust_files(&root.join(dir)) {
             let rel = rel_path(root, &file);
-            let text = read(&file);
-            check_raw_f64(&rel, &text, &mut v);
+            models.push((rel, FileModel::parse(&read(&file))));
+        }
+    }
+    let model_of = |rel: &str| -> &FileModel {
+        models
+            .iter()
+            .find(|(r, _)| r == rel)
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| panic!("audit: no model for {rel}"))
+    };
+
+    // Rule 1 over every source file of the unit-bearing crates.
+    for (rel, model) in &models {
+        if ["crates/phys/", "crates/sim/", "crates/trace/"]
+            .iter()
+            .any(|p| rel.starts_with(p))
+        {
+            check_raw_f64(rel, model, &mut v);
         }
     }
 
     // Rule 2: counter structs vs the energy integration.
-    let energy = read(&root.join("crates/sim/src/energy.rs"));
-    let energy_tokens = token_set(&energy);
+    let energy_tokens = token_set(&read(&root.join("crates/sim/src/energy.rs")));
     for (rel, struct_name) in [
         ("crates/coherence/src/stats.rs", "CoherenceStats"),
         ("crates/net/src/stats.rs", "NetStats"),
     ] {
-        let text = read(&root.join(rel));
-        check_counter_coverage(rel, &text, struct_name, &energy_tokens, &mut v);
+        check_counter_coverage(rel, model_of(rel), struct_name, &energy_tokens, &mut v);
     }
 
     // Rule 3.
     for rel in EXHAUSTIVE_MATCH_FILES {
-        let text = read(&root.join(rel));
-        check_wildcard_arms(rel, &text, &mut v);
+        check_wildcard_arms(rel, model_of(rel), &mut v);
     }
 
-    // Rule 4.
+    // Rules 4, 5, 9 over the hot-path files.
     for rel in HOT_PATH_FILES {
-        let text = read(&root.join(rel));
-        check_hot_path(rel, &text, &mut v);
+        let model = model_of(rel);
+        check_hot_path(rel, model, &mut v);
+        check_probe_api(rel, model, &mut v);
+        hotalloc::check_hot_alloc(rel, model, &mut census, &mut v);
+    }
+    for rel in PROBE_API_EXTRA_FILES {
+        check_probe_api(rel, model_of(rel), &mut v);
     }
 
-    // Rule 5.
-    for rel in HOT_PATH_FILES.iter().chain(PROBE_API_EXTRA_FILES) {
-        let text = read(&root.join(rel));
-        check_probe_api(rel, &text, &mut v);
-    }
-
-    // Rule 6 over every first-party source file.
-    for dir in SWEEP_API_DIRS {
-        for file in rust_files(&root.join(dir)) {
-            let rel = rel_path(root, &file);
-            let text = read(&file);
-            check_sweep_api(&rel, &text, &mut v);
-        }
+    // Rules 6 and 8 over every first-party source file (rule 8 narrows
+    // to the result-bearing crates internally).
+    for (rel, model) in &models {
+        check_sweep_api(rel, model, &mut v);
+        determinism::check_determinism(rel, model, &mut v);
     }
 
     // Rule 7 over the report crate.
-    for file in rust_files(&root.join("crates/report/src")) {
-        let rel = rel_path(root, &file);
-        let text = read(&file);
-        check_report_api(&rel, &text, &mut v);
+    for (rel, model) in &models {
+        if rel.starts_with("crates/report/") {
+            check_report_api(rel, model, &mut v);
+        }
     }
 
-    v.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    v
+    // Rule 10 over the sweep-reachable reduction files.
+    for rel in floatsum::REDUCTION_FILES {
+        floatsum::check_float_accum(rel, model_of(rel), &mut v);
+    }
+
+    // Rule 11: emitter vocabularies vs validators and the history file.
+    schema::check_schema_drift(root, &model_of, &mut v);
+
+    v.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    census.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    AuditReport {
+        violations: v,
+        census,
+    }
 }
 
 /// The workspace root, resolved from this crate's manifest directory.
@@ -213,7 +348,7 @@ pub fn workspace_root() -> PathBuf {
 }
 
 // ----------------------------------------------------------------------
-// Shared text machinery
+// Shared machinery
 // ----------------------------------------------------------------------
 
 fn read(path: &Path) -> String {
@@ -247,45 +382,61 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Split a line into its code part and its `//` comment part, ignoring
-/// `//` sequences inside string literals.
-fn split_comment(line: &str) -> (&str, &str) {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip escaped char
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return (&line[..i], &line[i..]);
+/// Build a [`Violation`], capturing the line's trimmed raw text as the
+/// fingerprint snippet. `idx` is 0-based.
+pub(crate) fn violation(
+    rel: &str,
+    model: &FileModel,
+    idx: usize,
+    rule: &'static str,
+    message: String,
+) -> Violation {
+    let snippet = model
+        .lines
+        .get(idx)
+        .map(|l| {
+            let t = l.raw.trim();
+            let mut s: String = t.chars().take(160).collect();
+            if s.len() < t.len() {
+                s.push('…');
             }
-            _ => {}
-        }
-        i += 1;
+            s
+        })
+        .unwrap_or_default();
+    Violation {
+        file: rel.to_string(),
+        line: idx + 1,
+        rule,
+        message,
+        snippet,
     }
-    (line, "")
 }
 
-/// 0-based index of the first line of the file's trailing `#[cfg(test)]`
-/// region, or `len` if there is none. By workspace convention the test
-/// module is the last item in a file.
-fn test_region_start(lines: &[&str]) -> usize {
-    lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(lines.len())
-}
-
-/// Does line `idx` (or the full line above it) carry an
-/// `audit: allow(<kind>)` waiver?
-fn has_waiver(lines: &[&str], idx: usize, kind: &str) -> bool {
+/// Does line `idx` (or the line above it) carry an
+/// `audit: allow(<kind>)` waiver in its comment?
+pub(crate) fn has_waiver(model: &FileModel, idx: usize, kind: &str) -> bool {
     let marker = format!("audit: allow({kind})");
-    let (_, comment) = split_comment(lines[idx]);
-    if comment.contains(&marker) {
+    if model.lines[idx].comment.contains(&marker) {
         return true;
     }
-    idx > 0 && lines[idx - 1].contains(&marker)
+    idx > 0 && model.lines[idx - 1].comment.contains(&marker)
+}
+
+/// The contiguous run of pure-comment lines immediately above `idx`,
+/// as raw text.
+pub(crate) fn comment_block_above(model: &FileModel, idx: usize) -> Vec<&str> {
+    let mut block = Vec::new();
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &model.lines[i];
+        if !l.comment.is_empty() && l.code.trim().is_empty() {
+            block.push(l.raw.as_str());
+        } else {
+            break;
+        }
+    }
+    block
 }
 
 /// All identifier-like tokens in `text` (word characters split on
@@ -314,23 +465,21 @@ fn name_has_unit_keyword(name: &str) -> bool {
 // Rule 1: no bare f64 in public unit-bearing signatures
 // ----------------------------------------------------------------------
 
-fn check_raw_f64(rel: &str, text: &str, out: &mut Vec<Violation>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let test_start = test_region_start(&lines);
+pub fn check_raw_f64(rel: &str, model: &FileModel, out: &mut Vec<Violation>) {
+    let n = model.lines.len();
     let mut i = 0;
-    while i < test_start {
-        let (code, _) = split_comment(lines[i]);
-        if !(code.trim_start().starts_with("pub fn ")
-            || code.trim_start().starts_with("pub const fn "))
-        {
+    while i < n {
+        let line = &model.lines[i];
+        let t = line.code.trim_start();
+        if line.in_test || !(t.starts_with("pub fn ") || t.starts_with("pub const fn ")) {
             i += 1;
             continue;
         }
         // Join the signature until its body/terminator appears.
         let first = i;
         let mut sig = String::new();
-        while i < test_start {
-            let (code, _) = split_comment(lines[i]);
+        while i < n {
+            let code = &model.lines[i].code;
             sig.push_str(code);
             sig.push(' ');
             i += 1;
@@ -338,14 +487,20 @@ fn check_raw_f64(rel: &str, text: &str, out: &mut Vec<Violation>) {
                 break;
             }
         }
-        if has_waiver(&lines, first, "raw-f64") {
+        if has_waiver(model, first, "raw-f64") {
             continue;
         }
-        check_signature(rel, first + 1, &sig, out);
+        check_signature(rel, model, first, &sig, out);
     }
 }
 
-fn check_signature(rel: &str, line: usize, sig: &str, out: &mut Vec<Violation>) {
+fn check_signature(
+    rel: &str,
+    model: &FileModel,
+    first: usize,
+    sig: &str,
+    out: &mut Vec<Violation>,
+) {
     let Some(name) = fn_name(sig) else { return };
     let params = param_list(sig);
 
@@ -358,15 +513,17 @@ fn check_signature(rel: &str, line: usize, sig: &str, out: &mut Vec<Violation>) 
                 .trim_end_matches(';')
                 .trim();
             if ret == "f64" {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line,
-                    rule: "raw-f64",
-                    message: format!(
+                let name = name.to_string();
+                out.push(violation(
+                    rel,
+                    model,
+                    first,
+                    "raw-f64",
+                    format!(
                         "pub fn `{name}` returns bare f64; return a unit newtype from \
                          atac_phys::units (or waive with `// audit: allow(raw-f64)`)"
                     ),
-                });
+                ));
             }
         }
     }
@@ -374,15 +531,16 @@ fn check_signature(rel: &str, line: usize, sig: &str, out: &mut Vec<Violation>) 
     // Parameters: `energyish_name: f64`.
     for (pname, ptype) in params {
         if ptype == "f64" && name_has_unit_keyword(&pname) {
-            out.push(Violation {
-                file: rel.to_string(),
-                line,
-                rule: "raw-f64",
-                message: format!(
+            out.push(violation(
+                rel,
+                model,
+                first,
+                "raw-f64",
+                format!(
                     "pub fn `{name}` takes `{pname}: f64`; use a unit newtype from \
                      atac_phys::units (or waive with `// audit: allow(raw-f64)`)"
                 ),
-            });
+            ));
         }
     }
 }
@@ -441,48 +599,44 @@ fn param_list(sig: &str) -> Vec<(String, String)> {
 // Rule 2: every stats counter feeds the energy model or is waived
 // ----------------------------------------------------------------------
 
-fn check_counter_coverage(
+pub fn check_counter_coverage(
     rel: &str,
-    text: &str,
+    model: &FileModel,
     struct_name: &str,
     energy_tokens: &std::collections::BTreeSet<String>,
     out: &mut Vec<Violation>,
 ) {
-    let lines: Vec<&str> = text.lines().collect();
     let header = format!("pub struct {struct_name}");
-    let Some(start) = lines.iter().position(|l| l.contains(&header)) else {
-        out.push(Violation {
-            file: rel.to_string(),
-            line: 1,
-            rule: "counter-coverage",
-            message: format!("expected `pub struct {struct_name}` in this file"),
-        });
+    let Some(start) = model.lines.iter().position(|l| l.code.contains(&header)) else {
+        out.push(violation(
+            rel,
+            model,
+            0,
+            "counter-coverage",
+            format!("expected `pub struct {struct_name}` in this file"),
+        ));
         return;
     };
 
     let mut fields = 0usize;
     let mut depth = 0i32;
-    for (idx, raw) in lines.iter().enumerate().skip(start) {
-        let (code, _) = split_comment(raw);
+    for idx in start..model.lines.len() {
+        let code = &model.lines[idx].code;
         depth += i32::try_from(code.matches('{').count()).expect("line length");
         let closes = i32::try_from(code.matches('}').count()).expect("line length");
 
         if let Some(field) = counter_field(code) {
             fields += 1;
-            let waived = comment_block_above(&lines, idx)
+            let waived = comment_block_above(model, idx)
                 .iter()
                 .any(|l| l.contains("audit: non-energy"));
             if !waived && !energy_tokens.contains(field) {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule: "counter-coverage",
-                    message: format!(
-                        "`{struct_name}::{field}` is counted but never read by \
-                         crates/sim/src/energy.rs; charge it or waive with \
-                         `// audit: non-energy — <why>`"
-                    ),
-                });
+                let msg = format!(
+                    "`{struct_name}::{field}` is counted but never read by \
+                     crates/sim/src/energy.rs; charge it or waive with \
+                     `// audit: non-energy — <why>`"
+                );
+                out.push(violation(rel, model, idx, "counter-coverage", msg));
             }
         }
 
@@ -493,14 +647,13 @@ fn check_counter_coverage(
     }
 
     if fields == 0 {
-        out.push(Violation {
-            file: rel.to_string(),
-            line: start + 1,
-            rule: "counter-coverage",
-            message: format!(
-                "`{struct_name}` declares no `pub <name>: u64` counter fields — parser drift?"
-            ),
-        });
+        out.push(violation(
+            rel,
+            model,
+            start,
+            "counter-coverage",
+            format!("`{struct_name}` declares no `pub <name>: u64` counter fields — parser drift?"),
+        ));
     }
 }
 
@@ -519,38 +672,22 @@ fn counter_field(code: &str) -> Option<&str> {
     (ident && ty == "u64").then_some(name)
 }
 
-/// The contiguous run of pure-comment lines immediately above `idx`.
-fn comment_block_above<'a>(lines: &[&'a str], idx: usize) -> Vec<&'a str> {
-    let mut block = Vec::new();
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim_start();
-        if t.starts_with("//") {
-            block.push(lines[i]);
-        } else {
-            break;
-        }
-    }
-    block
-}
-
 // ----------------------------------------------------------------------
 // Rule 3: exhaustive matches in the state machines
 // ----------------------------------------------------------------------
 
-fn check_wildcard_arms(rel: &str, text: &str, out: &mut Vec<Violation>) {
-    for (idx, raw) in text.lines().enumerate() {
-        let (code, _) = split_comment(raw);
-        if is_wildcard_arm(code) {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: idx + 1,
-                rule: "wildcard-arm",
-                message: "wildcard `_ =>` arm in a protocol/network state machine; \
-                          list the variants explicitly so new message kinds fail to compile"
+pub fn check_wildcard_arms(rel: &str, model: &FileModel, out: &mut Vec<Violation>) {
+    for idx in 0..model.lines.len() {
+        if is_wildcard_arm(&model.lines[idx].code) {
+            out.push(violation(
+                rel,
+                model,
+                idx,
+                "wildcard-arm",
+                "wildcard `_ =>` arm in a protocol/network state machine; \
+                 list the variants explicitly so new message kinds fail to compile"
                     .to_string(),
-            });
+            ));
         }
     }
 }
@@ -581,35 +718,34 @@ fn is_wildcard_arm(code: &str) -> bool {
 /// counter arithmetic and excluded.
 const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
 
-fn check_hot_path(rel: &str, text: &str, out: &mut Vec<Violation>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let test_start = test_region_start(&lines);
-    for idx in 0..test_start {
-        let (code, _) = split_comment(lines[idx]);
+pub fn check_hot_path(rel: &str, model: &FileModel, out: &mut Vec<Violation>) {
+    for idx in 0..model.lines.len() {
+        let line = &model.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
 
         for (token, kind) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
-            if code.contains(token) && !has_waiver(&lines, idx, kind) {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule: "hot-path",
-                    message: format!(
-                        "`{kind}` in a simulator hot path; justify the invariant with \
-                         `// audit: allow({kind}) <reason>` or handle the None/Err case"
-                    ),
-                });
+            if code.contains(token) && !has_waiver(model, idx, kind) {
+                let msg = format!(
+                    "`{kind}` in a simulator hot path; justify the invariant with \
+                     `// audit: allow({kind}) <reason>` or handle the None/Err case"
+                );
+                out.push(violation(rel, model, idx, "hot-path", msg));
             }
         }
 
-        if has_lossy_cast(code) && !has_waiver(&lines, idx, "cast") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: idx + 1,
-                rule: "hot-path",
-                message: "lossy `as` cast in a simulator hot path; use `From`/`try_from` \
-                          or justify with `// audit: allow(cast) <reason>`"
+        if has_lossy_cast(code) && !has_waiver(model, idx, "cast") {
+            out.push(violation(
+                rel,
+                model,
+                idx,
+                "hot-path",
+                "lossy `as` cast in a simulator hot path; use `From`/`try_from` \
+                 or justify with `// audit: allow(cast) <reason>`"
                     .to_string(),
-            });
+            ));
         }
     }
 }
@@ -636,34 +772,38 @@ fn has_lossy_cast(code: &str) -> bool {
 // Rule 5: hot-path instrumentation goes through the probe API
 // ----------------------------------------------------------------------
 
-fn check_probe_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
-    let lines: Vec<&str> = text.lines().collect();
-    let test_start = test_region_start(&lines);
-    for idx in 0..test_start {
-        let (code, _) = split_comment(lines[idx]);
+pub fn check_probe_api(rel: &str, model: &FileModel, out: &mut Vec<Violation>) {
+    for idx in 0..model.lines.len() {
+        let line = &model.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
 
-        if code.contains(".borrow_mut(") && !has_waiver(&lines, idx, "probe") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: idx + 1,
-                rule: "probe-api",
-                message: "direct `.borrow_mut()` in an instrumented hot path; dispatch \
-                          events through the `ProbeHandle` forwarders (one disabled-probe \
-                          branch) or waive with `// audit: allow(probe) <reason>`"
+        if code.contains(".borrow_mut(") && !has_waiver(model, idx, "probe") {
+            out.push(violation(
+                rel,
+                model,
+                idx,
+                "probe-api",
+                "direct `.borrow_mut()` in an instrumented hot path; dispatch \
+                 events through the `ProbeHandle` forwarders (one disabled-probe \
+                 branch) or waive with `// audit: allow(probe) <reason>`"
                     .to_string(),
-            });
+            ));
         }
 
-        if pushes_sample_vec(code) && !has_waiver(&lines, idx, "probe") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: idx + 1,
-                rule: "probe-api",
-                message: "raw `*_samples.push(…)` in an instrumented hot path; record \
-                          into an `atac_trace::Histogram` (mergeable, constant-size) or \
-                          waive with `// audit: allow(probe) <reason>`"
+        if pushes_sample_vec(code) && !has_waiver(model, idx, "probe") {
+            out.push(violation(
+                rel,
+                model,
+                idx,
+                "probe-api",
+                "raw `*_samples.push(…)` in an instrumented hot path; record \
+                 into an `atac_trace::Histogram` (mergeable, constant-size) or \
+                 waive with `// audit: allow(probe) <reason>`"
                     .to_string(),
-            });
+            ));
         }
     }
 }
@@ -686,26 +826,29 @@ fn pushes_sample_vec(code: &str) -> bool {
 // Rule 6: sweep concurrency and cache writes go through the executor
 // ----------------------------------------------------------------------
 
-fn check_sweep_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
+pub fn check_sweep_api(rel: &str, model: &FileModel, out: &mut Vec<Violation>) {
     if SWEEP_API_FILES.contains(&rel) {
         return;
     }
-    let lines: Vec<&str> = text.lines().collect();
-    let test_start = test_region_start(&lines);
-    for idx in 0..test_start {
-        let (code, _) = split_comment(lines[idx]);
+    for idx in 0..model.lines.len() {
+        let line = &model.lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
 
-        if code.contains("thread::spawn(") && !has_waiver(&lines, idx, "sweep") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: idx + 1,
-                rule: "sweep-api",
-                message: "raw `thread::spawn` outside the sweep executor; declare the \
-                          work as a `RunPlan` (atac-bench executor) so panics propagate \
-                          and the pool size honors ATAC_JOBS, or waive with \
-                          `// audit: allow(sweep) <reason>`"
+        if code.contains("thread::spawn(") && !has_waiver(model, idx, "sweep") {
+            out.push(violation(
+                rel,
+                model,
+                idx,
+                "sweep-api",
+                "raw `thread::spawn` outside the sweep executor; declare the \
+                 work as a `RunPlan` (atac-bench executor) so panics propagate \
+                 and the pool size honors ATAC_JOBS, or waive with \
+                 `// audit: allow(sweep) <reason>`"
                     .to_string(),
-            });
+            ));
         }
 
         // Ad-hoc file creation is policed only in `crates/bench`, the
@@ -713,18 +856,14 @@ fn check_sweep_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
         // bypasses atomic publication.
         if rel.starts_with("crates/bench/") {
             for pat in ["fs::write(", "File::create(", "OpenOptions"] {
-                if code.contains(pat) && !has_waiver(&lines, idx, "sweep") {
-                    out.push(Violation {
-                        file: rel.to_string(),
-                        line: idx + 1,
-                        rule: "sweep-api",
-                        message: format!(
-                            "ad-hoc `{pat}…` in crates/bench outside the cache layer; \
-                             publish run records through `RunCache`/`publish_atomic` \
-                             (temp file + rename) or waive with \
-                             `// audit: allow(sweep) <reason>`"
-                        ),
-                    });
+                if code.contains(pat) && !has_waiver(model, idx, "sweep") {
+                    let msg = format!(
+                        "ad-hoc `{pat}…` in crates/bench outside the cache layer; \
+                         publish run records through `RunCache`/`publish_atomic` \
+                         (temp file + rename) or waive with \
+                         `// audit: allow(sweep) <reason>`"
+                    );
+                    out.push(violation(rel, model, idx, "sweep-api", msg));
                 }
             }
         }
@@ -735,26 +874,23 @@ fn check_sweep_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
 // Rule 7: history/report writes go through the report-crate writers
 // ----------------------------------------------------------------------
 
-fn check_report_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
+pub fn check_report_api(rel: &str, model: &FileModel, out: &mut Vec<Violation>) {
     if REPORT_API_FILES.contains(&rel) {
         return;
     }
-    let lines: Vec<&str> = text.lines().collect();
-    let test_start = test_region_start(&lines);
-    for idx in 0..test_start {
-        let (code, _) = split_comment(lines[idx]);
+    for idx in 0..model.lines.len() {
+        let line = &model.lines[idx];
+        if line.in_test {
+            continue;
+        }
         for pat in ["fs::write(", "File::create(", "OpenOptions"] {
-            if code.contains(pat) && !has_waiver(&lines, idx, "report") {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule: "report-api",
-                    message: format!(
-                        "ad-hoc `{pat}…` in crates/report outside history.rs; write \
-                         through `append_lines`/`write_text` so the registry stays \
-                         append-only, or waive with `// audit: allow(report) <reason>`"
-                    ),
-                });
+            if line.code.contains(pat) && !has_waiver(model, idx, "report") {
+                let msg = format!(
+                    "ad-hoc `{pat}…` in crates/report outside history.rs; write \
+                     through `append_lines`/`write_text` so the registry stays \
+                     append-only, or waive with `// audit: allow(report) <reason>`"
+                );
+                out.push(violation(rel, model, idx, "report-api", msg));
             }
         }
     }
@@ -762,67 +898,114 @@ fn check_report_api(rel: &str, text: &str, out: &mut Vec<Violation>) {
 
 // ----------------------------------------------------------------------
 // Tests: each rule must fire on a seeded violation and stay quiet on
-// clean input; the shipped tree must audit clean.
+// clean input; the shipped tree must audit clean modulo the committed
+// baseline.
 // ----------------------------------------------------------------------
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(src)
+    }
+
     #[test]
-    fn shipped_tree_is_clean() {
-        let violations = audit_workspace(&workspace_root());
+    fn shipped_tree_is_clean_modulo_baseline() {
+        let root = workspace_root();
+        let rep = audit_workspace(&root);
+        let baseline_path = root.join("audit_baseline.json");
+        let baseline = if baseline_path.exists() {
+            report::parse_baseline(&std::fs::read_to_string(&baseline_path).expect("readable"))
+                .expect("valid baseline")
+        } else {
+            std::collections::BTreeMap::new()
+        };
+        let outcome = report::ratchet(&rep.violations, &baseline);
         assert!(
-            violations.is_empty(),
-            "audit violations:\n{}",
-            violations
+            outcome.fresh.is_empty(),
+            "new audit violations (not in audit_baseline.json):\n{}",
+            outcome
+                .fresh
                 .iter()
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+        assert!(
+            outcome.stale.is_empty(),
+            "baseline entries no longer found (shrink with --write-baseline):\n{}",
+            outcome
+                .stale
+                .iter()
+                .map(|(fp, n)| format!("{n}× {fp}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            !rep.census.is_empty(),
+            "hot-path census found no allocation sites at all — scanner drift?"
+        );
+    }
+
+    #[test]
+    fn rule_registry_matches_doc_count() {
+        assert_eq!(RULES.len(), 11);
+        let mut ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), RULES.len(), "duplicate rule ids");
     }
 
     // ---- rule 1 ----
 
     #[test]
     fn raw_f64_return_fires() {
-        let src = "pub fn laser_energy(&self) -> f64 {\n";
+        let m = model("pub fn laser_energy(&self) -> f64 {\n");
         let mut v = Vec::new();
-        check_raw_f64("x.rs", src, &mut v);
+        check_raw_f64("x.rs", &m, &mut v);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "raw-f64");
         assert_eq!(v[0].line, 1);
+        assert!(v[0].snippet.contains("laser_energy"));
     }
 
     #[test]
     fn raw_f64_param_fires_across_lines() {
-        let src = "pub fn charge(\n    &mut self,\n    idle_power: f64,\n) -> Joules {\n";
+        let m = model("pub fn charge(\n    &mut self,\n    idle_power: f64,\n) -> Joules {\n");
         let mut v = Vec::new();
-        check_raw_f64("x.rs", src, &mut v);
+        check_raw_f64("x.rs", &m, &mut v);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("idle_power"));
     }
 
     #[test]
     fn raw_f64_respects_waiver_and_units() {
-        let clean = "\
-// audit: allow(raw-f64) plotting helper, dimensionless by design\n\
-pub fn energy_ratio(&self) -> f64 { 0.0 }\n\
-pub fn laser_energy(&self) -> Joules { Joules(0.0) }\n\
-pub fn value(self) -> f64 { self.0 }\n\
-pub fn scale(&self, ipc: f64) -> Joules { Joules(ipc) }\n";
+        let m = model(
+            "// audit: allow(raw-f64) plotting helper, dimensionless by design\n\
+             pub fn energy_ratio(&self) -> f64 { 0.0 }\n\
+             pub fn laser_energy(&self) -> Joules { Joules(0.0) }\n\
+             pub fn value(self) -> f64 { self.0 }\n\
+             pub fn scale(&self, ipc: f64) -> Joules { Joules(ipc) }\n",
+        );
         let mut v = Vec::new();
-        check_raw_f64("x.rs", clean, &mut v);
+        check_raw_f64("x.rs", &m, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn raw_f64_skips_test_module() {
-        let src = "#[cfg(test)]\nmod tests {\n    pub fn fake_energy() -> f64 { 0.0 }\n}\n";
+        let m = model("#[cfg(test)]\nmod tests {\n    pub fn fake_energy() -> f64 { 0.0 }\n}\n");
         let mut v = Vec::new();
-        check_raw_f64("x.rs", src, &mut v);
+        check_raw_f64("x.rs", &m, &mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn raw_f64_ignores_commented_out_signatures() {
+        let m = model("// pub fn laser_energy(&self) -> f64 {\n/* pub fn idle_power() -> f64 */\n");
+        let mut v = Vec::new();
+        check_raw_f64("x.rs", &m, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     // ---- rule 2 ----
@@ -833,17 +1016,18 @@ pub fn scale(&self, ipc: f64) -> Joules { Joules(ipc) }\n";
 
     #[test]
     fn orphan_counter_fires() {
-        let src = "\
-counters_struct! {\n\
-    pub struct NetStats {\n\
-        /// Charged.\n\
-        pub charged_events: u64,\n\
-        /// Forgotten.\n\
-        pub orphan_events: u64,\n\
-    }\n\
-}\n";
+        let m = model(
+            "counters_struct! {\n\
+                 pub struct NetStats {\n\
+                 /// Charged.\n\
+                 pub charged_events: u64,\n\
+                 /// Forgotten.\n\
+                 pub orphan_events: u64,\n\
+             }\n\
+             }\n",
+        );
         let mut v = Vec::new();
-        check_counter_coverage("s.rs", src, "NetStats", &toy_energy_tokens(), &mut v);
+        check_counter_coverage("s.rs", &m, "NetStats", &toy_energy_tokens(), &mut v);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("orphan_events"));
         assert_eq!(v[0].line, 6);
@@ -851,27 +1035,23 @@ counters_struct! {\n\
 
     #[test]
     fn non_energy_waiver_is_honored() {
-        let src = "\
-pub struct NetStats {\n\
-    /// Diagnostic only.\n\
-    // audit: non-energy — congestion diagnostic, no energy event\n\
-    pub orphan_events: u64,\n\
-}\n";
+        let m = model(
+            "pub struct NetStats {\n\
+                 /// Diagnostic only.\n\
+                 // audit: non-energy — congestion diagnostic, no energy event\n\
+                 pub orphan_events: u64,\n\
+             }\n",
+        );
         let mut v = Vec::new();
-        check_counter_coverage("s.rs", src, "NetStats", &toy_energy_tokens(), &mut v);
+        check_counter_coverage("s.rs", &m, "NetStats", &toy_energy_tokens(), &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn missing_struct_is_reported() {
+        let m = model("fn nothing() {}");
         let mut v = Vec::new();
-        check_counter_coverage(
-            "s.rs",
-            "fn nothing() {}",
-            "NetStats",
-            &toy_energy_tokens(),
-            &mut v,
-        );
+        check_counter_coverage("s.rs", &m, "NetStats", &toy_energy_tokens(), &mut v);
         assert_eq!(v.len(), 1);
     }
 
@@ -891,31 +1071,46 @@ pub struct NetStats {\n\
     }
 
     #[test]
-    fn wildcard_in_comment_does_not_fire() {
+    fn wildcard_in_comment_or_string_does_not_fire() {
+        let m = model("// never write `_ =>` here\nlet s = \"_ => bad\";\nx => y,\n");
         let mut v = Vec::new();
-        check_wildcard_arms("m.rs", "// never write `_ =>` here\nx => y,\n", &mut v);
-        assert!(v.is_empty());
+        check_wildcard_arms("m.rs", &m, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     // ---- rule 4 ----
 
     #[test]
     fn hot_path_unwrap_fires_and_waives() {
-        let bad = "let x = q.pop().unwrap();\n";
         let mut v = Vec::new();
-        check_hot_path("h.rs", bad, &mut v);
+        check_hot_path("h.rs", &model("let x = q.pop().unwrap();\n"), &mut v);
         assert_eq!(v.len(), 1);
 
-        let waived = "let x = q.pop().unwrap(); // audit: allow(unwrap) queue checked non-empty\n";
         let mut v = Vec::new();
-        check_hot_path("h.rs", waived, &mut v);
+        check_hot_path(
+            "h.rs",
+            &model("let x = q.pop().unwrap(); // audit: allow(unwrap) queue checked non-empty\n"),
+            &mut v,
+        );
         assert!(v.is_empty());
 
-        let waived_above =
-            "// audit: allow(expect) slot is live by refcount\nlet x = s.expect(\"live\");\n";
         let mut v = Vec::new();
-        check_hot_path("h.rs", waived_above, &mut v);
+        check_hot_path(
+            "h.rs",
+            &model(
+                "// audit: allow(expect) slot is live by refcount\nlet x = s.expect(\"live\");\n",
+            ),
+            &mut v,
+        );
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn hot_path_ignores_unwrap_in_string_literal() {
+        let m = model("let msg = \"call .unwrap() responsibly\";\n");
+        let mut v = Vec::new();
+        check_hot_path("h.rs", &m, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
@@ -931,9 +1126,9 @@ pub struct NetStats {\n\
 
     #[test]
     fn hot_path_skips_test_module() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { q.pop().unwrap(); }\n}\n";
+        let m = model("#[cfg(test)]\nmod tests {\n    fn f() { q.pop().unwrap(); }\n}\n");
         let mut v = Vec::new();
-        check_hot_path("h.rs", src, &mut v);
+        check_hot_path("h.rs", &m, &mut v);
         assert!(v.is_empty());
     }
 
@@ -941,38 +1136,52 @@ pub struct NetStats {\n\
 
     #[test]
     fn probe_api_borrow_mut_fires_and_waives() {
-        let bad = "self.probe.as_ref().map(|p| p.borrow_mut().net_deliver(&ev));\n";
         let mut v = Vec::new();
-        check_probe_api("n.rs", bad, &mut v);
+        check_probe_api(
+            "n.rs",
+            &model("self.probe.as_ref().map(|p| p.borrow_mut().net_deliver(&ev));\n"),
+            &mut v,
+        );
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "probe-api");
 
-        let waived = "// audit: allow(probe) collector drained once at shutdown, cold path\n\
-                      let mut c = collector.borrow_mut();\n";
         let mut v = Vec::new();
-        check_probe_api("n.rs", waived, &mut v);
+        check_probe_api(
+            "n.rs",
+            &model(
+                "// audit: allow(probe) collector drained once at shutdown, cold path\n\
+                 let mut c = collector.borrow_mut();\n",
+            ),
+            &mut v,
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn probe_api_sample_vec_fires() {
-        let bad = "lat_samples.push(d.at - gen_time[t]);\n";
         let mut v = Vec::new();
-        check_probe_api("h.rs", bad, &mut v);
+        check_probe_api(
+            "h.rs",
+            &model("lat_samples.push(d.at - gen_time[t]);\n"),
+            &mut v,
+        );
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("Histogram"));
         // Pushing to anything else is fine.
-        let ok = "deliveries.push(d);\nheap.push(Reverse((now, c)));\n";
         let mut v = Vec::new();
-        check_probe_api("h.rs", ok, &mut v);
+        check_probe_api(
+            "h.rs",
+            &model("deliveries.push(d);\nheap.push(Reverse((now, c)));\n"),
+            &mut v,
+        );
         assert!(v.is_empty());
     }
 
     #[test]
     fn probe_api_skips_test_module() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { probe.borrow_mut().tick(); }\n}\n";
+        let m = model("#[cfg(test)]\nmod tests {\n    fn f() { probe.borrow_mut().tick(); }\n}\n");
         let mut v = Vec::new();
-        check_probe_api("n.rs", src, &mut v);
+        check_probe_api("n.rs", &m, &mut v);
         assert!(v.is_empty());
     }
 
@@ -980,24 +1189,31 @@ pub struct NetStats {\n\
 
     #[test]
     fn sweep_api_spawn_fires_and_waives() {
-        let bad = "let h = std::thread::spawn(move || simulate(cfg));\n";
         let mut v = Vec::new();
-        check_sweep_api("crates/sim/src/engine.rs", bad, &mut v);
+        check_sweep_api(
+            "crates/sim/src/engine.rs",
+            &model("let h = std::thread::spawn(move || simulate(cfg));\n"),
+            &mut v,
+        );
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "sweep-api");
 
-        let waived = "// audit: allow(sweep) watchdog thread, not sweep work\n\
-                      let h = std::thread::spawn(watchdog);\n";
         let mut v = Vec::new();
-        check_sweep_api("crates/sim/src/engine.rs", waived, &mut v);
+        check_sweep_api(
+            "crates/sim/src/engine.rs",
+            &model(
+                "// audit: allow(sweep) watchdog thread, not sweep work\n\
+                 let h = std::thread::spawn(watchdog);\n",
+            ),
+            &mut v,
+        );
         assert!(v.is_empty(), "{v:?}");
 
-        // Scoped spawns inside the executor's pool are the sanctioned
-        // form and the allowed files are exempt wholesale.
+        // The executor/cache pair is exempt wholesale.
         let mut v = Vec::new();
         check_sweep_api(
             "crates/bench/src/executor.rs",
-            "std::thread::spawn(f); fs::write(p, c);\n",
+            &model("std::thread::spawn(f); fs::write(p, c);\n"),
             &mut v,
         );
         assert!(v.is_empty());
@@ -1005,23 +1221,23 @@ pub struct NetStats {\n\
 
     #[test]
     fn sweep_api_file_writes_fire_in_bench_only() {
-        let bad = "fs::write(&path, runjson::encode(&rec));\n";
+        let bad = model("fs::write(&path, runjson::encode(&rec));\n");
         let mut v = Vec::new();
-        check_sweep_api("crates/bench/src/bin/fig99.rs", bad, &mut v);
+        check_sweep_api("crates/bench/src/bin/fig99.rs", &bad, &mut v);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("publish_atomic"));
 
         // The same write elsewhere in the workspace is out of scope
         // (exporters etc. own their formats).
         let mut v = Vec::new();
-        check_sweep_api("crates/trace/src/export.rs", bad, &mut v);
+        check_sweep_api("crates/trace/src/export.rs", &bad, &mut v);
         assert!(v.is_empty());
 
         // File::create and OpenOptions are the same hole.
         let mut v = Vec::new();
         check_sweep_api(
             "crates/bench/src/lib.rs",
-            "let f = File::create(&p)?;\nlet o = OpenOptions::new();\n",
+            &model("let f = File::create(&p)?;\nlet o = OpenOptions::new();\n"),
             &mut v,
         );
         assert_eq!(v.len(), 2);
@@ -1029,13 +1245,15 @@ pub struct NetStats {\n\
 
     #[test]
     fn sweep_api_skips_tests_and_comments() {
-        let src = "// never call thread::spawn( here\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn f() { std::thread::spawn(|| {}); fs::write(a, b); }\n\
-                   }\n";
+        let m = model(
+            "// never call thread::spawn( here\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn f() { std::thread::spawn(|| {}); fs::write(a, b); }\n\
+             }\n",
+        );
         let mut v = Vec::new();
-        check_sweep_api("crates/bench/src/lib.rs", src, &mut v);
+        check_sweep_api("crates/bench/src/lib.rs", &m, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -1043,47 +1261,51 @@ pub struct NetStats {\n\
 
     #[test]
     fn report_api_writes_fire_outside_history() {
-        let bad = "fs::write(&path, &markdown)?;\nlet f = File::create(&out)?;\n";
+        let bad = model("fs::write(&path, &markdown)?;\nlet f = File::create(&out)?;\n");
         let mut v = Vec::new();
-        check_report_api("crates/report/src/render.rs", bad, &mut v);
+        check_report_api("crates/report/src/render.rs", &bad, &mut v);
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].rule, "report-api");
         assert!(v[0].message.contains("append_lines"));
 
         // The designated writer module is exempt wholesale.
-        let writer = "let f = OpenOptions::new().append(true).open(p)?;\nfs::write(p, t)?;\n";
+        let writer =
+            model("let f = OpenOptions::new().append(true).open(p)?;\nfs::write(p, t)?;\n");
         let mut v = Vec::new();
-        check_report_api("crates/report/src/history.rs", writer, &mut v);
+        check_report_api("crates/report/src/history.rs", &writer, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn report_api_waiver_and_test_module_are_honored() {
-        let waived = "// audit: allow(report) debug dump, not a registry artifact\n\
-                      fs::write(&dbg_path, &dump)?;\n";
+        let waived = model(
+            "// audit: allow(report) debug dump, not a registry artifact\n\
+             fs::write(&dbg_path, &dump)?;\n",
+        );
         let mut v = Vec::new();
-        check_report_api("crates/report/src/main.rs", waived, &mut v);
+        check_report_api("crates/report/src/main.rs", &waived, &mut v);
         assert!(v.is_empty(), "{v:?}");
 
-        let test_only = "#[cfg(test)]\nmod tests {\n    fn f() { fs::write(a, b); }\n}\n";
+        let test_only = model("#[cfg(test)]\nmod tests {\n    fn f() { fs::write(a, b); }\n}\n");
         let mut v = Vec::new();
-        check_report_api("crates/report/src/gate.rs", test_only, &mut v);
+        check_report_api("crates/report/src/gate.rs", &test_only, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 
     // ---- shared machinery ----
 
     #[test]
-    fn comment_splitter_respects_strings() {
-        assert_eq!(split_comment("let x = 1; // tail").0, "let x = 1; ");
-        assert_eq!(split_comment("let s = \"a // b\";").1, "");
-        assert_eq!(split_comment("let s = \"a // b\"; // real").1, "// real");
-    }
-
-    #[test]
     fn param_parser_handles_nesting() {
         let p = param_list("pub fn f(a: Vec<(u32, f64)>, tuning_power: f64) -> X {");
         assert_eq!(p.len(), 2);
         assert_eq!(p[1], ("tuning_power".to_string(), "f64".to_string()));
+    }
+
+    #[test]
+    fn waiver_lookup_reads_comments_only() {
+        let m = model("let s = \"audit: allow(unwrap) decoy\"; q.unwrap();\n");
+        assert!(!has_waiver(&m, 0, "unwrap"), "string decoy must not waive");
+        let m = model("q.unwrap(); // audit: allow(unwrap) head checked\n");
+        assert!(has_waiver(&m, 0, "unwrap"));
     }
 }

@@ -1,0 +1,50 @@
+//! Determinism-rule fixture (never compiled; lexed by the audit tests).
+//!
+//! Seeded live violations — exactly four: a `HashMap` field, a
+//! `HashSet` local, an `Instant::now` call, and an `env::var` read.
+//! Everything else is a decoy the lexer/scope tracker must keep quiet:
+//! string literals, doc comments, commented-out code, a `#[cfg(test)]`
+//! module, "Instantiate" prose, and properly waived lines.
+
+/// Routing state. Decoy: this doc comment mentions HashMap freely.
+pub struct Router {
+    table: std::collections::HashMap<u32, u32>,
+}
+
+impl Router {
+    /// Instantiate the router. Decoy: "Instantiate" must not match the
+    /// `Instant` token.
+    pub fn build(&mut self) {
+        // Decoy: commented-out code.
+        // let old: HashSet<u32> = HashSet::new();
+        /* let older = HashMap::with_capacity(8); */
+        let msg = "never use HashMap or Instant::now in simulated state";
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(msg.len());
+    }
+
+    pub fn time_things(&mut self) {
+        let t0 = std::time::Instant::now();
+        let jobs = std::env::var("ATAC_JOBS");
+        let _ = (t0, jobs);
+    }
+
+    pub fn waived_things(&mut self) {
+        // audit: allow(nondet-map) keyed lookups only, never iterated
+        let cache: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let wall = std::time::SystemTime::now(); // audit: allow(ambient) host log timestamp only
+        let _ = (cache, wall);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Decoy: tests may hash and time freely.
+    #[test]
+    fn hashes_and_clocks_in_tests_are_fine() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        let t = std::time::Instant::now();
+        let _ = (m, t);
+    }
+}

@@ -1,0 +1,57 @@
+//! Float-accum-rule fixture (never compiled; lexed by the audit tests).
+//!
+//! Seeded: exactly two violations — an unmarked float merge and an
+//! unmarked seconds sum outside a merge-named fn. The marked merge, the
+//! in-body marker, the waived energy site, the integer counter, and the
+//! test module must all stay quiet.
+
+pub struct Phase {
+    pub total_secs: f64,
+    pub busy_secs: f64,
+    pub energy_j: f64,
+    pub count: u64,
+}
+
+impl Phase {
+    /// Unmarked float merge: violation.
+    pub fn merge(&mut self, o: &Phase) {
+        self.total_secs += o.total_secs;
+    }
+
+    /// Unmarked seconds sum outside a merge-named fn: violation.
+    pub fn lap(&mut self, d: f64) {
+        self.busy_secs += d;
+    }
+
+    /// Fold another phase in.
+    // audit: order-stable — phases merged in fixed declaration order
+    pub fn absorb(&mut self, o: &Phase) {
+        self.count += o.count;
+        self.total_secs += o.total_secs;
+    }
+
+    pub fn combine(&mut self, o: &Phase) {
+        // audit: order-stable — operands sorted by phase name before this loop
+        self.count += o.count;
+    }
+
+    pub fn add_energy(&mut self, j: f64) {
+        // audit: allow(float-accum) single writer, serial epoch loop
+        self.energy_j += j;
+    }
+
+    /// Integer counter outside a merge: fine without a marker.
+    pub fn bump(&mut self) {
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sums_in_tests_are_fine() {
+        let mut s = 0.0f64;
+        s += 1.5;
+        let _ = s;
+    }
+}

@@ -1,0 +1,48 @@
+//! Hot-alloc-rule fixture (never compiled; lexed by the audit tests).
+//!
+//! The test registers `tick` and `deliver_flit` as per-cycle. Seeded:
+//! three violations in `tick` (push, clone, format), a waived `vec!`
+//! site, setup-time allocations in `new` (censused, not violations),
+//! and comment/string decoys.
+
+pub struct Router {
+    buf: Vec<u32>,
+    names: Vec<String>,
+}
+
+impl Router {
+    /// Setup-time allocation: censused, never a violation.
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::with_capacity(64),
+            names: Vec::new(),
+        }
+    }
+
+    pub fn tick(&mut self, flit: u32) {
+        self.buf.push(flit);
+        let snapshot = self.names.clone();
+        // Decoy: never call .push( or Box::new( per cycle.
+        let label = format!("flit {flit}");
+        // audit: allow(alloc) scratch reused, pre-sized at construction
+        let scratch = vec![0u8; 4];
+        let _ = (snapshot, label, scratch);
+    }
+
+    pub fn deliver_flit(&mut self) {
+        let msg = "calling .clone() here would be a violation";
+        let _ = msg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Decoy: test code may allocate freely.
+    #[test]
+    fn helper_allocates() {
+        let mut v = Vec::new();
+        v.push(1u32);
+        let s = format!("{v:?}").to_string();
+        let _ = s;
+    }
+}

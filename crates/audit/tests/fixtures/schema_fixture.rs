@@ -1,0 +1,19 @@
+//! Schema-drift-rule fixture (never compiled; lexed by the audit tests).
+//!
+//! `emit` writes three static keys (`schema`, `cycles`, `energy_j`) via
+//! escaped, raw-string, and dynamic literals; `parse` only knows
+//! `schema` and `cycles` — `energy_j` is the seeded drift.
+
+pub fn emit(out: &mut String, cycles: u64, energy: f64, name: &str, v: u64) {
+    out.push_str("{\"schema\": 1,");
+    out.push_str(&format!("\"cycles\": {cycles},"));
+    out.push_str(&format!(r#""energy_j": {energy},"#));
+    out.push_str(&format!("\"{name}\": {v}"));
+    out.push_str("}");
+}
+
+pub fn parse(doc: &Json) -> Option<(u64, u64)> {
+    let s = doc.get("schema")?.as_u64()?;
+    let c = doc.get("cycles")?.as_u64()?;
+    Some((s, c))
+}

@@ -34,7 +34,7 @@
 //! comparing sequence numbers when the `ShRep` arrives — exactly the
 //! paper's mechanism, including the wrap-around comparison.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use atac_net::{CoreId, Cycle, Delivery, Dest, Message, Network, Topology};
@@ -112,8 +112,9 @@ pub struct MemorySystem {
     protocol: ProtocolKind,
     cores: Vec<CoreMem>,
     /// Directory entries, keyed by line address; the owning slice is
-    /// implied by `Addr::home`.
-    dir: HashMap<Addr, DirEntry>,
+    /// implied by `Addr::home`. Ordered map so iteration (invariant
+    /// checks, debug dumps) is deterministic across processes.
+    dir: BTreeMap<Addr, DirEntry>,
     /// Per-home broadcast sequence counters.
     seq: Vec<u16>,
     /// Memory controllers, one per cluster, tagged with the pending
@@ -150,7 +151,7 @@ impl MemorySystem {
             topo,
             protocol,
             cores: (0..n).map(|_| CoreMem::new(n)).collect(),
-            dir: HashMap::new(),
+            dir: BTreeMap::new(),
             seq: vec![0; n],
             memctrls: (0..topo.clusters()).map(|_| MemCtrl::default()).collect(),
             payloads: PayloadTable::default(),
@@ -1181,7 +1182,7 @@ impl MemorySystem {
     ///
     /// Panics on violation.
     pub fn check_invariants(&self, quiescent: bool) {
-        use std::collections::HashMap as Map;
+        use std::collections::BTreeMap as Map;
         let mut m_holder: Map<Addr, CoreId> = Map::new();
         let mut s_count: Map<Addr, u32> = Map::new();
         for (ci, cm) in self.cores.iter().enumerate() {

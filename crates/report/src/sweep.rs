@@ -76,6 +76,17 @@ pub struct SweepRun {
     pub profile: Option<PhaseProfile>,
 }
 
+/// The executor's `ATAC_VERIFY` self-check result: one planned key was
+/// re-simulated serially and compared byte-for-byte against the pool's
+/// published record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepVerify {
+    /// The run key that was re-simulated.
+    pub key: String,
+    /// Whether the serial re-run matched the pooled record exactly.
+    pub identical: bool,
+}
+
 /// A parsed `BENCH_sweep.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepDoc {
@@ -95,6 +106,9 @@ pub struct SweepDoc {
     pub summaries: Vec<RunMetrics>,
     /// All runs' self-profiles merged (absent when none profiled).
     pub self_profile: Option<PhaseProfile>,
+    /// `ATAC_VERIFY` outcome (absent unless the sweep ran the
+    /// parallel-vs-serial self-check).
+    pub verify: Option<SweepVerify>,
 }
 
 impl SweepDoc {
@@ -210,6 +224,12 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         runs,
         summaries,
         self_profile: doc.get("self_profile").and_then(parse_profile),
+        verify: doc.get("verify").and_then(|v| {
+            Some(SweepVerify {
+                key: get_str(v, "key")?,
+                identical: matches!(v.get("identical"), Some(Json::Bool(true))),
+            })
+        }),
     })
 }
 
@@ -233,7 +253,8 @@ pub(crate) const SAMPLE: &str = r#"{
     {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "bench": "radix", "cycles": 500000, "instructions": 1000000, "ipc": 0.3125, "runtime_s": 0.0005, "energy_j": 0.125, "edp_js": 6.25e-5, "latency": {"p50": 15, "p95": 63, "p99": 127, "max": 90, "count": 40000}},
     {"key": "8x4|emesh-pure|flit64|buf4|ackwise4|radix", "bench": "radix", "cycles": 800000, "instructions": 1000000, "ipc": 0.2, "runtime_s": 0.0008, "energy_j": 0.25, "edp_js": 2.0e-4, "latency": {"p50": 31, "p95": 127, "p99": 255, "max": 300, "count": 40000}}
   ],
-  "self_profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}}
+  "self_profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}},
+  "verify": {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "identical": true}
 }"#;
 
 #[cfg(test)]
@@ -252,6 +273,9 @@ mod tests {
         let profile = doc.runs[0].profile.as_ref().expect("profiled run");
         assert_eq!(profile.phases.len(), 3);
         assert!(doc.self_profile.is_some());
+        let verify = doc.verify.as_ref().expect("verify outcome");
+        assert!(verify.identical);
+        assert!(verify.key.ends_with("|radix"));
         assert_eq!(
             doc.simulated_secs("8x4|atac[distance-15]|flit64|buf4|ackwise4|radix"),
             Some(5.5)

@@ -299,15 +299,20 @@ fn cycles_to_us(cycles: Cycle) -> f64 {
 }
 
 /// Validate a Chrome trace-event document: top-level object with a
-/// `traceEvents` array, every event an object with a `ph`, and every
-/// complete (`X`) event carrying name/pid/tid and non-negative
-/// `ts`/`dur`. Returns the number of `X` events.
+/// `traceEvents` array and a `displayTimeUnit` string, every event an
+/// object with a `ph`, every complete (`X`) event carrying
+/// name/cat/pid/tid and non-negative `ts`/`dur`, and every metadata
+/// (`M`) event carrying a `name` plus an `args.name` string. Returns
+/// the number of `X` events.
 pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     let v = parse(text).map_err(|e| e.to_string())?;
     let events = v
         .get("traceEvents")
         .and_then(Json::as_arr)
         .ok_or("missing `traceEvents` array")?;
+    v.get("displayTimeUnit")
+        .and_then(Json::as_str)
+        .ok_or("missing `displayTimeUnit` string")?;
     let mut complete = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
@@ -319,6 +324,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                 ev.get("name")
                     .and_then(Json::as_str)
                     .ok_or_else(|| format!("event {i}: X event missing `name`"))?;
+                ev.get("cat")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: X event missing `cat`"))?;
                 for key in ["pid", "tid"] {
                     ev.get(key)
                         .and_then(Json::as_u64)
@@ -339,6 +347,10 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                 ev.get("name")
                     .and_then(Json::as_str)
                     .ok_or_else(|| format!("event {i}: M event missing `name`"))?;
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: M event missing `args.name`"))?;
             }
             other => return Err(format!("event {i}: unexpected phase `{other}`")),
         }

@@ -134,6 +134,7 @@ impl Histogram {
 
     /// Fold another histogram into this one. Merging is associative and
     /// commutative: bucket-wise addition plus exact max/sum/count.
+    // audit: order-stable — u64 bucket/count/sum/max arithmetic is associative
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += *b;

@@ -153,6 +153,9 @@ impl HostProfile {
 
     /// Fold another profile into this one (phase-wise and total sums) —
     /// how a sweep aggregates its runs' profiles.
+    // audit: order-stable — host wall-clock seconds, merged in planned-run
+    // order by the executor and excluded from bit-identity comparisons
+    // (they differ across hosts by nature)
     pub fn merge(&mut self, other: &HostProfile) {
         for (a, b) in self.secs.iter_mut().zip(&other.secs) {
             *a += *b;
@@ -210,6 +213,9 @@ impl HostProfiler {
 
     /// Attribute the wall time since the previous lap (or since
     /// creation) to `phase` and restart the lap clock.
+    // audit: order-stable — single serial timeline per handle (RefCell),
+    // accumulated in program order; wall-clock values are host-profiling
+    // data, not simulated results
     #[inline]
     pub fn lap(&self, phase: HostPhase) {
         if let Some(state) = &self.0 {
