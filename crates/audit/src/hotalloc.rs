@@ -86,7 +86,7 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
             "is_idle",
             "drain_deliveries",
             "tick",
-            "sources",
+            "collect_sources",
             "peek",
             "tick_router",
             "forward_flit",
@@ -106,7 +106,7 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
             "drain_deliveries",
             "tick",
             "tick_senders",
-            "dest_list",
+            "dest_range",
             "tick_receivers",
             "deliver",
         ],
@@ -191,7 +191,10 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
         "crates/coherence/src/memctrl.rs",
         &["submit", "drain_completed", "next_event", "is_idle"],
     ),
-    ("crates/sim/src/engine.rs", &["run_profiled", "ifetch"]),
+    (
+        "crates/sim/src/engine.rs",
+        &["run_profiled", "run_observed", "ifetch"],
+    ),
     // energy.rs is censused (informational sites) but its integration
     // runs per epoch, not per cycle — no per-cycle functions.
     ("crates/sim/src/energy.rs", &[]),

@@ -62,10 +62,15 @@ const PAIRS: &[SchemaPair] = &[
     SchemaPair {
         label: "sweep log",
         emit_file: "crates/bench/src/executor.rs",
-        emit_fns: &["to_json", "profile_json", "summary_json"],
+        emit_fns: &["to_json", "profile_json", "summary_json", "netprof_json"],
         vocab: &[(
             "crates/report/src/sweep.rs",
-            &["parse_sweep", "parse_metrics", "parse_profile"],
+            &[
+                "parse_sweep",
+                "parse_metrics",
+                "parse_profile",
+                "parse_netprof",
+            ],
         )],
     },
     SchemaPair {

@@ -32,7 +32,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 use atac::prelude::*;
-use atac::trace::{HostPhase, HostProfile, HostProfiler, TraceCollector};
+use atac::trace::{HostPhase, HostProfile, HostProfiler, NetObsHandle, NetProfile, TraceCollector};
 use atac::workloads::BuiltWorkload;
 
 use crate::{run_key, runjson, RunRecord};
@@ -43,6 +43,17 @@ use crate::{run_key, runjson, RunRecord};
 /// whose bytes stay governed by the determinism contract.
 pub fn profiling_enabled() -> bool {
     std::env::var("ATAC_PROFILE").as_deref() != Ok("0")
+}
+
+/// Whether simulated runs carry the network microscope (`ATAC_NETPROF`,
+/// default **off**; set `ATAC_NETPROF=1` to enable). This attaches an
+/// [`atac::trace::NetProfile`] observer (per-router/link cycle-domain
+/// counters plus skip-ahead efficacy) and, when [`profiling_enabled`],
+/// network sub-phase host attribution. Like the profiler, the observer
+/// never enters the published run record — instrumented runs stay
+/// bit-identical.
+pub fn netprof_enabled() -> bool {
+    matches!(std::env::var("ATAC_NETPROF").as_deref(), Ok(v) if v != "0")
 }
 
 /// How a requested run record was obtained.
@@ -120,25 +131,32 @@ impl RunCache {
         bench: Benchmark,
         workload: Option<&BuiltWorkload>,
     ) -> (RunRecord, RunSource) {
-        let (rec, source, _) = self.get_or_run_profiled(cfg, bench, workload);
+        let (rec, source, _, _) = self.get_or_run_profiled(cfg, bench, workload);
         (rec, source)
     }
 
     /// [`Self::get_or_run_with`], additionally returning the host
-    /// self-profile of the simulation. The profile is `Some` only when
-    /// this call actually simulated *and* [`profiling_enabled`] — cache
-    /// hits and joins do no attributable host work — and covers workload
-    /// build through record publication (`setup` … `export` laps).
+    /// self-profile and network microscope profile of the simulation.
+    /// The host profile is `Some` only when this call actually simulated
+    /// *and* [`profiling_enabled`] — cache hits and joins do no
+    /// attributable host work — and covers workload build through record
+    /// publication (`setup` … `export` laps). The network profile is
+    /// `Some` only for simulated runs with [`netprof_enabled`].
     pub fn get_or_run_profiled(
         &self,
         cfg: &SimConfig,
         bench: Benchmark,
         workload: Option<&BuiltWorkload>,
-    ) -> (RunRecord, RunSource, Option<HostProfile>) {
+    ) -> (
+        RunRecord,
+        RunSource,
+        Option<HostProfile>,
+        Option<NetProfile>,
+    ) {
         let key = run_key(cfg, bench);
         let path = self.record_path(&key);
         if let Some(rec) = load_path(&path) {
-            return (rec, RunSource::CacheHit, None);
+            return (rec, RunSource::CacheHit, None, None);
         }
 
         // Single-flight: first requester of a key becomes the leader and
@@ -168,7 +186,7 @@ impl RunCache {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             return match &*state {
-                FlightState::Done(rec) => ((**rec).clone(), RunSource::Joined, None),
+                FlightState::Done(rec) => ((**rec).clone(), RunSource::Joined, None, None),
                 FlightState::Failed => panic!("concurrent simulation of `{key}` failed"),
                 FlightState::Pending => unreachable!("condvar loop exits only when settled"),
             };
@@ -185,23 +203,23 @@ impl RunCache {
         };
         // Re-check under flight ownership: another *process* may have
         // published while this one raced to the table.
-        let (rec, source, profile) = match load_path(&path) {
-            Some(rec) => (rec, RunSource::CacheHit, None),
+        let (rec, source, profile, netprof) = match load_path(&path) {
+            Some(rec) => (rec, RunSource::CacheHit, None, None),
             None => {
                 let prof = if profiling_enabled() {
-                    HostProfiler::enabled()
+                    HostProfiler::enabled_with_netprof(netprof_enabled())
                 } else {
                     HostProfiler::disabled()
                 };
-                let rec = simulate(cfg, bench, workload, &key, &prof);
+                let (rec, netprof) = simulate(cfg, bench, workload, &key, &prof);
                 publish_atomic(&path, &runjson::encode(&rec))
                     .unwrap_or_else(|e| panic!("cannot publish run cache {}: {e}", path.display()));
                 prof.lap(HostPhase::Export);
-                (rec, RunSource::Simulated, prof.finish())
+                (rec, RunSource::Simulated, prof.finish(), netprof)
             }
         };
         guard.finish(rec.clone());
-        (rec, source, profile)
+        (rec, source, profile, netprof)
     }
 }
 
@@ -239,7 +257,7 @@ fn simulate(
     shared: Option<&BuiltWorkload>,
     key: &str,
     prof: &HostProfiler,
-) -> RunRecord {
+) -> (RunRecord, Option<NetProfile>) {
     eprintln!("  [sim] {key}");
     let start = std::time::Instant::now();
     let built;
@@ -253,10 +271,17 @@ fn simulate(
     // Per-worker collector: `ProbeHandle` is `Rc`-based and `!Send`, so
     // each pool worker constructs its own pair inside its thread — two
     // workers can never interleave events into one collector. The same
-    // confinement applies to the `HostProfiler` clone handed down here.
+    // confinement applies to the `HostProfiler` clone handed down here
+    // and to the `NetProfile` observer below: cross-worker aggregation
+    // happens by `NetProfile::merge` after the fact, in run-key order.
     let (collector, probe) = TraceCollector::metrics_worker();
+    let netobs =
+        netprof_enabled().then(|| std::rc::Rc::new(std::cell::RefCell::new(NetProfile::new())));
+    let obs = netobs.as_ref().map_or_else(NetObsHandle::disabled, |c| {
+        NetObsHandle::attach(std::rc::Rc::clone(c))
+    });
     prof.lap(HostPhase::Setup);
-    let result = atac::sim::run_profiled(cfg, workload, probe, None, prof.clone());
+    let result = atac::sim::run_observed(cfg, workload, probe, None, prof.clone(), obs);
     eprintln!(
         "  [sim] {key} done in {:.1}s ({} cycles)",
         start.elapsed().as_secs_f64(),
@@ -269,14 +294,22 @@ fn simulate(
         .map(|(s, k, h)| (format!("{}/{}", s.name(), k.name()), h.clone()))
         .collect();
     prof.lap(HostPhase::Export);
-    RunRecord {
+    // All observer clones died with the engine's network object, so the
+    // worker holds the sole reference to its collected profile.
+    let netprof = netobs.map(|c| {
+        std::rc::Rc::try_unwrap(c)
+            .expect("network observer handle leaked past the run")
+            .into_inner()
+    });
+    let rec = RunRecord {
         cycles: result.cycles,
         instructions: result.instructions,
         ipc: result.ipc,
         net: result.net,
         coh: result.coh,
         latency,
-    }
+    };
+    (rec, netprof)
 }
 
 // ----------------------------------------------------------------------

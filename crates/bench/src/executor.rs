@@ -29,7 +29,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use atac::prelude::*;
-use atac::trace::{HostPhase, HostProfile};
+use atac::trace::{HostPhase, HostProfile, NetProfile};
 use atac::workloads::BuiltWorkload;
 
 use crate::cache::{RunCache, RunSource};
@@ -127,7 +127,8 @@ impl RunPlan {
             let (cfg, bench) = missing[i];
             let workload = &workloads[&(bench.name(), cfg.topo.cores())];
             let start = Instant::now();
-            let (_, source, profile) = cache.get_or_run_profiled(cfg, *bench, Some(workload));
+            let (_, source, profile, netprof) =
+                cache.get_or_run_profiled(cfg, *bench, Some(workload));
             timings
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -136,6 +137,7 @@ impl RunPlan {
                     secs: start.elapsed().as_secs_f64(),
                     source,
                     profile,
+                    netprof,
                 });
         });
 
@@ -213,6 +215,10 @@ pub struct RunTiming {
     /// Host self-profile of the simulation (simulated runs with
     /// `ATAC_PROFILE` enabled only; see [`crate::profiling_enabled`]).
     pub profile: Option<HostProfile>,
+    /// Network microscope profile — per-router/link cycle-domain
+    /// counters and skip-ahead efficacy (simulated runs with
+    /// `ATAC_NETPROF` enabled only; see [`crate::netprof_enabled`]).
+    pub netprof: Option<NetProfile>,
 }
 
 /// The outcome of one [`RunPlan::execute_on`] pass.
@@ -263,8 +269,9 @@ impl SweepReport {
 /// run summaries, plus the knob values (`ATAC_JOBS`, `ATAC_CORES`,
 /// `ATAC_BENCHES`), so successive changes to the simulator or executor
 /// leave a comparable perf trajectory behind. Schema
-/// `atac-bench-sweep-v2` (v1 lacked `summaries` and profiles; readers
-/// treat unknown fields as forward-compatible).
+/// `atac-bench-sweep-v3` (v1 lacked `summaries` and profiles, v2 lacked
+/// the per-run `netprof` network breakdowns; readers treat unknown
+/// fields as forward-compatible).
 #[derive(Debug, Default)]
 pub struct SweepLog {
     jobs: usize,
@@ -305,7 +312,7 @@ impl SweepLog {
         let benches = std::env::var("ATAC_BENCHES").unwrap_or_else(|_| "all".into());
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"atac-bench-sweep-v2\",\n");
+        out.push_str("  \"schema\": \"atac-bench-sweep-v3\",\n");
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"cores\": \"{}\",\n", escape(&cores)));
         out.push_str(&format!("  \"benches\": \"{}\",\n", escape(&benches)));
@@ -326,6 +333,9 @@ impl SweepLog {
             ));
             if let Some(p) = &run.profile {
                 out.push_str(&format!(", \"profile\": {}", profile_json(p)));
+            }
+            if let Some(np) = &run.netprof {
+                out.push_str(&format!(", \"netprof\": {}", netprof_json(np)));
             }
             out.push_str(&format!("}}{comma}\n"));
         }
@@ -366,6 +376,21 @@ impl SweepLog {
         any.then_some(merged)
     }
 
+    /// All logged runs' network microscope profiles merged, if any
+    /// carried one. All-integer counters merged in logged (run-key)
+    /// order, so the aggregate is independent of worker scheduling.
+    pub fn merged_netprof(&self) -> Option<NetProfile> {
+        let mut merged = NetProfile::new();
+        let mut any = false;
+        for run in &self.runs {
+            if let Some(np) = &run.netprof {
+                merged.merge(np);
+                any = true;
+            }
+        }
+        any.then_some(merged)
+    }
+
     /// Write the JSON document to `path`.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
@@ -380,18 +405,83 @@ fn escape(s: &str) -> String {
 
 /// One host self-profile as a JSON object: per-phase seconds (nonzero
 /// phases only, stable [`HostPhase::name`] keys), total and coverage.
+/// When the run carried network sub-phase laps (`ATAC_NETPROF`), a
+/// `net_phases` object (stable [`atac::trace::NetSubPhase::name`] keys)
+/// and the `net_coverage` fraction of the network phase they tile ride
+/// along.
 fn profile_json(p: &HostProfile) -> String {
     let phases: Vec<String> = HostPhase::ALL
         .into_iter()
         .filter(|ph| p.phase_secs(*ph) > 0.0)
         .map(|ph| format!("\"{}\": {:?}", ph.name(), p.phase_secs(ph)))
         .collect();
+    let mut net = String::new();
+    if p.net_tracked_secs() > 0.0 {
+        let subs: Vec<String> = p
+            .net_phases()
+            .filter(|(_, secs)| *secs > 0.0)
+            .map(|(sub, secs)| format!("\"{}\": {:?}", sub.name(), secs))
+            .collect();
+        net = format!(
+            ", \"net_coverage\": {:?}, \"net_phases\": {{{}}}",
+            p.net_sub_coverage(),
+            subs.join(", ")
+        );
+    }
     format!(
-        "{{\"total_secs\": {:?}, \"coverage\": {:?}, \"phases\": {{{}}}}}",
+        "{{\"total_secs\": {:?}, \"coverage\": {:?}, \"phases\": {{{}}}{net}}}",
         p.total_secs,
         p.coverage(),
         phases.join(", ")
     )
+}
+
+/// One network microscope profile as a JSON object. Every value is an
+/// integer counter, so the document round-trips exactly and merging
+/// (report-side, in run-key order) is order-independent. Per-router
+/// counters are flat arrays `[flits_routed, credit_stall_cycles,
+/// active_cycles, occupancy_sum, hist0..hist5]` indexed by router id;
+/// `links` is indexed `router * 4 + direction`; the hub arrays are
+/// indexed by cluster.
+fn netprof_json(p: &NetProfile) -> String {
+    let routers: Vec<String> = p
+        .routers
+        .iter()
+        .map(|r| {
+            let mut vals = vec![
+                r.flits_routed,
+                r.credit_stall_cycles,
+                r.active_cycles,
+                r.occupancy_sum,
+            ];
+            vals.extend(r.occupancy_hist);
+            format!("[{}]", join_u64(&vals))
+        })
+        .collect();
+    format!(
+        "{{\"cycles\": {}, \"ticks\": {}, \"skipped\": {}, \"jumps\": {}, \
+         \"wake_core\": {}, \"wake_mem\": {}, \"epochs\": {}, \"coalesced\": {}, \
+         \"max_epoch_span\": {}, \"hub_unicast\": [{}], \"hub_broadcast\": [{}], \
+         \"links\": [{}], \"routers\": [{}]}}",
+        p.cycles,
+        p.ticks_executed,
+        p.cycles_skipped,
+        p.skip_jumps,
+        p.wake_core,
+        p.wake_mem,
+        p.epochs_closed,
+        p.coalesced_epochs,
+        p.max_epoch_span,
+        join_u64(&p.hub_unicast_flits),
+        join_u64(&p.hub_broadcast_flits),
+        join_u64(&p.link_flits),
+        routers.join(", ")
+    )
+}
+
+fn join_u64(vals: &[u64]) -> String {
+    let strs: Vec<String> = vals.iter().map(u64::to_string).collect();
+    strs.join(", ")
 }
 
 /// One run summary as a JSON object. Floats print via `{:?}` so they
@@ -481,21 +571,38 @@ mod tests {
 
     #[test]
     fn sweep_log_renders_valid_shape() {
+        use atac::trace::{NetSubPhase, RouterObs};
+
         let mut log = SweepLog::new(4);
         log.phase("warm", 1.5);
         log.phase("render", 0.25);
         let mut profile = HostProfile::zero();
         profile.secs[HostPhase::Replay.index()] = 1.0;
+        profile.secs[HostPhase::Network.index()] = 0.5;
+        profile.net_sub_secs[NetSubPhase::RouteCompute.index()] = 0.5;
         profile.total_secs = 1.25;
+        let mut np = NetProfile::new();
+        np.cycles = 10;
+        np.ticks_executed = 6;
+        np.cycles_skipped = 4;
+        np.skip_jumps = 1;
+        np.wake_core = 1;
+        np.hub_unicast_flits = vec![3];
+        np.link_flits = vec![1, 0, 0, 0];
+        np.routers = vec![RouterObs {
+            flits_routed: 1,
+            ..Default::default()
+        }];
         log.runs.push(RunTiming {
             key: "8x8|atac[distance-15]|radix".into(),
             secs: 1.25,
             source: RunSource::Simulated,
             profile: Some(profile),
+            netprof: Some(np),
         });
         log.set_verify("8x8|atac[distance-15]|radix", true);
         let json = log.to_json();
-        assert!(json.contains("\"schema\": \"atac-bench-sweep-v2\""));
+        assert!(json.contains("\"schema\": \"atac-bench-sweep-v3\""));
         assert!(json.contains("\"replay\": 1.0"));
         assert!(json.contains("\"self_profile\""));
         assert!(json.contains("\"summaries\""));
@@ -503,11 +610,23 @@ mod tests {
         assert!(json.contains("\"warm\": 1.5"));
         assert!(json.contains("\"source\": \"simulated\""));
         assert!(json.contains("\"identical\": true"));
+        // The network microscope rides along: sub-phase attribution in
+        // the profile, integer counters in the netprof object.
+        assert!(json.contains("\"net_coverage\": 1.0"));
+        assert!(json.contains("\"route_compute\": 0.5"));
+        assert!(json.contains("\"netprof\": {\"cycles\": 10, \"ticks\": 6, \"skipped\": 4"));
+        assert!(json.contains("\"hub_unicast\": [3]"));
+        assert!(json.contains("\"links\": [1, 0, 0, 0]"));
+        assert!(json.contains("\"routers\": [[1, 0, 0, 0, 0, 0, 0, 0, 0, 0]]"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "balanced braces"
         );
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        // The merged aggregate reuses the same order-independent merge.
+        let merged = log.merged_netprof().expect("one run carried a netprof");
+        assert_eq!(merged.cycles, 10);
+        assert_eq!(merged.total_flits_routed(), 1);
     }
 }

@@ -24,7 +24,7 @@ use crate::onet::Onet;
 use crate::stats::NetStats;
 use crate::topology::Topology;
 use crate::types::{Cycle, Delivery, Dest, Message};
-use atac_trace::{ProbeHandle, Subnet};
+use atac_trace::{HostProfiler, NetObsHandle, NetSubPhase, ProbeHandle, Subnet};
 
 /// Unicast routing policy for inter-cluster traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,19 @@ pub trait Network {
     fn set_probe(&mut self, probe: ProbeHandle) {
         let _ = probe;
     }
+    /// Attach a host profiler for network sub-phase attribution
+    /// (default: ignored). Sub-laps are inert unless the profiler was
+    /// created with netprof on (the `ATAC_NETPROF` knob); like probes,
+    /// they never affect timing.
+    fn set_profiler(&mut self, prof: HostProfiler) {
+        let _ = prof;
+    }
+    /// Attach a cycle-domain network observer (default: ignored).
+    /// Observers receive per-router/link/hub counter events; they never
+    /// affect timing.
+    fn set_observer(&mut self, obs: NetObsHandle) {
+        let _ = obs;
+    }
 }
 
 impl Network for Mesh {
@@ -114,6 +127,12 @@ impl Network for Mesh {
     fn set_probe(&mut self, probe: ProbeHandle) {
         Mesh::set_probe(self, probe);
     }
+    fn set_profiler(&mut self, prof: HostProfiler) {
+        Mesh::set_profiler(self, prof);
+    }
+    fn set_observer(&mut self, obs: NetObsHandle) {
+        Mesh::set_observer(self, obs);
+    }
 }
 
 /// The ATAC / ATAC+ network.
@@ -124,6 +143,9 @@ pub struct AtacNet {
     onet: Onet,
     policy: RoutingPolicy,
     receive_net: ReceiveNet,
+    /// Host profiler for the optical-hub stretch of `tick` (the ENet
+    /// laps its own sub-phases internally).
+    prof: HostProfiler,
 }
 
 impl AtacNet {
@@ -145,6 +167,7 @@ impl AtacNet {
             onet: Onet::new(topo, flit_width),
             policy,
             receive_net,
+            prof: HostProfiler::disabled(),
         }
     }
 
@@ -226,6 +249,9 @@ impl Network for AtacNet {
             }
         }
         self.onet.tick(now);
+        // Everything after the ENet's own laps — hub hand-off and the
+        // SWMR link schedule — is the optical-hub arbitration stretch.
+        self.prof.net_lap(NetSubPhase::HubArb);
     }
 
     fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
@@ -271,6 +297,16 @@ impl Network for AtacNet {
             ReceiveNet::StarNet => Subnet::StarNet,
         };
         self.onet.set_probe(probe, recv);
+    }
+
+    fn set_profiler(&mut self, prof: HostProfiler) {
+        self.enet.set_profiler(prof.clone());
+        self.prof = prof;
+    }
+
+    fn set_observer(&mut self, obs: NetObsHandle) {
+        self.enet.set_observer(obs.clone());
+        self.onet.set_observer(obs);
     }
 }
 

@@ -43,6 +43,9 @@ pub use stats::NetStats;
 pub use topology::{Port, Topology};
 pub use types::{ClusterId, CoreId, Cycle, Delivery, Dest, Message, MessageClass};
 
-// Re-exported so downstream crates can attach probes and profilers
-// without naming the trace crate separately.
-pub use atac_trace::{Histogram, HostPhase, HostProfiler, NullProbe, Probe, ProbeHandle};
+// Re-exported so downstream crates can attach probes, profilers, and
+// network observers without naming the trace crate separately.
+pub use atac_trace::{
+    Histogram, HostPhase, HostProfiler, NetObsHandle, NetObserver, NetProfile, NetSubPhase,
+    NullProbe, Probe, ProbeHandle,
+};

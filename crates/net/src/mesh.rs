@@ -29,7 +29,9 @@ use std::collections::VecDeque;
 use crate::stats::NetStats;
 use crate::topology::{xy_route, Port, Topology};
 use crate::types::{ClusterId, CoreId, Cycle, Delivery, Dest, Message};
-use atac_trace::{NetDeliver, ProbeHandle, Subnet, TrafficKind};
+use atac_trace::{
+    HostProfiler, NetDeliver, NetObsHandle, NetSubPhase, ProbeHandle, Subnet, TrafficKind,
+};
 
 /// Mesh behaviour for broadcast traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +164,19 @@ pub struct Mesh {
     /// Observability probe (disabled by default; observers only, never
     /// feeds back into routing or timing).
     probe: ProbeHandle,
+    /// Host self-profiler; network sub-phase laps fire only under the
+    /// `ATAC_NETPROF` knob (one bool branch otherwise).
+    prof: HostProfiler,
+    /// Cycle-domain network observer (disabled by default; observers
+    /// only, never feeds back into routing or timing).
+    obs: NetObsHandle,
+    /// Double buffer for `active`: the two lists are swapped each tick,
+    /// so neither reallocates once warm.
+    work: Vec<u32>,
+    /// Reused candidate-source scratch for `tick_router`.
+    src_scratch: Vec<Src>,
+    /// Reused completed-replication-index scratch for `tick_router`.
+    rep_done_scratch: Vec<usize>,
 }
 
 impl Mesh {
@@ -183,6 +198,11 @@ impl Mesh {
             hub_used: vec![0; topo.clusters()],
             stats: NetStats::default(),
             probe: ProbeHandle::default(),
+            prof: HostProfiler::disabled(),
+            obs: NetObsHandle::disabled(),
+            work: Vec::new(),
+            src_scratch: Vec::new(),
+            rep_done_scratch: Vec::new(),
         }
     }
 
@@ -190,6 +210,17 @@ impl Mesh {
     /// [`Subnet::ENet`].
     pub fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    /// Attach a host profiler for network sub-phase attribution
+    /// (sub-laps are inert unless it was created with netprof on).
+    pub fn set_profiler(&mut self, prof: HostProfiler) {
+        self.prof = prof;
+    }
+
+    /// Attach a cycle-domain network observer.
+    pub fn set_observer(&mut self, obs: NetObsHandle) {
+        self.obs = obs;
     }
 
     /// The topology this mesh spans.
@@ -225,6 +256,7 @@ impl Mesh {
     fn activate(&mut self, r: usize) {
         if !self.is_active[r] {
             self.is_active[r] = true;
+            // audit: allow(alloc) amortized: double-buffered with `work`, so capacity reaches steady state and push stops allocating
             self.active.push(r as u32); // audit: allow(cast) router index < cores ≤ 1024
         }
     }
@@ -360,20 +392,15 @@ impl Mesh {
         self.stats.broadcast_messages += 1;
         let len = self.flits_of(&msg);
         let (x, y) = self.topo.xy(msg.src);
-        let mut branches: Vec<Route> = Vec::with_capacity(4);
-        if x + 1 < self.topo.width {
-            branches.push(Route::McastRow(Dir::East));
-        }
-        if x > 0 {
-            branches.push(Route::McastRow(Dir::West));
-        }
-        if y > 0 {
-            branches.push(Route::McastCol(Dir::North));
-        }
-        if y + 1 < self.topo.height {
-            branches.push(Route::McastCol(Dir::South));
-        }
-        for route in branches {
+        // At most one branch per compass direction: a fixed array keeps
+        // this per-broadcast path allocation-free.
+        let branches: [Option<Route>; 4] = [
+            (x + 1 < self.topo.width).then_some(Route::McastRow(Dir::East)),
+            (x > 0).then_some(Route::McastRow(Dir::West)),
+            (y > 0).then_some(Route::McastCol(Dir::North)),
+            (y + 1 < self.topo.height).then_some(Route::McastCol(Dir::South)),
+        ];
+        for route in branches.into_iter().flatten() {
             let id = self.alloc_packet(Packet {
                 msg,
                 route,
@@ -418,44 +445,55 @@ impl Mesh {
 
     /// Advance the mesh by one cycle.
     pub fn tick(&mut self, now: Cycle) {
-        // Deterministic processing order.
+        // Deterministic processing order. Swapping with the `work`
+        // double buffer (instead of `mem::take`) keeps both lists'
+        // capacity warm, so the active-list machinery stops allocating
+        // after the first few ticks.
         self.active.sort_unstable();
-        let work = std::mem::take(&mut self.active);
+        std::mem::swap(&mut self.active, &mut self.work);
         // Allow routers to be (re-)activated during processing, including
         // by deposits into routers later in this very list.
-        for &r in &work {
-            self.is_active[r as usize] = false;
+        for i in 0..self.work.len() {
+            self.is_active[self.work[i] as usize] = false;
         }
-        for &r in &work {
-            self.tick_router(r as usize, now);
+        self.prof.net_lap(NetSubPhase::SkipScan);
+        for i in 0..self.work.len() {
+            self.tick_router(self.work[i] as usize, now);
         }
-        for &r in &work {
-            if self.routers[r as usize].has_work() {
-                self.activate(r as usize);
+        for i in 0..self.work.len() {
+            let r = self.work[i] as usize;
+            if self.routers[r].has_work() {
+                self.activate(r);
             }
         }
+        self.work.clear();
+        self.prof.net_lap(NetSubPhase::SkipScan);
     }
 
-    /// Candidate sources at a router, rotated for round-robin fairness.
-    fn sources(&self, r: usize, now: Cycle) -> Vec<Src> {
+    /// Candidate sources at a router, rotated for round-robin fairness,
+    /// written into `src_scratch` (cleared first) so the per-router
+    /// inner loop never allocates once the scratch is warm.
+    fn collect_sources(&mut self, r: usize, now: Cycle) {
         let router = &self.routers[r];
-        let mut v: Vec<Src> = Vec::with_capacity(5 + router.repq.len());
+        self.src_scratch.clear();
         for i in 0..4 {
             if !router.buf[i].is_empty() {
-                v.push(Src::In(i));
+                // audit: allow(alloc) amortized: reused scratch buffer at steady-state capacity
+                self.src_scratch.push(Src::In(i));
             }
         }
         if !router.nicq.is_empty() {
-            v.push(Src::Nic);
+            // audit: allow(alloc) amortized: reused scratch buffer at steady-state capacity
+            self.src_scratch.push(Src::Nic);
         }
         for i in 0..router.repq.len() {
-            v.push(Src::Rep(i));
+            // audit: allow(alloc) amortized: reused scratch buffer at steady-state capacity
+            self.src_scratch.push(Src::Rep(i));
         }
-        if v.len() > 1 {
-            let rot = (now as usize + r) % v.len();
-            v.rotate_left(rot);
+        if self.src_scratch.len() > 1 {
+            let rot = (now as usize + r) % self.src_scratch.len();
+            self.src_scratch.rotate_left(rot);
         }
-        v
     }
 
     /// Peek the next flit a source would emit: (pkt, idx, head, tail).
@@ -489,18 +527,27 @@ impl Mesh {
 
     fn tick_router(&mut self, r: usize, now: Cycle) {
         let here = CoreId(r as u16); // audit: allow(cast) router index < cores fits u16
+        if self.obs.is_enabled() {
+            let occ = self.routers[r].buf.iter().map(|b| b.len()).sum();
+            self.obs.router_cycle(r, occ);
+        }
         let mut out_used = [false; 6];
-        let sources = self.sources(r, now);
+        self.collect_sources(r, now);
+        // Detach the scratch lists so the borrow checker allows `&mut
+        // self` calls inside the loop; both are restored at the end.
+        let sources = std::mem::take(&mut self.src_scratch);
         // Track repq entries that completed, to remove after the loop.
-        let mut rep_done: Vec<usize> = Vec::new();
+        let mut rep_done = std::mem::take(&mut self.rep_done_scratch);
+        self.prof.net_lap(NetSubPhase::SwitchArb);
 
-        for src in sources {
+        for &src in &sources {
             let Some((pkt_id, idx, is_head, is_tail)) = self.peek(r, src, now) else {
                 continue;
             };
             let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
             let out = self.route_port(&pkt, here);
             let oi = out.idx();
+            self.prof.net_lap(NetSubPhase::RouteCompute);
             if out_used[oi] {
                 continue;
             }
@@ -520,6 +567,7 @@ impl Mesh {
                     self.stats.arbitrations += 1;
                 }
             }
+            self.prof.net_lap(NetSubPhase::SwitchArb);
 
             // Can the flit actually move?
             let moved = match out {
@@ -537,6 +585,7 @@ impl Mesh {
             }
             out_used[oi] = true;
             self.stats.xbar_traversals += 1;
+            self.obs.flit_routed(r, oi);
 
             // Consume from the source.
             match src {
@@ -554,6 +603,7 @@ impl Mesh {
                 }
                 Src::Rep(i) => {
                     if is_tail {
+                        // audit: allow(alloc) amortized: reused scratch buffer at steady-state capacity
                         rep_done.push(i);
                     } else {
                         self.routers[r].repq[i].sent += 1;
@@ -563,12 +613,17 @@ impl Mesh {
             if is_tail {
                 self.routers[r].out_owner[oi] = None;
             }
+            self.prof.net_lap(NetSubPhase::QueueOps);
         }
 
         rep_done.sort_unstable_by(|a, b| b.cmp(a));
-        for i in rep_done {
+        for &i in &rep_done {
             self.routers[r].repq.remove(i);
         }
+        rep_done.clear();
+        self.src_scratch = sources;
+        self.rep_done_scratch = rep_done;
+        self.prof.net_lap(NetSubPhase::QueueOps);
     }
 
     /// Forward a flit out a direction port into the neighbouring router's
@@ -595,8 +650,11 @@ impl Mesh {
         let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
         let continues = self.continues_at(&pkt, nr);
         if continues && self.routers[nri].buf[in_port].len() >= self.buffer_depth {
+            self.obs.credit_stall(r);
+            self.prof.net_lap(NetSubPhase::Credit);
             return false;
         }
+        self.prof.net_lap(NetSubPhase::Credit);
         self.stats.link_traversals += 1;
         if continues {
             self.routers[nri].buf[in_port].push_back(Flit {

@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 use crate::stats::NetStats;
 use crate::topology::Topology;
 use crate::types::{ClusterId, Cycle, Delivery, Dest, Message};
-use atac_trace::{NetDeliver, OnetTx, ProbeHandle, Subnet, TrafficKind};
+use atac_trace::{NetDeliver, NetObsHandle, OnetTx, ProbeHandle, Subnet, TrafficKind};
 
 /// ONet propagation latency in cycles (Table I).
 pub const ONET_LINK_DELAY: Cycle = 3;
@@ -112,6 +112,8 @@ pub struct Onet {
     pub stats: NetStats,
     /// Observability probe (disabled by default; observers only).
     probe: ProbeHandle,
+    /// Cycle-domain network observer (disabled by default).
+    obs: NetObsHandle,
     /// Which receive-network flavor final deliveries report as.
     recv_subnet: Subnet,
 }
@@ -133,6 +135,7 @@ impl Onet {
             deliveries: Vec::new(),
             stats: NetStats::default(),
             probe: ProbeHandle::default(),
+            obs: NetObsHandle::disabled(),
             recv_subnet: Subnet::StarNet,
         }
     }
@@ -143,6 +146,12 @@ impl Onet {
     pub fn set_probe(&mut self, probe: ProbeHandle, recv_subnet: Subnet) {
         self.probe = probe;
         self.recv_subnet = recv_subnet;
+    }
+
+    /// Attach a cycle-domain network observer (per-hub unicast vs
+    /// broadcast occupancy).
+    pub fn set_observer(&mut self, obs: NetObsHandle) {
+        self.obs = obs;
     }
 
     /// Number of hubs.
@@ -215,10 +224,9 @@ impl Onet {
             };
             // Reserve receive buffer space for the whole message at every
             // destination hub; without it, wait (laser stays gated).
-            let dests = self.dest_list(h, tx.dest);
-            let fits = dests
-                .iter()
-                .all(|&d| self.rx[d].reserved_flits + u32::from(tx.len) <= HUB_RX_CAP);
+            let fits = self
+                .dest_range(tx.dest)
+                .all(|d| self.rx[d].reserved_flits + u32::from(tx.len) <= HUB_RX_CAP);
             if !fits {
                 continue;
             }
@@ -230,7 +238,7 @@ impl Onet {
             self.stats.select_notifications += 1;
             self.stats.laser_transitions += 2; // power up, power down
             self.stats.onet_flits_sent += u64::from(tx.len);
-            let external_rx = dests.iter().filter(|&&d| d != h).count() as u64;
+            let external_rx = self.dest_range(tx.dest).filter(|&d| d != h).count() as u64;
             self.stats.onet_flit_receptions += u64::from(tx.len) * external_rx;
             let kind = match tx.dest {
                 DestHubs::One(_) => {
@@ -242,6 +250,7 @@ impl Onet {
                     TrafficKind::Broadcast
                 }
             };
+            self.obs.hub_tx(h, kind, u64::from(tx.len));
             self.probe.onet_tx(&OnetTx {
                 hub: h as u32, // audit: allow(cast) hub index < clusters ≤ 64
                 kind,
@@ -249,7 +258,7 @@ impl Onet {
                 end: until + ONET_LINK_DELAY,
                 flits: u64::from(tx.len),
             });
-            for &d in &dests {
+            for d in self.dest_range(tx.dest) {
                 self.rx[d].reserved_flits += u32::from(tx.len);
                 self.rx[d].q.push_back(RxPacket {
                     msg: tx.msg,
@@ -262,17 +271,16 @@ impl Onet {
         }
     }
 
-    /// Destination hub indices for a transmission from hub `src`.
-    fn dest_list(&self, src: usize, dest: DestHubs) -> Vec<usize> {
+    /// Destination hub index range for a transmission. A broadcast is
+    /// received by every hub; the sender's own hub gets its copy via
+    /// internal loopback (no extra laser power — `external_rx` above
+    /// excludes it). Returning a dense `Range` keeps this per-message
+    /// path allocation-free; it is recomputed at each use site rather
+    /// than collected.
+    fn dest_range(&self, dest: DestHubs) -> std::ops::Range<usize> {
         match dest {
-            DestHubs::One(c) => vec![c.idx()],
-            // A broadcast is received by every hub; the sender's own hub
-            // gets the copy via internal loopback (no extra laser power,
-            // accounted by `external_rx` above).
-            DestHubs::All => {
-                let _ = src;
-                (0..self.links.len()).collect()
-            }
+            DestHubs::One(c) => c.idx()..c.idx() + 1,
+            DestHubs::All => 0..self.links.len(),
         }
     }
 

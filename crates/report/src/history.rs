@@ -1,13 +1,17 @@
 //! The run-history registry: `BENCH_history.jsonl`.
 //!
 //! One line per record, append-only, so the file is a merge-friendly
-//! trajectory of every sweep a branch has run. Two kinds of line:
+//! trajectory of every sweep a branch has run. Three kinds of line:
 //!
 //! * `kind: "sweep"` — one per recorded sweep: worker count, wall
 //!   seconds, and the merged host self-profile.
 //! * `kind: "run"` — one per planned run key: the figure-level
 //!   simulated metrics ([`RunMetrics`]) plus the host seconds the sweep
 //!   spent actually simulating that key (absent on cache hits).
+//! * `kind: "netprof"` — at most one per recorded sweep (only when the
+//!   sweep ran under `ATAC_NETPROF`): the merged network-microscope
+//!   aggregate — flits routed, credit stalls, skip-ahead efficacy,
+//!   epoch coalescing, and the network sub-phase coverage fraction.
 //!
 //! Every line carries `schema` (`atac-report-history-v1`) and the git
 //! SHA of the tree that produced it; records are keyed by
@@ -65,6 +69,37 @@ pub struct RunEntry {
     pub host_secs: Option<f64>,
 }
 
+/// One sweep's merged network-microscope aggregate (`ATAC_NETPROF`
+/// sweeps only). Deliberately *small*: the full per-router/link
+/// breakdown stays in `BENCH_sweep.json`; history tracks only the
+/// sweep-level totals a trajectory can be drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetProfEntry {
+    /// Git SHA of the tree that ran the sweep.
+    pub sha: String,
+    /// Crossbar traversals across all routers and runs.
+    pub flits_routed: u64,
+    /// Credit-stall cycles across all routers and runs.
+    pub credit_stalls: u64,
+    /// Cycles the engines stepped one-by-one.
+    pub ticks: u64,
+    /// Cycles the engines skipped over.
+    pub skipped: u64,
+    /// Skip-ahead jumps taken.
+    pub jumps: u64,
+    /// Jumps woken by a scheduled core event.
+    pub wake_core: u64,
+    /// Jumps woken by a memory-controller event.
+    pub wake_mem: u64,
+    /// Epoch samples a skip-ahead jump coalesced.
+    pub coalesced: u64,
+    /// Longest single epoch span in cycles.
+    pub max_epoch_span: u64,
+    /// Fraction of the host `network` phase the sub-phase laps tile
+    /// (absent when host profiling was off).
+    pub net_coverage: Option<f64>,
+}
+
 /// A decoded history line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HistoryLine {
@@ -72,6 +107,8 @@ pub enum HistoryLine {
     Sweep(SweepEntry),
     /// A per-run record.
     Run(RunEntry),
+    /// A sweep-level network-microscope aggregate.
+    NetProf(NetProfEntry),
 }
 
 /// A parsed history file.
@@ -89,7 +126,7 @@ impl History {
     pub fn runs(&self) -> impl Iterator<Item = &RunEntry> {
         self.lines.iter().filter_map(|l| match l {
             HistoryLine::Run(r) => Some(r),
-            HistoryLine::Sweep(_) => None,
+            _ => None,
         })
     }
 
@@ -97,7 +134,15 @@ impl History {
     pub fn sweeps(&self) -> impl Iterator<Item = &SweepEntry> {
         self.lines.iter().filter_map(|l| match l {
             HistoryLine::Sweep(s) => Some(s),
-            HistoryLine::Run(_) => None,
+            _ => None,
+        })
+    }
+
+    /// Network-microscope aggregates, chronological.
+    pub fn netprofs(&self) -> impl Iterator<Item = &NetProfEntry> {
+        self.lines.iter().filter_map(|l| match l {
+            HistoryLine::NetProf(n) => Some(n),
+            _ => None,
         })
     }
 
@@ -130,10 +175,11 @@ impl History {
     }
 }
 
-/// Convert one parsed sweep into its history lines (one sweep record
-/// plus one run record per summary), stamped with `sha`.
+/// Convert one parsed sweep into its history lines (one sweep record,
+/// one netprof aggregate when the sweep carried network microscope
+/// data, plus one run record per summary), stamped with `sha`.
 pub fn lines_from_sweep(doc: &SweepDoc, sha: &str) -> Vec<HistoryLine> {
-    let mut lines = Vec::with_capacity(doc.summaries.len() + 1);
+    let mut lines = Vec::with_capacity(doc.summaries.len() + 2);
     lines.push(HistoryLine::Sweep(SweepEntry {
         sha: sha.to_string(),
         jobs: doc.jobs,
@@ -142,6 +188,21 @@ pub fn lines_from_sweep(doc: &SweepDoc, sha: &str) -> Vec<HistoryLine> {
         simulated: doc.runs.iter().filter(|r| r.source == "simulated").count() as u64,
         self_profile: doc.self_profile.clone(),
     }));
+    if let Some(np) = doc.merged_netprof() {
+        lines.push(HistoryLine::NetProf(NetProfEntry {
+            sha: sha.to_string(),
+            flits_routed: np.total_flits_routed(),
+            credit_stalls: np.total_credit_stalls(),
+            ticks: np.ticks_executed,
+            skipped: np.cycles_skipped,
+            jumps: np.skip_jumps,
+            wake_core: np.wake_core,
+            wake_mem: np.wake_mem,
+            coalesced: np.coalesced_epochs,
+            max_epoch_span: np.max_epoch_span,
+            net_coverage: doc.self_profile.as_ref().and_then(|p| p.net_coverage),
+        }));
+    }
     for s in &doc.summaries {
         lines.push(HistoryLine::Run(RunEntry {
             sha: sha.to_string(),
@@ -162,8 +223,20 @@ fn profile_json(p: &PhaseProfile) -> String {
         .iter()
         .map(|(name, secs)| format!("\"{}\": {:?}", escape(name), secs))
         .collect();
+    let mut net = String::new();
+    if let Some(cov) = p.net_coverage {
+        let subs: Vec<String> = p
+            .net_phases
+            .iter()
+            .map(|(name, secs)| format!("\"{}\": {:?}", escape(name), secs))
+            .collect();
+        net = format!(
+            ", \"net_coverage\": {cov:?}, \"net_phases\": {{{}}}",
+            subs.join(", ")
+        );
+    }
     format!(
-        "{{\"total_secs\": {:?}, \"coverage\": {:?}, \"phases\": {{{}}}}}",
+        "{{\"total_secs\": {:?}, \"coverage\": {:?}, \"phases\": {{{}}}{net}}}",
         p.total_secs,
         p.coverage,
         phases.join(", ")
@@ -219,6 +292,29 @@ pub fn encode_line(line: &HistoryLine) -> String {
             out.push('}');
             out
         }
+        HistoryLine::NetProf(n) => {
+            let mut out = format!(
+                "{{\"schema\": \"{HISTORY_SCHEMA}\", \"kind\": \"netprof\", \"sha\": \"{}\", \
+                 \"flits_routed\": {}, \"credit_stalls\": {}, \"ticks\": {}, \"skipped\": {}, \
+                 \"jumps\": {}, \"wake_core\": {}, \"wake_mem\": {}, \"coalesced\": {}, \
+                 \"max_epoch_span\": {}",
+                escape(&n.sha),
+                n.flits_routed,
+                n.credit_stalls,
+                n.ticks,
+                n.skipped,
+                n.jumps,
+                n.wake_core,
+                n.wake_mem,
+                n.coalesced,
+                n.max_epoch_span,
+            );
+            if let Some(cov) = n.net_coverage {
+                out.push_str(&format!(", \"net_coverage\": {cov:?}"));
+            }
+            out.push('}');
+            out
+        }
     }
 }
 
@@ -259,6 +355,26 @@ pub fn decode_line(text: &str) -> Result<Option<HistoryLine>, String> {
                 sha,
                 metrics,
                 host_secs: obj.get("host_secs").and_then(Json::as_f64),
+            })))
+        }
+        Some("netprof") => {
+            let req = |k: &str| -> Result<u64, String> {
+                obj.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("netprof line has no `{k}`"))
+            };
+            Ok(Some(HistoryLine::NetProf(NetProfEntry {
+                sha,
+                flits_routed: req("flits_routed")?,
+                credit_stalls: req("credit_stalls")?,
+                ticks: req("ticks")?,
+                skipped: req("skipped")?,
+                jumps: req("jumps")?,
+                wake_core: req("wake_core")?,
+                wake_mem: req("wake_mem")?,
+                coalesced: req("coalesced")?,
+                max_epoch_span: req("max_epoch_span")?,
+                net_coverage: obj.get("net_coverage").and_then(Json::as_f64),
             })))
         }
         Some(_) => Ok(None), // a newer writer's kind: skip, don't fail
@@ -329,22 +445,37 @@ mod tests {
     fn sweep_roundtrips_through_history_lines() {
         let doc = parse_sweep(crate::sweep::SAMPLE).expect("fixture parses");
         let lines = lines_from_sweep(&doc, "abc123");
-        assert_eq!(lines.len(), 3, "one sweep record + two run records");
+        assert_eq!(
+            lines.len(),
+            4,
+            "one sweep record + one netprof aggregate + two run records"
+        );
         for line in &lines {
             let encoded = encode_line(line);
             let back = decode_line(&encoded).expect("decodes").expect("known kind");
             assert_eq!(&back, line, "bit-exact roundtrip of {encoded}");
         }
         match &lines[1] {
+            HistoryLine::NetProf(n) => {
+                assert_eq!(n.sha, "abc123");
+                assert_eq!(n.flits_routed, 320);
+                assert_eq!(n.credit_stalls, 14);
+                assert_eq!(n.ticks + n.skipped, 500_000);
+                assert_eq!(n.coalesced, 3);
+                assert_eq!(n.net_coverage, Some(0.99));
+            }
+            other => panic!("expected netprof line, got {other:?}"),
+        }
+        match &lines[2] {
             HistoryLine::Run(r) => {
                 assert_eq!(r.sha, "abc123");
                 assert_eq!(r.host_secs, Some(5.5), "simulated run carries host secs");
             }
-            HistoryLine::Sweep(_) => panic!("expected run line"),
+            other => panic!("expected run line, got {other:?}"),
         }
-        match &lines[2] {
+        match &lines[3] {
             HistoryLine::Run(r) => assert_eq!(r.host_secs, None, "cache hit has none"),
-            HistoryLine::Sweep(_) => panic!("expected run line"),
+            other => panic!("expected run line, got {other:?}"),
         }
     }
 
@@ -353,6 +484,8 @@ mod tests {
         let h = sample_history();
         assert_eq!(h.sweeps().count(), 2);
         assert_eq!(h.runs().count(), 4);
+        assert_eq!(h.netprofs().count(), 2);
+        assert!(h.netprofs().all(|n| n.flits_routed == 320));
         let latest = h.latest_runs();
         assert_eq!(latest.len(), 2);
         assert!(latest.iter().all(|r| r.sha == "sha-2"), "last line wins");

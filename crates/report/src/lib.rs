@@ -31,7 +31,7 @@ pub mod sweep;
 pub use gate::{compare, GateConfig, GateReport, Verdict};
 pub use history::{
     append_lines, encode_line, lines_from_sweep, read_history, write_text, History, HistoryLine,
-    RunEntry, SweepEntry, HISTORY_SCHEMA,
+    NetProfEntry, RunEntry, SweepEntry, HISTORY_SCHEMA,
 };
-pub use render::{render, sparkline};
+pub use render::{render, render_netmap, sparkline};
 pub use sweep::{parse_sweep, LatencySummary, PhaseProfile, RunMetrics, SweepDoc};

@@ -7,6 +7,8 @@
 //!                  [--history-path BENCH_history.jsonl] [--strict-host] [--require-all]
 //! atac-report render [--history BENCH_history.jsonl] [--sweep BENCH_sweep.json]
 //!                    [--baseline <ref|file>] [--out BENCH_report.md] [--top <n>]
+//! atac-report netmap [--sweep BENCH_sweep.json] [--out BENCH_netmap.md]
+//!                    [--top <n>] [--min-coverage <frac>]
 //! ```
 //!
 //! `--baseline` accepts either a history *file* or a git *ref*: when no
@@ -182,20 +184,78 @@ fn cmd_render(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_netmap(args: &[String]) -> Result<ExitCode, String> {
+    let sweep_path = opt(args, "--sweep").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let out_path = opt(args, "--out").unwrap_or_else(|| "BENCH_netmap.md".into());
+    let top_n = match opt(args, "--top") {
+        Some(n) => n
+            .parse::<usize>()
+            .map_err(|_| format!("--top wants a count, got `{n}`"))?,
+        None => 10,
+    };
+    let min_coverage = match opt(args, "--min-coverage") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("--min-coverage wants a fraction, got `{v}`"))?,
+        ),
+        None => None,
+    };
+    let doc = load_sweep(&sweep_path)?;
+    let md = atac_report::render_netmap(&doc, top_n).ok_or_else(|| {
+        format!(
+            "{sweep_path} carries no netprof blocks — \
+             re-run the sweep with ATAC_NETPROF=1"
+        )
+    })?;
+    atac_report::write_text(Path::new(&out_path), &md)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    if let Some(min) = min_coverage {
+        let cov = doc.self_profile.as_ref().and_then(|p| p.net_coverage);
+        match cov {
+            Some(c) if c >= min => {
+                println!(
+                    "sub-phase coverage {:.1}% >= {:.1}% floor",
+                    c * 100.0,
+                    min * 100.0
+                );
+            }
+            Some(c) => {
+                println!(
+                    "netmap FAIL: sub-phase coverage {:.1}% below the {:.1}% floor",
+                    c * 100.0,
+                    min * 100.0
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+            None => {
+                println!(
+                    "netmap FAIL: --min-coverage given but the sweep's self-profile \
+                     carries no net_coverage (ATAC_PROFILE=0 or ATAC_NETPROF=0?)"
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("gate") => cmd_gate(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
+        Some("netmap") => cmd_netmap(&args[1..]),
         _ => {
             eprintln!(
-                "usage: atac-report <record|gate|render> [options]\n\
+                "usage: atac-report <record|gate|render|netmap> [options]\n\
                  \x20 record  --sweep <f> --history <f> [--sha <sha>]\n\
                  \x20 gate    --baseline <ref|file> [--sweep <f>] [--history-path <p>] \
                  [--strict-host] [--require-all]\n\
                  \x20 render  [--history <f>] [--sweep <f>] [--baseline <ref|file>] \
-                 [--out <f>] [--top <n>]"
+                 [--out <f>] [--top <n>]\n\
+                 \x20 netmap  [--sweep <f>] [--out <f>] [--top <n>] [--min-coverage <frac>]"
             );
             return ExitCode::from(2);
         }

@@ -9,9 +9,11 @@
 
 use std::fmt::Write as _;
 
+use atac_trace::{NetProfile, LINKS_PER_ROUTER, OCC_BUCKET_LABELS};
+
 use crate::gate::{GateConfig, GateReport, Verdict};
 use crate::history::History;
-use crate::sweep::SweepDoc;
+use crate::sweep::{PhaseProfile, SweepDoc};
 
 /// Sparkline glyphs, lowest to highest.
 const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -179,6 +181,183 @@ fn self_profile(history: &History, sweep: Option<&SweepDoc>, out: &mut String) {
     );
 }
 
+/// Direction labels for the four mesh link ports, in `Port::idx` order.
+const LINK_DIRS: [&str; 4] = ["N", "S", "E", "W"];
+
+fn netmap_skip_table(np: &NetProfile, out: &mut String) {
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| cycles simulated | {} |", np.cycles);
+    let _ = writeln!(out, "| ticks executed | {} |", np.ticks_executed);
+    let _ = writeln!(
+        out,
+        "| cycles skipped | {} ({:.1}% of advanced time) |",
+        np.cycles_skipped,
+        np.skip_fraction() * 100.0
+    );
+    let _ = writeln!(out, "| skip-ahead jumps | {} |", np.skip_jumps);
+    let _ = writeln!(
+        out,
+        "| wakeups (core / mem) | {} / {} |",
+        np.wake_core, np.wake_mem
+    );
+    let _ = writeln!(
+        out,
+        "| epochs closed | {} ({} coalesced past their nominal span) |",
+        np.epochs_closed, np.coalesced_epochs
+    );
+    let _ = writeln!(out, "| max epoch span | {} cycles |", np.max_epoch_span);
+}
+
+fn netmap_subphases(profile: Option<&PhaseProfile>, out: &mut String) {
+    let Some(p) = profile.filter(|p| !p.net_phases.is_empty()) else {
+        let _ = writeln!(out, "No sub-phase laps recorded (`ATAC_NETPROF=0`?).");
+        return;
+    };
+    let tracked: f64 = p.net_phases.iter().map(|(_, s)| s).sum();
+    let _ = writeln!(out, "| sub-phase | seconds | share of tracked |");
+    let _ = writeln!(out, "|---|---|---|");
+    let mut subs: Vec<&(String, f64)> = p.net_phases.iter().collect();
+    subs.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, secs) in subs {
+        let _ = writeln!(
+            out,
+            "| {name} | {secs:.3} | {:.1}% |",
+            secs / tracked.max(f64::MIN_POSITIVE) * 100.0
+        );
+    }
+    if let Some(cov) = p.net_coverage {
+        let _ = writeln!(
+            out,
+            "\nSub-phase laps cover **{:.1}%** of the measured `network` phase.",
+            cov * 100.0
+        );
+    }
+}
+
+fn netmap_routers(np: &NetProfile, out: &mut String, top_n: usize) {
+    if np.routers.is_empty() {
+        let _ = writeln!(out, "No router activity observed.");
+        return;
+    }
+    let flits: Vec<f64> = np.routers.iter().map(|r| r.flits_routed as f64).collect();
+    let _ = writeln!(
+        out,
+        "Heat strip (flits routed, router 0 → {}):\n\n```\n{}\n```\n",
+        np.routers.len() - 1,
+        sparkline(&flits)
+    );
+    let mut order: Vec<usize> = (0..np.routers.len()).collect();
+    order.sort_by(|&a, &b| {
+        np.routers[b]
+            .flits_routed
+            .cmp(&np.routers[a].flits_routed)
+            .then(a.cmp(&b))
+    });
+    order.truncate(top_n);
+    let _ = writeln!(
+        out,
+        "Top {} hotspot router(s); occupancy histogram buckets are {}:\n",
+        order.len(),
+        OCC_BUCKET_LABELS.join("/")
+    );
+    let _ = writeln!(
+        out,
+        "| router | flits | credit-stall cyc | active cyc | idle % | mean occ | occ hist |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for r in order {
+        let ro = &np.routers[r];
+        let hist: Vec<f64> = ro.occupancy_hist.iter().map(|&v| v as f64).collect();
+        let _ = writeln!(
+            out,
+            "| r{r} | {} | {} | {} | {:.1}% | {:.2} | {} |",
+            ro.flits_routed,
+            ro.credit_stall_cycles,
+            ro.active_cycles,
+            ro.idle_fraction(np.cycles) * 100.0,
+            ro.mean_occupancy(),
+            sparkline(&hist)
+        );
+    }
+}
+
+fn netmap_links(np: &NetProfile, out: &mut String, top_n: usize) {
+    let mut links: Vec<(usize, u64)> = np
+        .link_flits
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, f)| f > 0)
+        .collect();
+    if links.is_empty() {
+        let _ = writeln!(out, "No mesh-link traffic observed.");
+        return;
+    }
+    links.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    links.truncate(top_n);
+    let _ = writeln!(out, "| link | flits |");
+    let _ = writeln!(out, "|---|---|");
+    for (idx, f) in links {
+        let _ = writeln!(
+            out,
+            "| r{}→{} | {f} |",
+            idx / LINKS_PER_ROUTER,
+            LINK_DIRS[idx % LINKS_PER_ROUTER]
+        );
+    }
+}
+
+fn netmap_hubs(np: &NetProfile, out: &mut String) {
+    let clusters = np.hub_unicast_flits.len().max(np.hub_broadcast_flits.len());
+    if clusters == 0 {
+        let _ = writeln!(out, "No hub (optical) traffic observed.");
+        return;
+    }
+    let _ = writeln!(out, "| cluster | unicast flits | broadcast flits |");
+    let _ = writeln!(out, "|---|---|---|");
+    for c in 0..clusters {
+        let _ = writeln!(
+            out,
+            "| c{c} | {} | {} |",
+            np.hub_unicast_flits.get(c).copied().unwrap_or(0),
+            np.hub_broadcast_flits.get(c).copied().unwrap_or(0)
+        );
+    }
+}
+
+/// Render the standalone network-microscope page from a sweep's merged
+/// cycle-domain counters: skip-ahead efficacy, sub-phase attribution,
+/// the per-router heat table, hottest links, and hub traffic. Returns
+/// `None` when no run in the sweep carried a `netprof` block
+/// (instrument with `ATAC_NETPROF=1`).
+pub fn render_netmap(doc: &SweepDoc, top_n: usize) -> Option<String> {
+    let np = doc.merged_netprof()?;
+    let observed = doc.runs.iter().filter(|r| r.netprof.is_some()).count();
+    let mut out = String::new();
+    let _ = writeln!(out, "# ATAC network microscope");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Cycle-domain counters aggregated over {observed} observed run(s) \
+         of {} in the sweep: {} flit(s) routed, {} credit-stall cycle(s).",
+        doc.runs.len(),
+        np.total_flits_routed(),
+        np.total_credit_stalls()
+    );
+    let _ = writeln!(out, "\n## Skip-ahead efficacy\n");
+    netmap_skip_table(&np, &mut out);
+    let _ = writeln!(out, "\n## Network sub-phase attribution\n");
+    netmap_subphases(doc.self_profile.as_ref(), &mut out);
+    let _ = writeln!(out, "\n## Router heat\n");
+    netmap_routers(&np, &mut out, top_n);
+    let _ = writeln!(out, "\n## Hottest links\n");
+    netmap_links(&np, &mut out, top_n);
+    let _ = writeln!(out, "\n## Hub (optical) traffic\n");
+    netmap_hubs(&np, &mut out);
+    Some(out)
+}
+
 /// Render the full report. `gate` is present when a baseline was given;
 /// `sweep` is the current sweep being reported on, when available.
 pub fn render(
@@ -245,6 +424,21 @@ pub fn render(
 
     let _ = writeln!(out, "\n## Host self-profile\n");
     self_profile(history, sweep, &mut out);
+
+    if let Some(np) = sweep.and_then(SweepDoc::merged_netprof) {
+        let _ = writeln!(out, "\n## Network microscope\n");
+        let _ = writeln!(
+            out,
+            "{} flit(s) routed, {} credit-stall cycle(s), {:.1}% of advanced \
+             time skipped ahead. Full detail: `atac-report netmap`.\n",
+            np.total_flits_routed(),
+            np.total_credit_stalls(),
+            np.skip_fraction() * 100.0
+        );
+        netmap_routers(&np, &mut out, top_n);
+        let _ = writeln!(out, "\n### Network sub-phase attribution\n");
+        netmap_subphases(sweep.and_then(|d| d.self_profile.as_ref()), &mut out);
+    }
     out
 }
 
@@ -289,6 +483,9 @@ mod tests {
             "## Metric history",
             "## Host self-profile",
             "replay",
+            "## Network microscope",
+            "| r0 |",
+            "Sub-phase laps cover",
         ] {
             assert!(md.contains(section), "missing {section:?} in:\n{md}");
         }
@@ -300,5 +497,41 @@ mod tests {
         let md = render(&history, None, None, 5);
         assert!(!md.contains("Regression gate"));
         assert!(md.contains("## Metric history"));
+        assert!(
+            !md.contains("Network microscope"),
+            "no sweep → no netmap section"
+        );
+    }
+
+    #[test]
+    fn netmap_page_renders_every_section() {
+        let doc = parse_sweep(crate::sweep::SAMPLE).expect("fixture parses");
+        let md = render_netmap(&doc, 5).expect("fixture carries a netprof block");
+        for section in [
+            "# ATAC network microscope",
+            "## Skip-ahead efficacy",
+            "| skip-ahead jumps | 150 |",
+            "## Network sub-phase attribution",
+            "route_compute",
+            "## Router heat",
+            "| r0 | 200 |",
+            "## Hottest links",
+            "| r0→N | 120 |",
+            "## Hub (optical) traffic",
+            "| c0 | 400 | 80 |",
+        ] {
+            assert!(md.contains(section), "missing {section:?} in:\n{md}");
+        }
+        // Hotspot ordering: r0 (200 flits) before r1 (120 flits).
+        let r0 = md.find("| r0 | 200").expect("r0 row");
+        let r1 = md.find("| r1 | 120").expect("r1 row");
+        assert!(r0 < r1, "routers ordered by flits routed, descending");
+
+        // A sweep without netprof blocks renders no page at all.
+        let mut bare = doc.clone();
+        for run in &mut bare.runs {
+            run.netprof = None;
+        }
+        assert!(render_netmap(&bare, 5).is_none());
     }
 }

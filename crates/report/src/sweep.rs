@@ -1,15 +1,20 @@
 //! Reader for the executor's `BENCH_sweep.json` documents.
 //!
 //! `atac-bench`'s `SweepLog` emits the sweep artifact (schema
-//! `atac-bench-sweep-v2`); this module parses it back into typed form
+//! `atac-bench-sweep-v3`); this module parses it back into typed form
 //! for the history registry, the regression gate, and the renderer.
 //! Parsing is *forward-compatible*: unknown object members are ignored,
 //! so a newer emitter can add fields without orphaning older readers —
 //! only a schema outside the `atac-bench-sweep-v*` family is rejected.
 //! A v1 document (no `summaries`, no profiles) still parses; it simply
-//! yields nothing for the gate to compare, which the CLI reports.
+//! yields nothing for the gate to compare, which the CLI reports. A v2
+//! document lacks the per-run `netprof` network microscope breakdowns
+//! (re-parsed here into [`atac_trace::NetProfile`], the same type the
+//! collector fills, so report-side merging reuses the collector's
+//! order-independent integer merge).
 
 use atac_trace::json::{parse, Json};
+use atac_trace::{NetProfile, RouterObs, OCC_BUCKETS};
 
 /// Figure-level simulated metrics of one run, as carried by a sweep's
 /// `summaries` array and by history `run` lines. All of these are
@@ -61,6 +66,12 @@ pub struct PhaseProfile {
     pub coverage: f64,
     /// `(phase name, seconds)` pairs, emitter order.
     pub phases: Vec<(String, f64)>,
+    /// Fraction of the `network` phase the sub-phase laps tile
+    /// (`ATAC_NETPROF` runs only; absent on older documents).
+    pub net_coverage: Option<f64>,
+    /// `(network sub-phase name, seconds)` pairs, emitter order (empty
+    /// when the run carried no sub-phase laps).
+    pub net_phases: Vec<(String, f64)>,
 }
 
 /// One pool-touched run's wall-clock entry from the sweep's `runs`.
@@ -74,6 +85,9 @@ pub struct SweepRun {
     pub source: String,
     /// Host self-profile (simulated runs with profiling enabled only).
     pub profile: Option<PhaseProfile>,
+    /// Network microscope counters (simulated runs with `ATAC_NETPROF`
+    /// enabled only).
+    pub netprof: Option<NetProfile>,
 }
 
 /// The executor's `ATAC_VERIFY` self-check result: one planned key was
@@ -130,6 +144,22 @@ impl SweepDoc {
             .find(|r| r.key == key && r.source == "simulated")
             .map(|r| r.secs)
     }
+
+    /// All runs' network microscope counters merged, if any run carried
+    /// one. Merging happens in document (run-key) order over all-integer
+    /// counters, so the aggregate is independent of which worker
+    /// produced which run.
+    pub fn merged_netprof(&self) -> Option<NetProfile> {
+        let mut merged = NetProfile::new();
+        let mut any = false;
+        for run in &self.runs {
+            if let Some(np) = &run.netprof {
+                merged.merge(np);
+                any = true;
+            }
+        }
+        any.then_some(merged)
+    }
 }
 
 fn get_f64(obj: &Json, key: &str) -> Option<f64> {
@@ -155,13 +185,59 @@ fn parse_phase_map(obj: &Json) -> Option<Vec<(String, f64)>> {
     }
 }
 
-/// Parse a profile object (`total_secs`/`coverage`/`phases`).
+/// Parse a profile object (`total_secs`/`coverage`/`phases`, plus the
+/// optional `net_coverage`/`net_phases` network sub-phase attribution).
 pub(crate) fn parse_profile(obj: &Json) -> Option<PhaseProfile> {
     Some(PhaseProfile {
         total_secs: get_f64(obj, "total_secs")?,
         coverage: get_f64(obj, "coverage")?,
         phases: parse_phase_map(obj.get("phases")?)?,
+        net_coverage: get_f64(obj, "net_coverage"),
+        net_phases: obj
+            .get("net_phases")
+            .and_then(parse_phase_map)
+            .unwrap_or_default(),
     })
+}
+
+/// Parse a `u64` array.
+fn parse_u64_arr(obj: &Json) -> Option<Vec<u64>> {
+    obj.as_arr()?.iter().map(Json::as_u64).collect()
+}
+
+/// Parse a `netprof` object back into the collector's [`NetProfile`].
+/// Router rows are the emitter's flat arrays `[flits_routed,
+/// credit_stall_cycles, active_cycles, occupancy_sum, hist0..hist5]`.
+pub(crate) fn parse_netprof(obj: &Json) -> Option<NetProfile> {
+    let mut p = NetProfile::new();
+    p.cycles = get_u64(obj, "cycles")?;
+    p.ticks_executed = get_u64(obj, "ticks")?;
+    p.cycles_skipped = get_u64(obj, "skipped")?;
+    p.skip_jumps = get_u64(obj, "jumps")?;
+    p.wake_core = get_u64(obj, "wake_core")?;
+    p.wake_mem = get_u64(obj, "wake_mem")?;
+    p.epochs_closed = get_u64(obj, "epochs")?;
+    p.coalesced_epochs = get_u64(obj, "coalesced")?;
+    p.max_epoch_span = get_u64(obj, "max_epoch_span")?;
+    p.hub_unicast_flits = parse_u64_arr(obj.get("hub_unicast")?)?;
+    p.hub_broadcast_flits = parse_u64_arr(obj.get("hub_broadcast")?)?;
+    p.link_flits = parse_u64_arr(obj.get("links")?)?;
+    for row in obj.get("routers")?.as_arr()? {
+        let vals = parse_u64_arr(row)?;
+        if vals.len() != 4 + OCC_BUCKETS {
+            return None;
+        }
+        let mut r = RouterObs {
+            flits_routed: vals[0],
+            credit_stall_cycles: vals[1],
+            active_cycles: vals[2],
+            occupancy_sum: vals[3],
+            occupancy_hist: [0; OCC_BUCKETS],
+        };
+        r.occupancy_hist.copy_from_slice(&vals[4..]);
+        p.routers.push(r);
+    }
+    Some(p)
 }
 
 /// Parse one `summaries` element (shared with history `run` lines,
@@ -203,6 +279,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
                 secs: get_f64(r, "secs").ok_or(format!("runs[{i}] has no `secs`"))?,
                 source: get_str(r, "source").ok_or(format!("runs[{i}] has no `source`"))?,
                 profile: r.get("profile").and_then(parse_profile),
+                netprof: r.get("netprof").and_then(parse_netprof),
             });
         }
     }
@@ -233,10 +310,13 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
     })
 }
 
-/// A two-run v2 sweep fixture shared by this crate's tests.
+/// A two-run v3 sweep fixture shared by this crate's tests. The
+/// simulated run carries the full network microscope: sub-phase
+/// attribution in its profile and the `netprof` counter block (two
+/// routers, one cluster hub).
 #[cfg(test)]
 pub(crate) const SAMPLE: &str = r#"{
-  "schema": "atac-bench-sweep-v2",
+  "schema": "atac-bench-sweep-v3",
   "jobs": 4,
   "cores": "64",
   "benches": "radix,barnes",
@@ -246,14 +326,14 @@ pub(crate) const SAMPLE: &str = r#"{
     "total": 12.75
   },
   "runs": [
-    {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "secs": 5.5, "source": "simulated", "profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}}},
+    {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "secs": 5.5, "source": "simulated", "profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}, "net_coverage": 0.99, "net_phases": {"route_compute": 0.9, "switch_arb": 0.8, "queue_ops": 0.7}}, "netprof": {"cycles": 500000, "ticks": 300000, "skipped": 200000, "jumps": 150, "wake_core": 120, "wake_mem": 30, "epochs": 10, "coalesced": 3, "max_epoch_span": 90000, "hub_unicast": [400], "hub_broadcast": [80], "links": [120, 0, 40, 0, 0, 60, 0, 20], "routers": [[200, 12, 90000, 180000, 40000, 30000, 15000, 4000, 900, 100], [120, 2, 45000, 50000, 30000, 10000, 4000, 900, 100, 0]]}},
     {"key": "8x4|emesh-pure|flit64|buf4|ackwise4|radix", "secs": 0.01, "source": "cache_hit"}
   ],
   "summaries": [
     {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "bench": "radix", "cycles": 500000, "instructions": 1000000, "ipc": 0.3125, "runtime_s": 0.0005, "energy_j": 0.125, "edp_js": 6.25e-5, "latency": {"p50": 15, "p95": 63, "p99": 127, "max": 90, "count": 40000}},
     {"key": "8x4|emesh-pure|flit64|buf4|ackwise4|radix", "bench": "radix", "cycles": 800000, "instructions": 1000000, "ipc": 0.2, "runtime_s": 0.0008, "energy_j": 0.25, "edp_js": 2.0e-4, "latency": {"p50": 31, "p95": 127, "p99": 255, "max": 300, "count": 40000}}
   ],
-  "self_profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}},
+  "self_profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}, "net_coverage": 0.99, "net_phases": {"route_compute": 0.9, "switch_arb": 0.8, "queue_ops": 0.7}},
   "verify": {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "identical": true}
 }"#;
 
@@ -262,7 +342,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_v2_document() {
+    fn parses_v3_document() {
         let doc = parse_sweep(SAMPLE).expect("valid sweep");
         assert_eq!(doc.jobs, 4);
         assert_eq!(doc.runs.len(), 2);
@@ -272,6 +352,23 @@ mod tests {
         assert_eq!(doc.wall_secs(), 12.75);
         let profile = doc.runs[0].profile.as_ref().expect("profiled run");
         assert_eq!(profile.phases.len(), 3);
+        assert_eq!(profile.net_coverage, Some(0.99));
+        assert_eq!(profile.net_phases.len(), 3);
+        assert_eq!(profile.net_phases[0], ("route_compute".to_string(), 0.9));
+        let np = doc.runs[0].netprof.as_ref().expect("observed run");
+        assert_eq!(np.cycles, 500_000);
+        assert_eq!(np.ticks_executed + np.cycles_skipped, np.cycles);
+        assert_eq!(np.routers.len(), 2);
+        assert_eq!(np.routers[0].flits_routed, 200);
+        assert_eq!(np.routers[0].occupancy_hist[0], 40_000);
+        assert_eq!(np.total_flits_routed(), 320);
+        assert_eq!(np.total_credit_stalls(), 14);
+        assert_eq!(np.link_flits.len(), 8);
+        assert!(doc.runs[1].netprof.is_none(), "cache hit carries none");
+        // The document-level merge is just the one profiled run here.
+        let merged = doc.merged_netprof().expect("one run observed");
+        assert_eq!(merged.total_flits_routed(), 320);
+        assert_eq!(merged.hub_unicast_flits, vec![400]);
         assert!(doc.self_profile.is_some());
         let verify = doc.verify.as_ref().expect("verify outcome");
         assert!(verify.identical);
@@ -303,7 +400,7 @@ mod tests {
 
     #[test]
     fn unknown_members_are_ignored_but_foreign_schemas_are_not() {
-        let future = r#"{"schema": "atac-bench-sweep-v3", "jobs": 1, "new_field": [1, 2],
+        let future = r#"{"schema": "atac-bench-sweep-v4", "jobs": 1, "new_field": [1, 2],
                          "runs": [{"key": "k", "secs": 0.5, "source": "simulated", "extra": true}]}"#;
         let doc = parse_sweep(future).expect("future minor version parses");
         assert_eq!(doc.runs.len(), 1);

@@ -49,12 +49,14 @@ fn emit_sweep(cycles_a: u64, host_secs: f64) -> String {
                 secs: host_secs,
                 source: RunSource::Simulated,
                 profile: Some(profile(host_secs * 0.6, host_secs * 0.4)),
+                netprof: None,
             },
             RunTiming {
                 key: "8x4|emesh-pure|flit64|buf4|ackwise4|radix".into(),
                 secs: 0.002,
                 source: RunSource::CacheHit,
                 profile: None,
+                netprof: None,
             },
         ],
         summaries: vec![
@@ -88,7 +90,7 @@ fn sweeplog_output_flows_through_record_gate_and_render() {
     // that gives the gate a real median for host seconds.
     let baseline_json = emit_sweep(500_000, 5.0);
     let doc = parse_sweep(&baseline_json).expect("SweepLog output parses");
-    assert_eq!(doc.schema, "atac-bench-sweep-v2");
+    assert_eq!(doc.schema, "atac-bench-sweep-v3");
     assert_eq!(doc.summaries.len(), 2);
     let prof = doc.runs[0].profile.as_ref().expect("profiled run");
     assert!(prof.coverage > 0.9);
@@ -165,6 +167,7 @@ fn host_phase_vocabulary_roundtrips() {
             secs: p.total_secs,
             source: RunSource::Simulated,
             profile: Some(p),
+            netprof: None,
         }],
         summaries: vec![summary("k", "radix", 1000)],
     };

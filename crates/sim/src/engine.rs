@@ -21,7 +21,10 @@ use std::collections::BinaryHeap;
 use atac_coherence::{AccessResult, Addr, CoherenceStats, MemorySystem};
 use atac_net::{CoreId, Cycle, Delivery, NetStats, Network};
 use atac_phys::units::{JouleSeconds, Seconds};
-use atac_trace::{EpochSample, HostPhase, HostProfiler, ProbeHandle, TxnEvent, TxnPhase};
+use atac_trace::{
+    AdvanceCause, EpochSample, HostPhase, HostProfiler, NetObsHandle, NetSubPhase, ProbeHandle,
+    TxnEvent, TxnPhase,
+};
 use atac_workloads::{BuiltWorkload, Op};
 
 use crate::config::SimConfig;
@@ -126,6 +129,36 @@ pub fn run_profiled(
     epoch_cycles: Option<u64>,
     prof: HostProfiler,
 ) -> SimResult {
+    run_observed(
+        cfg,
+        workload,
+        probe,
+        epoch_cycles,
+        prof,
+        NetObsHandle::disabled(),
+    )
+}
+
+/// Run one workload with the full observability stack: probe, host
+/// profiler, *and* network observer.
+///
+/// `obs` receives cycle-domain network events — per-router activity and
+/// queue occupancy, per-link flit movement, credit stalls, optical-hub
+/// transmissions — plus the engine's own skip-ahead telemetry: every
+/// clock advance (with its cause and skipped-cycle count) and every
+/// epoch close (with its span and whether a jump coalesced it). Attach
+/// an [`atac_trace::NetProfile`] to collect them. Like the probe and
+/// profiler, the observer only ever *reads* simulator state, so an
+/// observed run is bit-identical to [`run`] (tested below). With all
+/// three handles disabled this is exactly [`run`].
+pub fn run_observed(
+    cfg: &SimConfig,
+    workload: &BuiltWorkload,
+    probe: ProbeHandle,
+    epoch_cycles: Option<u64>,
+    prof: HostProfiler,
+    obs: NetObsHandle,
+) -> SimResult {
     let n = cfg.topo.cores();
     assert_eq!(
         workload.scripts.len(),
@@ -141,6 +174,13 @@ pub fn run_profiled(
     // The memory system laps its own phases (outbox flush → Coherence,
     // controller tick → Memctrl) on the shared timeline.
     ms.set_profiler(prof.clone());
+    // The network laps its own sub-phases (route compute, switch
+    // arbitration, credits, queue ops, hub arbitration, skip-scan) and
+    // feeds the per-router/link counters to the observer.
+    // audit: allow(alloc) one-time setup before the cycle loop
+    net.set_profiler(prof.clone());
+    // audit: allow(alloc) one-time setup before the cycle loop
+    net.set_observer(obs.clone());
     let mut sampler = epoch_cycles
         .filter(|_| probe.is_enabled())
         .map(|every| EpochSampler::new(every.max(1), cfg));
@@ -225,6 +265,9 @@ pub fn run_profiled(
         ms.flush_outbox(net.as_mut(), now); // laps Coherence internally
         net.tick(now);
         net.drain_deliveries(&mut deliveries);
+        // Attribute the delivery drain (and any untracked remainder of
+        // the network stretch) so the sub-phases tile the Network lap.
+        prof.net_lap(NetSubPhase::QueueOps);
         prof.lap(HostPhase::Network);
         for d in deliveries.drain(..) {
             ms.handle_delivery(&d, now);
@@ -247,13 +290,31 @@ pub fn run_profiled(
         // --- advance the clock (skip-ahead when the chip is quiet) ---
         if !net.is_idle() || ms.outbox_pending() {
             now += 1;
+            obs.advance(1, AdvanceCause::Tick);
         } else {
             let next_core = heap.peek().map(|&Reverse((t, _))| t);
             let next_mem = ms.next_mem_event();
             match (next_core, next_mem) {
-                (Some(a), Some(b)) => now = a.min(b).max(now + 1),
-                (Some(a), None) => now = a.max(now + 1),
-                (None, Some(b)) => now = b.max(now + 1),
+                (Some(a), Some(b)) => {
+                    let t = a.min(b).max(now + 1);
+                    let cause = if a <= b {
+                        AdvanceCause::WakeCore
+                    } else {
+                        AdvanceCause::WakeMem
+                    };
+                    obs.advance(t - now, cause);
+                    now = t;
+                }
+                (Some(a), None) => {
+                    let t = a.max(now + 1);
+                    obs.advance(t - now, AdvanceCause::WakeCore);
+                    now = t;
+                }
+                (None, Some(b)) => {
+                    let t = b.max(now + 1);
+                    obs.advance(t - now, AdvanceCause::WakeMem);
+                    now = t;
+                }
                 (None, None) => {
                     if running > 0 {
                         let blocked: Vec<_> = cores
@@ -276,6 +337,8 @@ pub fn run_profiled(
         // --- epoch sampling (observers only; no simulator state) ---
         if let Some(s) = sampler.as_mut() {
             if now >= s.next {
+                let span = now - s.start;
+                obs.epoch(span, span > s.every);
                 s.close_epoch(now, cfg, net.as_ref(), &ms, &cores, &probe);
             }
         }
@@ -291,9 +354,12 @@ pub fn run_profiled(
     // Trailing partial epoch so the time series covers the whole run.
     if let Some(s) = sampler.as_mut() {
         if cycles > s.start {
+            let span = cycles - s.start;
+            obs.epoch(span, span > s.every);
             s.close_epoch(cycles, cfg, net.as_ref(), &ms, &cores, &probe);
         }
     }
+    obs.run_done(cycles);
     let energy = integrate(cfg, &net_stats, &coh_stats, cycles, ipc);
     // Sanitizer: at simulation end everything must have drained — no
     // leaked payload-slab entries, held unicasts, queued outboxes, or
@@ -630,6 +696,129 @@ mod tests {
                 phase.name()
             );
         }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_counters_reconcile() {
+        use atac_trace::{NetProfile, TraceCollector};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let cfg = SimConfig::small();
+        let w = Benchmark::Radix.build(cfg.topo.cores(), Scale::Test);
+        let plain = run(&cfg, &w);
+
+        let collector = Rc::new(RefCell::new(TraceCollector::new()));
+        let probe = ProbeHandle::attach(Rc::clone(&collector));
+        let netprof = Rc::new(RefCell::new(NetProfile::new()));
+        let obs = NetObsHandle::attach(Rc::clone(&netprof));
+        let prof = HostProfiler::enabled_with_netprof(true);
+        let observed = run_observed(&cfg, &w, probe, Some(500), prof, obs);
+
+        // The observer only reads simulator state: bit-identical result.
+        assert_eq!(plain.cycles, observed.cycles);
+        assert_eq!(plain.instructions, observed.instructions);
+        assert_eq!(plain.ipc.to_bits(), observed.ipc.to_bits());
+        assert_eq!(plain.net.fields(), observed.net.fields());
+        assert_eq!(plain.coh.fields(), observed.coh.fields());
+        assert_eq!(
+            plain.energy.total().value().to_bits(),
+            observed.energy.total().value().to_bits()
+        );
+
+        let p = netprof.borrow();
+        // The skip-ahead ledger partitions the clock: every simulated
+        // cycle was either ticked through or skipped over.
+        assert_eq!(p.cycles, observed.cycles);
+        assert_eq!(p.ticks_executed + p.cycles_skipped, p.cycles, "{p:?}");
+        // Radix on this miniature ATAC+ both ticks (traffic in flight)
+        // and jumps (compute stretches with a known wake-up).
+        assert!(p.ticks_executed > 0);
+        assert!(p.skip_jumps > 0, "skip-ahead never engaged");
+        assert_eq!(p.skip_fraction() > 0.0, p.cycles_skipped > 0);
+        assert!(p.wake_core + p.wake_mem >= p.skip_jumps);
+        // Router counters reconcile with the run's NetStats: every
+        // crossbar traversal was observed, on a router that was active.
+        assert_eq!(p.total_flits_routed(), observed.net.xbar_traversals);
+        assert!(!p.routers.is_empty());
+        for (r, ro) in p.routers.iter().enumerate() {
+            assert!(ro.active_cycles <= p.cycles, "router {r}: {ro:?}");
+            assert!(ro.flits_routed == 0 || ro.active_cycles > 0, "router {r}");
+            assert!(ro.idle_fraction(p.cycles) <= 1.0);
+            assert_eq!(ro.occupancy_hist.iter().sum::<u64>(), ro.active_cycles);
+        }
+        // Per-link counters never exceed the per-router totals.
+        let link_sum: u64 = p.link_flits.iter().sum();
+        assert!(link_sum <= p.total_flits_routed());
+        // The optical hubs transmitted (radix on ATAC+ uses the ONet).
+        let hub_total: u64 =
+            p.hub_unicast_flits.iter().sum::<u64>() + p.hub_broadcast_flits.iter().sum::<u64>();
+        assert!(hub_total > 0);
+    }
+
+    #[test]
+    fn net_sub_phases_cover_the_network_lap() {
+        let cfg = SimConfig::small();
+        let w = Benchmark::Radix.build(cfg.topo.cores(), Scale::Test);
+        let prof = HostProfiler::enabled_with_netprof(true);
+        let r = run_observed(
+            &cfg,
+            &w,
+            ProbeHandle::default(),
+            None,
+            prof.clone(),
+            NetObsHandle::disabled(),
+        );
+        assert!(r.cycles > 0);
+
+        let profile = prof.finish().expect("profiler enabled");
+        assert!(profile.phase_secs(HostPhase::Network) > 0.0);
+        // The sub-phase laps are anchored to tile exactly the network
+        // stretch of the engine loop; ≥95 % is the acceptance bound.
+        assert!(
+            profile.net_sub_coverage() >= 0.95,
+            "sub-phases cover {:.1}% of the network phase ({:?})",
+            profile.net_sub_coverage() * 100.0,
+            profile.net_phases().collect::<Vec<_>>()
+        );
+        // The always-on stretches saw host time.
+        for sub in [NetSubPhase::SkipScan, NetSubPhase::QueueOps] {
+            assert!(
+                profile.net_sub(sub) > 0.0,
+                "sub-phase {} never lapped",
+                sub.name()
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_coalescing_reconciles_with_the_sampled_time_series() {
+        use atac_trace::{NetProfile, TraceCollector};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let every = 200;
+        let cfg = SimConfig::small();
+        let w = Benchmark::Radix.build(cfg.topo.cores(), Scale::Test);
+        let collector = Rc::new(RefCell::new(TraceCollector::new()));
+        let probe = ProbeHandle::attach(Rc::clone(&collector));
+        let netprof = Rc::new(RefCell::new(NetProfile::new()));
+        let obs = NetObsHandle::attach(Rc::clone(&netprof));
+        run_observed(&cfg, &w, probe, Some(every), HostProfiler::default(), obs);
+
+        let c = collector.borrow();
+        let epochs = c.epochs();
+        let p = netprof.borrow();
+        // Every epoch the sampler emitted was observed, and the
+        // coalescing verdicts match the actual sample spans: an epoch is
+        // coalesced exactly when a skip-ahead jump (or the trailing
+        // close) stretched it past the nominal length.
+        assert_eq!(p.epochs_closed, epochs.len() as u64);
+        let coalesced = epochs.iter().filter(|e| e.span_cycles() > every).count() as u64;
+        assert_eq!(p.coalesced_epochs, coalesced);
+        let max_span = epochs.iter().map(|e| e.span_cycles()).max().unwrap_or(0);
+        assert_eq!(p.max_epoch_span, max_span);
+        assert!(p.epochs_closed > 0);
     }
 
     #[test]

@@ -28,10 +28,13 @@ pub mod config;
 pub mod energy;
 pub mod engine;
 
-pub use atac_trace::{HostPhase, HostProfile, HostProfiler, ProbeHandle, TraceCollector};
+pub use atac_trace::{
+    HostPhase, HostProfile, HostProfiler, NetObsHandle, NetProfile, NetSubPhase, ProbeHandle,
+    TraceCollector,
+};
 pub use config::{Arch, SimConfig};
 pub use energy::EnergyBreakdown;
-pub use engine::{run, run_profiled, run_with_probe, SimResult};
+pub use engine::{run, run_observed, run_profiled, run_with_probe, SimResult};
 
 // Send-safety audit for the parallel sweep executor (atac-bench): a
 // sweep shares one `SimConfig` and one immutably-built workload across

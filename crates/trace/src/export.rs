@@ -230,7 +230,11 @@ const TID_ONET_TX: u32 = 5;
 /// Serialize retained spans in Chrome trace-event format. One complete
 /// (`"ph":"X"`) event per span, with metadata events naming the
 /// process/thread tracks; 1 simulated cycle is rendered as 1 ns
-/// (`ts`/`dur` are in microseconds, as the format requires).
+/// (`ts`/`dur` are in microseconds, as the format requires). Each
+/// epoch sample additionally lands as Perfetto counter (`"ph":"C"`)
+/// tracks under the network process — laser mode occupancy, flit
+/// volumes, congestion pressure, and epoch energy — stepped at the
+/// epoch's start cycle.
 pub fn chrome_trace(c: &TraceCollector) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -268,6 +272,52 @@ pub fn chrome_trace(c: &TraceCollector) -> String {
         "onet-tx",
     );
 
+    for e in c.epochs() {
+        let ts = cycles_to_us(e.start);
+        let counter = |out: &mut String, first: &mut bool, name: &str, args: String| {
+            let sep = if *first { "" } else { "," };
+            *first = false;
+            let _ = write!(
+                out,
+                "{sep}\n{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"C\",\
+                 \"pid\":{PID_NETWORK},\"ts\":{ts:.3},\"args\":{{{args}}}}}"
+            );
+        };
+        counter(
+            &mut out,
+            &mut first,
+            "laser-mode-cycles",
+            format!(
+                "\"idle\":{},\"unicast\":{},\"broadcast\":{}",
+                e.laser_idle_cycles, e.laser_unicast_cycles, e.laser_broadcast_cycles
+            ),
+        );
+        counter(
+            &mut out,
+            &mut first,
+            "net-flits",
+            format!(
+                "\"enet\":{},\"onet\":{},\"rnet\":{},\"injected\":{}",
+                e.enet_link_traversals, e.onet_flits_sent, e.receive_net_flits, e.flits_injected
+            ),
+        );
+        counter(
+            &mut out,
+            &mut first,
+            "pressure",
+            format!(
+                "\"stalled_cores\":{},\"outbox_depth\":{}",
+                e.stalled_cores, e.outbox_depth
+            ),
+        );
+        counter(
+            &mut out,
+            &mut first,
+            "energy_j",
+            format!("\"value\":{:e}", e.energy.value()),
+        );
+    }
+
     for span in c.spans() {
         let (pid, tid) = match span.track {
             Track::Subnet(s) => (PID_NETWORK, tid_for_subnet(s)),
@@ -301,8 +351,10 @@ fn cycles_to_us(cycles: Cycle) -> f64 {
 /// Validate a Chrome trace-event document: top-level object with a
 /// `traceEvents` array and a `displayTimeUnit` string, every event an
 /// object with a `ph`, every complete (`X`) event carrying
-/// name/cat/pid/tid and non-negative `ts`/`dur`, and every metadata
-/// (`M`) event carrying a `name` plus an `args.name` string. Returns
+/// name/cat/pid/tid and non-negative `ts`/`dur`, every metadata
+/// (`M`) event carrying a `name` plus an `args.name` string, and every
+/// counter (`C`) event naming a known track whose `args` carry that
+/// track's full key set with finite non-negative values. Returns
 /// the number of `X` events.
 pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     let v = parse(text).map_err(|e| e.to_string())?;
@@ -351,6 +403,43 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
                     .and_then(|a| a.get("name"))
                     .and_then(Json::as_str)
                     .ok_or_else(|| format!("event {i}: M event missing `args.name`"))?;
+            }
+            "C" => {
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: C event missing `name`"))?;
+                ev.get("pid")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i}: C event missing `pid`"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: C event missing `ts`"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!("event {i}: bad counter `ts` {ts}"));
+                }
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: C event missing `args`"))?;
+                let keys: &[&str] = match name {
+                    "laser-mode-cycles" => &["idle", "unicast", "broadcast"],
+                    "net-flits" => &["enet", "onet", "rnet", "injected"],
+                    "pressure" => &["stalled_cores", "outbox_depth"],
+                    "energy_j" => &["value"],
+                    other => {
+                        return Err(format!("event {i}: unknown counter track `{other}`"));
+                    }
+                };
+                for key in keys {
+                    let n = args
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("event {i}: counter missing `{key}`"))?;
+                    if !n.is_finite() || n < 0.0 {
+                        return Err(format!("event {i}: bad counter value `{key}` {n}"));
+                    }
+                }
             }
             other => return Err(format!("event {i}: unexpected phase `{other}`")),
         }
@@ -463,6 +552,11 @@ mod tests {
         let complete = validate_chrome_trace(&text).expect("schema-valid trace");
         // 20 deliveries + 1 optical burst + 1 transaction span.
         assert_eq!(complete, 22);
+        // One epoch sample → four Perfetto counter tracks.
+        assert_eq!(text.matches("\"ph\":\"C\"").count(), 4);
+        for track in ["laser-mode-cycles", "net-flits", "pressure", "energy_j"] {
+            assert!(text.contains(track), "missing counter track `{track}`");
+        }
     }
 
     #[test]
@@ -481,6 +575,12 @@ mod tests {
         let broken = trace.replacen("\"ph\":\"X\"", "\"ph\":\"Q\"", 1);
         assert!(validate_chrome_trace(&broken).is_err());
         assert!(validate_chrome_trace("{}").is_err());
+        // A counter track the validator doesn't know is rejected.
+        let broken = trace.replacen("net-flits", "mystery-track", 1);
+        assert!(validate_chrome_trace(&broken).is_err());
+        // A counter stripped of one of its required args is rejected.
+        let broken = trace.replacen("\"unicast\":", "\"unicats\":", 1);
+        assert!(validate_chrome_trace(&broken).is_err());
     }
 
     #[test]

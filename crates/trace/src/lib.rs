@@ -25,7 +25,13 @@
 //! * [`json`] — the dependency-free JSON reader backing the validators.
 //! * [`profile`] — [`HostProfiler`], the lap-based *host* wall-clock
 //!   phase profiler the engine and memory system thread through their
-//!   loops, so sweeps can report where the simulator's own seconds go.
+//!   loops, so sweeps can report where the simulator's own seconds go —
+//!   including per-network-sub-phase attribution ([`NetSubPhase`]) under
+//!   the `ATAC_NETPROF` knob.
+//! * [`netobs`] — [`NetObserver`]/[`NetObsHandle`], the cycle-domain
+//!   network observability layer: per-router/link counters, hub
+//!   occupancy, and skip-ahead efficacy metrics collected into the
+//!   mergeable [`NetProfile`].
 //!
 //! This crate sits *below* `atac-net` in the dependency graph (it only
 //! depends on `atac-phys` for unit newtypes), so every simulator layer
@@ -35,6 +41,7 @@ pub mod collect;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod netobs;
 pub mod probe;
 pub mod profile;
 
@@ -44,8 +51,12 @@ pub use export::{
     MetricsSummary,
 };
 pub use hist::{Histogram, BUCKETS};
+pub use netobs::{
+    occ_bucket, AdvanceCause, NetObsHandle, NetObserver, NetProfile, RouterObs, LINKS_PER_ROUTER,
+    OCC_BUCKETS, OCC_BUCKET_LABELS,
+};
 pub use probe::{
     Cycle, EpochSample, NetDeliver, NullProbe, OnetTx, Probe, ProbeHandle, Subnet, TrafficKind,
     TxnEvent, TxnPhase,
 };
-pub use profile::{HostPhase, HostProfile, HostProfiler};
+pub use profile::{HostPhase, HostProfile, HostProfiler, NetSubPhase};

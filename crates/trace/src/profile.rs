@@ -110,11 +110,79 @@ impl HostPhase {
     }
 }
 
+/// The sub-phases of the `network` host phase ([`HostPhase::Network`]),
+/// attributed by [`HostProfiler::net_lap`]. The single `network` bucket
+/// dominates full-suite wall time, and the ≥5× overhaul planned for it
+/// needs to know *which* mechanism inside the fabric burns the seconds.
+/// Serialized by [`NetSubPhase::name`] into `BENCH_sweep.json`
+/// (`net_phases`), so the names are a stable vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetSubPhase {
+    /// Output-port computation (XY routing decisions, route peeks).
+    RouteCompute,
+    /// VC/switch arbitration: candidate ordering, rotation, and output
+    /// allocation.
+    SwitchArb,
+    /// Credit processing: downstream buffer-space checks and stalls.
+    Credit,
+    /// Queue operations: input-buffer pushes/pops, NIC and replication
+    /// queues, delivery drains.
+    QueueOps,
+    /// Optical-hub arbitration: hub hand-off and SWMR link scheduling.
+    HubArb,
+    /// Skip-ahead scan: active-list sort, deactivation and reactivation
+    /// sweeps.
+    SkipScan,
+}
+
+impl NetSubPhase {
+    /// Every sub-phase, in display order.
+    pub const ALL: [NetSubPhase; 6] = [
+        NetSubPhase::RouteCompute,
+        NetSubPhase::SwitchArb,
+        NetSubPhase::Credit,
+        NetSubPhase::QueueOps,
+        NetSubPhase::HubArb,
+        NetSubPhase::SkipScan,
+    ];
+
+    /// Number of sub-phases (array dimension for accumulators).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable lower-case name used in `BENCH_sweep.json` profiles.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetSubPhase::RouteCompute => "route_compute",
+            NetSubPhase::SwitchArb => "switch_arb",
+            NetSubPhase::Credit => "credit",
+            NetSubPhase::QueueOps => "queue_ops",
+            NetSubPhase::HubArb => "hub_arb",
+            NetSubPhase::SkipScan => "skip_scan",
+        }
+    }
+
+    /// Dense index in `0..COUNT` for the accumulator array.
+    pub fn index(self) -> usize {
+        match self {
+            NetSubPhase::RouteCompute => 0,
+            NetSubPhase::SwitchArb => 1,
+            NetSubPhase::Credit => 2,
+            NetSubPhase::QueueOps => 3,
+            NetSubPhase::HubArb => 4,
+            NetSubPhase::SkipScan => 5,
+        }
+    }
+}
+
 /// The finished per-phase wall-clock breakdown of one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HostProfile {
     /// Seconds attributed to each phase, indexed by [`HostPhase::index`].
     pub secs: [f64; HostPhase::COUNT],
+    /// Seconds attributed to each network sub-phase, indexed by
+    /// [`NetSubPhase::index`]. All-zero unless the profiler was created
+    /// with net-profiling enabled (the `ATAC_NETPROF` knob).
+    pub net_sub_secs: [f64; NetSubPhase::COUNT],
     /// Wall-clock seconds from profiler creation to [`HostProfiler::finish`].
     pub total_secs: f64,
 }
@@ -151,6 +219,39 @@ impl HostProfile {
         }
     }
 
+    /// `(sub-phase, seconds)` pairs for network sub-phases that
+    /// accumulated any time, in display order.
+    pub fn net_phases(&self) -> impl Iterator<Item = (NetSubPhase, f64)> + '_ {
+        NetSubPhase::ALL
+            .into_iter()
+            .map(|p| (p, self.net_sub_secs[p.index()]))
+            .filter(|&(_, s)| s > 0.0)
+    }
+
+    /// Seconds attributed to one network sub-phase.
+    pub fn net_sub(&self, sub: NetSubPhase) -> f64 {
+        self.net_sub_secs[sub.index()]
+    }
+
+    /// Sum of all network sub-phase attributions.
+    pub fn net_tracked_secs(&self) -> f64 {
+        self.net_sub_secs.iter().sum()
+    }
+
+    /// Fraction of the parent [`HostPhase::Network`] seconds the network
+    /// sub-phase laps account for, in `0.0..=1.0` (1.0 when the network
+    /// phase saw no time). The contiguous sub-lap timeline inside the
+    /// network stretch makes this ≈ 1 when net-profiling is on; the CI
+    /// acceptance bound demands ≥ 95 %.
+    pub fn net_sub_coverage(&self) -> f64 {
+        let net = self.secs[HostPhase::Network.index()];
+        if net <= 0.0 {
+            1.0
+        } else {
+            (self.net_tracked_secs() / net).min(1.0)
+        }
+    }
+
     /// Fold another profile into this one (phase-wise and total sums) —
     /// how a sweep aggregates its runs' profiles.
     // audit: order-stable — host wall-clock seconds, merged in planned-run
@@ -160,6 +261,9 @@ impl HostProfile {
         for (a, b) in self.secs.iter_mut().zip(&other.secs) {
             *a += *b;
         }
+        for (a, b) in self.net_sub_secs.iter_mut().zip(&other.net_sub_secs) {
+            *a += *b;
+        }
         self.total_secs += other.total_secs;
     }
 
@@ -167,6 +271,7 @@ impl HostProfile {
     pub fn zero() -> Self {
         HostProfile {
             secs: [0.0; HostPhase::COUNT],
+            net_sub_secs: [0.0; NetSubPhase::COUNT],
             total_secs: 0.0,
         }
     }
@@ -175,8 +280,13 @@ impl HostProfile {
 #[derive(Debug)]
 struct ProfilerState {
     secs: [f64; HostPhase::COUNT],
+    net_secs: [f64; NetSubPhase::COUNT],
     started: Instant,
     last: Instant,
+    /// Anchor of the network sub-phase timeline. Reset by every
+    /// [`HostProfiler::lap`] so sub-laps can only tile the stretch since
+    /// the previous phase boundary.
+    last_net: Instant,
 }
 
 /// Shared, cloneable handle to one run's lap accumulator.
@@ -187,28 +297,58 @@ struct ProfilerState {
 /// hold clones (engine, memory system), which is exactly what makes the
 /// lap timeline contiguous across layer boundaries.
 #[derive(Debug, Clone, Default)]
-pub struct HostProfiler(Option<Rc<RefCell<ProfilerState>>>);
+pub struct HostProfiler {
+    state: Option<Rc<RefCell<ProfilerState>>>,
+    /// Whether [`HostProfiler::net_lap`] records network sub-phases.
+    /// Kept outside the `RefCell` so a disabled sub-lap point (the
+    /// common, per-flit case) costs one bool branch, not a borrow.
+    netprof: bool,
+}
 
 impl HostProfiler {
     /// The disabled handle (same as `Default`): laps are one dead branch.
     pub fn disabled() -> Self {
-        HostProfiler(None)
+        HostProfiler {
+            state: None,
+            netprof: false,
+        }
     }
 
-    /// An enabled profiler; the total-time clock starts now.
+    /// An enabled profiler; the total-time clock starts now. Network
+    /// sub-phase laps stay disabled (see
+    /// [`HostProfiler::enabled_with_netprof`]).
     pub fn enabled() -> Self {
+        Self::enabled_with_netprof(false)
+    }
+
+    /// An enabled profiler that additionally attributes network
+    /// sub-phases via [`HostProfiler::net_lap`] when `netprof` is true
+    /// (the `ATAC_NETPROF` knob). Sub-laps read the clock per flit
+    /// movement, so this is opt-in profiling, not the default.
+    pub fn enabled_with_netprof(netprof: bool) -> Self {
         let now = Instant::now();
-        HostProfiler(Some(Rc::new(RefCell::new(ProfilerState {
-            secs: [0.0; HostPhase::COUNT],
-            started: now,
-            last: now,
-        }))))
+        HostProfiler {
+            state: Some(Rc::new(RefCell::new(ProfilerState {
+                secs: [0.0; HostPhase::COUNT],
+                net_secs: [0.0; NetSubPhase::COUNT],
+                started: now,
+                last: now,
+                last_net: now,
+            }))),
+            netprof,
+        }
     }
 
     /// Whether laps are being recorded.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.state.is_some()
+    }
+
+    /// Whether network sub-phase laps are being recorded.
+    #[inline]
+    pub fn netprof_enabled(&self) -> bool {
+        self.netprof && self.state.is_some()
     }
 
     /// Attribute the wall time since the previous lap (or since
@@ -218,11 +358,36 @@ impl HostProfiler {
     // data, not simulated results
     #[inline]
     pub fn lap(&self, phase: HostPhase) {
-        if let Some(state) = &self.0 {
+        if let Some(state) = &self.state {
             let mut s = state.borrow_mut();
             let now = Instant::now();
             s.secs[phase.index()] += now.duration_since(s.last).as_secs_f64();
             s.last = now;
+            s.last_net = now;
+        }
+    }
+
+    /// Attribute the wall time since the previous sub-lap (or since the
+    /// previous phase boundary) to the network sub-phase `sub` and
+    /// advance the sub-lap anchor. A no-op unless the profiler was
+    /// created with net-profiling on, so the per-flit call sites in the
+    /// wormhole path cost one bool branch when disabled. Sub-laps never
+    /// advance the parent phase anchor: the `network` phase still
+    /// receives its full stretch, and the sub-phases tile it from
+    /// inside ([`HostProfile::net_sub_coverage`]).
+    // audit: order-stable — single serial timeline per handle (RefCell),
+    // accumulated in program order; wall-clock values are host-profiling
+    // data, not simulated results
+    #[inline]
+    pub fn net_lap(&self, sub: NetSubPhase) {
+        if !self.netprof {
+            return;
+        }
+        if let Some(state) = &self.state {
+            let mut s = state.borrow_mut();
+            let now = Instant::now();
+            s.net_secs[sub.index()] += now.duration_since(s.last_net).as_secs_f64();
+            s.last_net = now;
         }
     }
 
@@ -231,10 +396,11 @@ impl HostProfiler {
     /// of the handle remain usable (laps keep accumulating), so a sweep
     /// can snapshot per run.
     pub fn finish(&self) -> Option<HostProfile> {
-        self.0.as_ref().map(|state| {
+        self.state.as_ref().map(|state| {
             let s = state.borrow();
             HostProfile {
                 secs: s.secs,
+                net_sub_secs: s.net_secs,
                 total_secs: s.started.elapsed().as_secs_f64(),
             }
         })
@@ -319,5 +485,84 @@ mod tests {
         let names: std::collections::BTreeSet<_> =
             HostPhase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), HostPhase::COUNT, "names are distinct");
+    }
+
+    #[test]
+    fn net_sub_phase_names_and_indices_are_dense_and_stable() {
+        for (i, p) in NetSubPhase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(NetSubPhase::RouteCompute.name(), "route_compute");
+        assert_eq!(NetSubPhase::SkipScan.name(), "skip_scan");
+        let names: std::collections::BTreeSet<_> =
+            NetSubPhase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), NetSubPhase::COUNT, "names are distinct");
+    }
+
+    #[test]
+    fn net_lap_is_inert_without_netprof() {
+        let p = HostProfiler::enabled();
+        assert!(p.is_enabled());
+        assert!(!p.netprof_enabled());
+        p.net_lap(NetSubPhase::RouteCompute);
+        p.lap(HostPhase::Network);
+        let profile = p.finish().expect("enabled");
+        assert_eq!(profile.net_tracked_secs(), 0.0);
+        assert_eq!(profile.net_phases().count(), 0);
+        // With no sub-laps recorded, coverage degrades to 0 only if the
+        // network phase saw time — which it did here.
+        assert!(profile.phase_secs(HostPhase::Network) > 0.0);
+        assert_eq!(profile.net_sub_coverage(), 0.0);
+        // Disabled handles are also inert.
+        HostProfiler::disabled().net_lap(NetSubPhase::Credit);
+    }
+
+    #[test]
+    fn net_laps_tile_the_network_phase() {
+        let p = HostProfiler::enabled_with_netprof(true);
+        assert!(p.netprof_enabled());
+        let spin = || {
+            let t = Instant::now();
+            while t.elapsed().as_micros() < 1_000 {
+                std::hint::black_box(0u64);
+            }
+        };
+        // A non-network stretch first: its time must not leak into the
+        // sub-phase accumulators because lap() resets the sub anchor.
+        spin();
+        p.lap(HostPhase::Replay);
+        // Network stretch, tiled by sub-laps.
+        spin();
+        p.net_lap(NetSubPhase::RouteCompute);
+        spin();
+        p.net_lap(NetSubPhase::QueueOps);
+        p.lap(HostPhase::Network);
+        let profile = p.finish().expect("enabled");
+        assert!(profile.net_sub(NetSubPhase::RouteCompute) > 0.0);
+        assert!(profile.net_sub(NetSubPhase::QueueOps) > 0.0);
+        assert_eq!(profile.net_sub(NetSubPhase::HubArb), 0.0);
+        assert_eq!(profile.net_phases().count(), 2);
+        // Sub-laps tile the network stretch from inside: they can never
+        // exceed it, and here they cover nearly all of it.
+        let net = profile.phase_secs(HostPhase::Network);
+        assert!(profile.net_tracked_secs() <= net + 1e-9);
+        assert!(
+            profile.net_sub_coverage() > 0.95,
+            "sub coverage {} of {net}s",
+            profile.net_sub_coverage()
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_net_sub_secs() {
+        let mut a = HostProfile::zero();
+        let mut b = HostProfile::zero();
+        b.net_sub_secs[NetSubPhase::Credit.index()] = 0.25;
+        b.secs[HostPhase::Network.index()] = 0.5;
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.net_sub(NetSubPhase::Credit), 0.5);
+        assert!((a.net_sub_coverage() - 0.5).abs() < 1e-12);
+        assert_eq!(HostProfile::zero().net_sub_coverage(), 1.0);
     }
 }
