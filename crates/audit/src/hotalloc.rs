@@ -82,13 +82,20 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
             "hub_out_ready",
             "inject_expanded_broadcast",
             "inject_tree_broadcast",
+            "note_ready",
+            "dest_xy",
+            "xy_toward",
             "route_port",
             "is_idle",
+            "next_event",
             "drain_deliveries",
             "tick",
-            "collect_sources",
+            "buf_front",
+            "buf_push",
+            "buf_pop",
             "peek",
             "tick_router",
+            "service",
             "forward_flit",
             "continues_at",
             "on_tail_arrival",
@@ -104,6 +111,7 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
             "accept",
             "is_idle",
             "drain_deliveries",
+            "next_event",
             "tick",
             "tick_senders",
             "dest_range",
@@ -119,6 +127,7 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
             "tick",
             "drain_deliveries",
             "is_idle",
+            "next_event",
         ],
     ),
     (

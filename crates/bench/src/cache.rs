@@ -56,6 +56,20 @@ pub fn netprof_enabled() -> bool {
     matches!(std::env::var("ATAC_NETPROF").as_deref(), Ok(v) if v != "0")
 }
 
+/// Network sub-phase lap sampling period for bench runs, as a power of
+/// two (`ATAC_NETPROF_SAMPLE_LOG2`, default 4 = clock one tick in 16 and
+/// scale up). Sampling eliminates nearly all of the netprof host-clock
+/// overhead; set to `0` to time every tick exactly. Sampling only
+/// affects the host-side sub-phase seconds — the integer cycle-domain
+/// counters stay exact either way.
+pub fn netprof_sample_log2() -> u32 {
+    std::env::var("ATAC_NETPROF_SAMPLE_LOG2")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .min(16)
+}
+
 /// How a requested run record was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunSource {
@@ -208,6 +222,7 @@ impl RunCache {
             None => {
                 let prof = if profiling_enabled() {
                     HostProfiler::enabled_with_netprof(netprof_enabled())
+                        .with_net_sampling(netprof_sample_log2())
                 } else {
                     HostProfiler::disabled()
                 };

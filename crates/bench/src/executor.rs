@@ -460,15 +460,16 @@ fn netprof_json(p: &NetProfile) -> String {
         .collect();
     format!(
         "{{\"cycles\": {}, \"ticks\": {}, \"skipped\": {}, \"jumps\": {}, \
-         \"wake_core\": {}, \"wake_mem\": {}, \"epochs\": {}, \"coalesced\": {}, \
-         \"max_epoch_span\": {}, \"hub_unicast\": [{}], \"hub_broadcast\": [{}], \
-         \"links\": [{}], \"routers\": [{}]}}",
+         \"wake_core\": {}, \"wake_mem\": {}, \"wake_net\": {}, \"epochs\": {}, \
+         \"coalesced\": {}, \"max_epoch_span\": {}, \"hub_unicast\": [{}], \
+         \"hub_broadcast\": [{}], \"links\": [{}], \"routers\": [{}]}}",
         p.cycles,
         p.ticks_executed,
         p.cycles_skipped,
         p.skip_jumps,
         p.wake_core,
         p.wake_mem,
+        p.wake_net,
         p.epochs_closed,
         p.coalesced_epochs,
         p.max_epoch_span,

@@ -27,7 +27,9 @@ pub mod executor;
 pub mod plans;
 pub mod runjson;
 
-pub use cache::{netprof_enabled, profiling_enabled, publish_atomic, RunCache, RunSource};
+pub use cache::{
+    netprof_enabled, netprof_sample_log2, profiling_enabled, publish_atomic, RunCache, RunSource,
+};
 pub use executor::{jobs_from_env, RunPlan, RunTiming, SweepLog, SweepReport};
 
 /// A cached full-system run: everything needed to recompute energy under

@@ -27,6 +27,7 @@ pub enum SharerSet {
 impl SharerSet {
     /// A set containing exactly one sharer.
     pub fn one(c: CoreId) -> Self {
+        // audit: allow(alloc) ACKwise pointer list holds ≤ k entries
         SharerSet::Ptrs(vec![c])
     }
 
@@ -59,7 +60,7 @@ impl SharerSet {
                     return false;
                 }
                 if v.len() < k {
-                    v.push(c);
+                    v.push(c); // audit: allow(alloc) pointer list capped at k; capacity amortized
                     false
                 } else {
                     *self = SharerSet::Overflow {

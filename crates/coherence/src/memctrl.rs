@@ -67,7 +67,7 @@ impl<T> MemCtrl<T> {
         } else {
             self.reads += 1;
         }
-        self.inflight.push_back((done, op));
+        self.inflight.push_back((done, op)); // audit: allow(alloc) MSHR-bounded in-flight queue; capacity amortized
         done
     }
 
@@ -77,6 +77,7 @@ impl<T> MemCtrl<T> {
             if done > now {
                 break;
             }
+            // audit: allow(alloc) caller-reused drain buffer; capacity amortized
             out.push(self.inflight.pop_front().expect("front exists").1); // audit: allow(expect) pop follows the front() readiness check
         }
     }

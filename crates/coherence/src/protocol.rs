@@ -134,6 +134,7 @@ impl PayloadTable {
             self.slots[i as usize] = Some((p, deliveries));
             i
         } else {
+            // audit: allow(alloc) slab grows to the live-payload peak, then recycles
             self.slots.push(Some((p, deliveries)));
             (self.slots.len() - 1) as u32 // audit: allow(cast) slab index bounded by live payload cap
         };
@@ -149,7 +150,7 @@ impl PayloadTable {
         *refs -= 1;
         if *refs == 0 {
             self.slots[idx] = None;
-            self.free.push(idx as u32); // audit: allow(cast) slab index bounded by live payload cap
+            self.free.push(idx as u32); // audit: allow(cast) slab index bounded by live payload cap; audit: allow(alloc) free list ≤ slab size
         }
         out
     }

@@ -313,7 +313,7 @@ impl MemorySystem {
     /// Advance memory controllers: emit `MemData` replies whose access
     /// latency elapsed by `now`.
     pub fn memctrl_tick(&mut self, now: Cycle) {
-        let mut done = Vec::new();
+        let mut done = Vec::new(); // audit: allow(alloc) capacity-free; reused across controllers in the loop
         for cl in 0..self.memctrls.len() {
             if self.memctrls[cl].next_event().is_none_or(|t| t > now) {
                 continue;
@@ -421,6 +421,7 @@ impl MemorySystem {
                     // A broadcast sent before this unicast is still in
                     // flight: hold (paper §IV-C-1).
                     self.stats.seq_buffered_unicasts += 1;
+                    // audit: allow(alloc) hold queue bounded by in-flight unicasts; amortized
                     self.cores[receiver.idx()].held.push_back(p);
                 } else {
                     self.core_msg(receiver, p);
@@ -431,6 +432,7 @@ impl MemorySystem {
                     let home = d.msg.src;
                     if seq_newer(p.seq, self.cores[receiver.idx()].last_bcast[home.idx()]) {
                         self.stats.seq_buffered_unicasts += 1;
+                        // audit: allow(alloc) hold queue bounded by in-flight unicasts; amortized
                         self.cores[receiver.idx()].held.push_back(p);
                     } else {
                         self.core_msg(receiver, p);
@@ -470,7 +472,7 @@ impl MemorySystem {
                 self.stats.l2_accesses += 1;
                 cm.l2.set_state(p.addr, LineState::M);
                 cm.l1d.fill(p.addr, LineState::M);
-                self.completions.push(core);
+                self.completions.push(core); // audit: allow(alloc) ≤ one entry per core; drained every cycle
             }
             CohKind::Inv => self.core_inv(core, p, false),
             CohKind::WbReq => {
@@ -533,7 +535,7 @@ impl MemorySystem {
         self.stats.l2_accesses += 1;
         let victim = cm.l2.fill(p.addr, state);
         cm.l1d.fill(p.addr, state);
-        self.completions.push(core);
+        self.completions.push(core); // audit: allow(alloc) ≤ one entry per core; drained every cycle
         self.handle_victim(core, victim);
 
         if let Some(b) = m.buffered_bcast {
@@ -705,6 +707,7 @@ impl MemorySystem {
         self.stats.dir_lookups += 1;
         let entry = self.dir.entry(addr).or_default();
         if entry.state.is_transient() {
+            // audit: allow(alloc) waiter queue bounded by outstanding MSHRs; amortized
             entry.waiting.push_back(req);
             return;
         }
@@ -714,7 +717,7 @@ impl MemorySystem {
     /// Process one request against a stable entry.
     fn dir_process(&mut self, addr: Addr, req: WaitingReq) {
         let home = addr.home(&self.topo);
-        let state = self.dir.get(&addr).expect("entry exists").state.clone(); // audit: allow(expect) caller verified the directory entry exists
+        let state = self.dir.get(&addr).expect("entry exists").state.clone(); // audit: allow(expect) caller verified the directory entry exists; audit: allow(alloc) k-pointer state copy
         self.stats.dir_updates += 1;
         match (state, req.ex) {
             (DirState::Uncached, ex) => {
@@ -778,7 +781,7 @@ impl MemorySystem {
                             .iter()
                             .copied()
                             .filter(|&c| c != req.requester)
-                            .collect();
+                            .collect(); // audit: allow(alloc) invalidation target list ≤ k pointers
                         debug_assert!(!targets.is_empty());
                         let needed = targets.len() as u32; // audit: allow(cast) sharer count ≤ cores ≤ 1024
                         for t in &targets {
@@ -894,6 +897,7 @@ impl MemorySystem {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
         let entry = self.dir.get_mut(&addr).expect("mem data for live entry"); // audit: allow(expect) entry stays live while memory data is in flight
+                                                                               // audit: allow(alloc) k-pointer state copy; entry is mutated below
         match entry.state.clone() {
             DirState::WaitMem { requester, ex } => {
                 let (kind, st) = if ex {
@@ -984,6 +988,7 @@ impl MemorySystem {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
         let entry = self.dir.get_mut(&addr).expect("dirty evict for live entry"); // audit: allow(expect) dirty evictions come from a tracked M holder
+                                                                                  // audit: allow(alloc) k-pointer state copy; entry is mutated below
         match entry.state.clone() {
             DirState::Modified(owner) => {
                 assert_eq!(owner, from);
@@ -1014,6 +1019,7 @@ impl MemorySystem {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
         let entry = self.dir.get(&addr).expect("wb data for live entry"); // audit: allow(expect) writeback data answers a live WbReq
+                                                                          // audit: allow(alloc) k-pointer state copy; entry is mutated below
         match entry.state.clone() {
             DirState::WaitWb { requester, owner } => {
                 self.mem_write(home, addr, now);
@@ -1031,6 +1037,7 @@ impl MemorySystem {
         self.stats.dir_lookups += 1;
         let home = addr.home(&self.topo);
         let entry = self.dir.get(&addr).expect("flush data for live entry"); // audit: allow(expect) flush data answers a live FlushReq
+                                                                             // audit: allow(alloc) k-pointer state copy; entry is mutated below
         match entry.state.clone() {
             DirState::WaitFlush { requester, .. } => {
                 self.set_dir(addr, DirState::Modified(requester));
@@ -1143,6 +1150,7 @@ impl MemorySystem {
             },
             deliveries,
         );
+        // audit: allow(alloc) outbox bounded by outstanding transactions; amortized
         self.outbox[src.idx()].push_back(Message {
             src,
             dest,
@@ -1152,7 +1160,7 @@ impl MemorySystem {
         self.outbox_msgs += 1;
         if !self.outbox_is_active[src.idx()] {
             self.outbox_is_active[src.idx()] = true;
-            self.outbox_active.push(src.0);
+            self.outbox_active.push(src.0); // audit: allow(alloc) active list ≤ one entry per core
         }
     }
 

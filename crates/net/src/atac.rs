@@ -68,6 +68,23 @@ pub trait Network {
     fn drain_deliveries(&mut self, out: &mut Vec<Delivery>);
     /// No traffic anywhere in the network.
     fn is_idle(&self) -> bool;
+    /// Earliest future cycle (> `now`) at which ticking this network
+    /// could change its state, or `None` when idle. Returning an early
+    /// cycle only costs a no-op tick; returning a *late* one would let
+    /// the engine skip over state evolution, so implementations must be
+    /// conservative. The default is maximally conservative: every cycle
+    /// while any traffic is in flight.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(now + 1)
+        }
+    }
+    /// Flush batched observer counters to the attached observer
+    /// (default: nothing batched). Called once per run, after the final
+    /// tick and before the observer is read.
+    fn flush_obs(&mut self) {}
     /// Flit width in bits.
     fn flit_width(&self) -> u32;
     /// Number of cores the network connects.
@@ -108,6 +125,12 @@ impl Network for Mesh {
     }
     fn is_idle(&self) -> bool {
         Mesh::is_idle(self)
+    }
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Mesh::next_event(self, now)
+    }
+    fn flush_obs(&mut self) {
+        Mesh::flush_obs(self);
     }
     fn flit_width(&self) -> u32 {
         Mesh::flit_width(self)
@@ -261,6 +284,21 @@ impl Network for AtacNet {
 
     fn is_idle(&self) -> bool {
         self.enet.is_idle() && self.onet.is_idle()
+    }
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // A ready hub-out flit must transfer into the ONet on the very
+        // next tick, and both sub-networks evolve independently — take
+        // the earliest of the two horizons.
+        let e = self.enet.next_event(now);
+        let o = self.onet.next_event(now);
+        match (e, o) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+    fn flush_obs(&mut self) {
+        self.enet.flush_obs();
     }
 
     fn flit_width(&self) -> u32 {

@@ -180,6 +180,7 @@ impl Onet {
             }
             Dest::Broadcast => DestHubs::All,
         };
+        // audit: allow(alloc) HUB_TX_CAP-bounded queue; capacity is amortized after warm-up
         self.links[cluster.idx()].q.push_back(TxMsg {
             msg,
             inject,
@@ -199,6 +200,42 @@ impl Onet {
     /// Move deliveries accumulated since the last call into `out`.
     pub fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
         out.append(&mut self.deliveries);
+    }
+
+    /// Earliest future cycle at which ticking the ONet could change its
+    /// state, or `None` when idle. Never *later* than the true next
+    /// state change (an early return only costs a no-op tick), so the
+    /// engine may jump straight to it.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut t = Cycle::MAX;
+        for l in &self.links {
+            match l.state {
+                // The link retires (and the next queued message may
+                // start) on the first tick after the last data cycle.
+                LinkState::Busy { until } => t = t.min(until + 1),
+                LinkState::Idle => {
+                    // A queued message starts as soon as its receive
+                    // reservations fit; that depends on receiver-side
+                    // drain progress, so stay conservative.
+                    if !l.q.is_empty() {
+                        t = t.min(now + 1);
+                    }
+                }
+            }
+        }
+        for r in &self.rx {
+            if let Some(head) = r.q.front() {
+                // Flit `forwarded` becomes forwardable once it has
+                // propagated the ring (see `tick_receivers`).
+                t = t.min(head.start + ONET_LINK_DELAY + Cycle::from(head.forwarded));
+            }
+        }
+        if t == Cycle::MAX {
+            debug_assert!(self.is_idle());
+            None
+        } else {
+            Some(t.max(now + 1))
+        }
     }
 
     /// Advance one cycle: start new transmissions where possible, then
@@ -260,6 +297,7 @@ impl Onet {
             });
             for d in self.dest_range(tx.dest) {
                 self.rx[d].reserved_flits += u32::from(tx.len);
+                // audit: allow(alloc) reservation-bounded (≤ HUB_RX_CAP flits); capacity amortized
                 self.rx[d].q.push_back(RxPacket {
                     msg: tx.msg,
                     inject: tx.inject,
@@ -338,6 +376,7 @@ impl Onet {
                     inject: pkt.inject,
                     at,
                 });
+                // audit: allow(alloc) drained every cycle; capacity is amortized
                 self.deliveries.push(Delivery {
                     msg: pkt.msg,
                     receiver: d,
@@ -361,6 +400,7 @@ impl Onet {
                         inject: pkt.inject,
                         at,
                     });
+                    // audit: allow(alloc) drained every cycle; capacity is amortized
                     self.deliveries.push(Delivery {
                         msg: pkt.msg,
                         receiver: c,

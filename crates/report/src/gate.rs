@@ -155,6 +155,12 @@ pub struct KeyReport {
 pub struct GateReport {
     /// Per-key reports, baseline order then new keys.
     pub keys: Vec<KeyReport>,
+    /// Sweep-level network-phase perf guard: the merged self-profile's
+    /// `network` host seconds against the baseline sweeps' recorded
+    /// samples, under the same MAD noise bounds as the per-key host
+    /// checks. `None` when either side lacks netprof host data.
+    /// Advisory unless `strict_host`.
+    pub net_phase: Option<HostCheck>,
 }
 
 /// The exact-comparison metrics: `(name, extractor, any_change_is_worse)`.
@@ -279,7 +285,37 @@ pub fn compare(baseline: &History, current: &SweepDoc, cfg: &GateConfig) -> Gate
         }
     }
 
-    GateReport { keys }
+    // Sweep-level network-phase guard: trend the host seconds the merged
+    // self-profile attributes to the `network` phase against the samples
+    // recorded on earlier sweeps' netprof history lines.
+    let net_phase = current
+        .self_profile
+        .as_ref()
+        .and_then(|p| {
+            p.phases
+                .iter()
+                .find(|(name, _)| name == "network")
+                .map(|&(_, secs)| secs)
+        })
+        .and_then(|cur_secs| {
+            let samples: Vec<f64> = baseline.netprofs().filter_map(|n| n.net_secs).collect();
+            if samples.is_empty() {
+                return None;
+            }
+            let (med, mad) = median_mad(&samples);
+            let tolerance = (cfg.host_mads * mad)
+                .max(cfg.host_rel_floor * med)
+                .max(cfg.host_abs_floor);
+            Some(HostCheck {
+                median: med,
+                mad,
+                samples: samples.len(),
+                cur: cur_secs,
+                bound: med + tolerance,
+            })
+        });
+
+    GateReport { keys, net_phase }
 }
 
 impl GateReport {
@@ -296,9 +332,11 @@ impl GateReport {
             .collect()
     }
 
-    /// Does the gate pass under `cfg`?
+    /// Does the gate pass under `cfg`? The sweep-level network-phase
+    /// guard is advisory (warn-only) unless `strict_host`.
     pub fn passed(&self, cfg: &GateConfig) -> bool {
         self.failures(cfg).is_empty()
+            && !(cfg.strict_host && self.net_phase.as_ref().is_some_and(HostCheck::regressed))
     }
 
     /// Count of keys with the given verdict.
@@ -343,6 +381,21 @@ impl GateReport {
                 );
             }
             let _ = writeln!(out, "{:key_w$}  {:9}  {detail}", k.key, k.verdict.label());
+        }
+        if let Some(h) = &self.net_phase {
+            let _ = writeln!(
+                out,
+                "network phase: {:.2}s vs median {:.2}s (bound {:.2}s, n={}){}",
+                h.cur,
+                h.median,
+                h.bound,
+                h.samples,
+                if h.regressed() {
+                    "  ** exceeds noise bound **"
+                } else {
+                    ""
+                }
+            );
         }
         out
     }
@@ -448,6 +501,39 @@ mod tests {
             ..GateConfig::default()
         };
         assert!(!report.passed(&strict));
+    }
+
+    #[test]
+    fn network_phase_guard_warns_on_regression_and_fails_under_strict() {
+        let (h, mut doc) = baseline();
+        let lax = GateConfig::default();
+        // Identical sweep: the guard is armed (fixture carries a
+        // `network` phase) and within bounds.
+        let report = compare(&h, &doc, &lax);
+        let check = report.net_phase.as_ref().expect("guard armed");
+        assert!(!check.regressed(), "{}", report.table());
+        assert!((check.median - 2.5).abs() < 1e-12);
+        // Blow past median + max(5 MADs, 35%, 2s) on the network phase.
+        if let Some(p) = doc.self_profile.as_mut() {
+            for (name, secs) in &mut p.phases {
+                if name == "network" {
+                    *secs = 100.0;
+                }
+            }
+        }
+        let report = compare(&h, &doc, &lax);
+        assert!(report.net_phase.as_ref().is_some_and(HostCheck::regressed));
+        assert!(report.passed(&lax), "advisory by default");
+        assert!(report.table().contains("exceeds noise bound"));
+        let strict = GateConfig {
+            strict_host: true,
+            ..GateConfig::default()
+        };
+        assert!(!report.passed(&strict));
+        // A baseline with no netprof host samples disarms the guard.
+        let bare = History::default();
+        let report = compare(&bare, &doc, &lax);
+        assert_eq!(report.net_phase, None);
     }
 
     #[test]

@@ -91,6 +91,9 @@ pub struct NetProfEntry {
     pub wake_core: u64,
     /// Jumps woken by a memory-controller event.
     pub wake_mem: u64,
+    /// Jumps woken by the network's own event horizon (absent — 0 — on
+    /// lines written before the mesh skip-ahead overhaul).
+    pub wake_net: u64,
     /// Epoch samples a skip-ahead jump coalesced.
     pub coalesced: u64,
     /// Longest single epoch span in cycles.
@@ -98,6 +101,10 @@ pub struct NetProfEntry {
     /// Fraction of the host `network` phase the sub-phase laps tile
     /// (absent when host profiling was off).
     pub net_coverage: Option<f64>,
+    /// Host seconds the sweep's merged self-profile attributes to the
+    /// `network` phase — the perf-guard sample the CI sweep trends
+    /// (absent when host profiling was off or on older lines).
+    pub net_secs: Option<f64>,
 }
 
 /// A decoded history line.
@@ -198,9 +205,16 @@ pub fn lines_from_sweep(doc: &SweepDoc, sha: &str) -> Vec<HistoryLine> {
             jumps: np.skip_jumps,
             wake_core: np.wake_core,
             wake_mem: np.wake_mem,
+            wake_net: np.wake_net,
             coalesced: np.coalesced_epochs,
             max_epoch_span: np.max_epoch_span,
             net_coverage: doc.self_profile.as_ref().and_then(|p| p.net_coverage),
+            net_secs: doc.self_profile.as_ref().and_then(|p| {
+                p.phases
+                    .iter()
+                    .find(|(name, _)| name == "network")
+                    .map(|&(_, secs)| secs)
+            }),
         }));
     }
     for s in &doc.summaries {
@@ -296,8 +310,8 @@ pub fn encode_line(line: &HistoryLine) -> String {
             let mut out = format!(
                 "{{\"schema\": \"{HISTORY_SCHEMA}\", \"kind\": \"netprof\", \"sha\": \"{}\", \
                  \"flits_routed\": {}, \"credit_stalls\": {}, \"ticks\": {}, \"skipped\": {}, \
-                 \"jumps\": {}, \"wake_core\": {}, \"wake_mem\": {}, \"coalesced\": {}, \
-                 \"max_epoch_span\": {}",
+                 \"jumps\": {}, \"wake_core\": {}, \"wake_mem\": {}, \"wake_net\": {}, \
+                 \"coalesced\": {}, \"max_epoch_span\": {}",
                 escape(&n.sha),
                 n.flits_routed,
                 n.credit_stalls,
@@ -306,11 +320,15 @@ pub fn encode_line(line: &HistoryLine) -> String {
                 n.jumps,
                 n.wake_core,
                 n.wake_mem,
+                n.wake_net,
                 n.coalesced,
                 n.max_epoch_span,
             );
             if let Some(cov) = n.net_coverage {
                 out.push_str(&format!(", \"net_coverage\": {cov:?}"));
+            }
+            if let Some(secs) = n.net_secs {
+                out.push_str(&format!(", \"net_secs\": {secs:?}"));
             }
             out.push('}');
             out
@@ -372,9 +390,14 @@ pub fn decode_line(text: &str) -> Result<Option<HistoryLine>, String> {
                 jumps: req("jumps")?,
                 wake_core: req("wake_core")?,
                 wake_mem: req("wake_mem")?,
+                // Optional: lines predating the mesh skip-ahead
+                // overhaul lack the network wake cause and the
+                // perf-guard seconds.
+                wake_net: obj.get("wake_net").and_then(Json::as_u64).unwrap_or(0),
                 coalesced: req("coalesced")?,
                 max_epoch_span: req("max_epoch_span")?,
                 net_coverage: obj.get("net_coverage").and_then(Json::as_f64),
+                net_secs: obj.get("net_secs").and_then(Json::as_f64),
             })))
         }
         Some(_) => Ok(None), // a newer writer's kind: skip, don't fail

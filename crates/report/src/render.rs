@@ -188,18 +188,31 @@ fn netmap_skip_table(np: &NetProfile, out: &mut String) {
     let _ = writeln!(out, "| metric | value |");
     let _ = writeln!(out, "|---|---|");
     let _ = writeln!(out, "| cycles simulated | {} |", np.cycles);
-    let _ = writeln!(out, "| ticks executed | {} |", np.ticks_executed);
     let _ = writeln!(
         out,
-        "| cycles skipped | {} ({:.1}% of advanced time) |",
+        "| router-cycles simulated | {} ({} routers) |",
+        np.router_cycles(),
+        np.routers.len()
+    );
+    let _ = writeln!(out, "| router ticks executed | {} |", np.router_ticks());
+    let _ = writeln!(
+        out,
+        "| cycles skipped (per-router horizon) | {} ({:.1}% of router time) |",
+        np.router_cycles_skipped(),
+        np.router_skip_fraction() * 100.0
+    );
+    let _ = writeln!(out, "| network ticks executed | {} |", np.ticks_executed);
+    let _ = writeln!(
+        out,
+        "| cycles skipped (whole-network gaps) | {} ({:.1}% of advanced time) |",
         np.cycles_skipped,
         np.skip_fraction() * 100.0
     );
     let _ = writeln!(out, "| skip-ahead jumps | {} |", np.skip_jumps);
     let _ = writeln!(
         out,
-        "| wakeups (core / mem) | {} / {} |",
-        np.wake_core, np.wake_mem
+        "| wakeups (core / mem / net) | {} / {} / {} |",
+        np.wake_core, np.wake_mem, np.wake_net
     );
     let _ = writeln!(
         out,
@@ -511,6 +524,9 @@ mod tests {
             "# ATAC network microscope",
             "## Skip-ahead efficacy",
             "| skip-ahead jumps | 150 |",
+            // 2 routers × 500000 cycles, 90000 + 45000 active.
+            "| router-cycles simulated | 1000000 (2 routers) |",
+            "| cycles skipped (per-router horizon) | 865000 (86.5% of router time) |",
             "## Network sub-phase attribution",
             "route_compute",
             "## Router heat",

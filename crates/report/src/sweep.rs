@@ -216,6 +216,9 @@ pub(crate) fn parse_netprof(obj: &Json) -> Option<NetProfile> {
     p.skip_jumps = get_u64(obj, "jumps")?;
     p.wake_core = get_u64(obj, "wake_core")?;
     p.wake_mem = get_u64(obj, "wake_mem")?;
+    // Optional: absent on documents written before the mesh skip-ahead
+    // overhaul introduced the network wake cause.
+    p.wake_net = get_u64(obj, "wake_net").unwrap_or(0);
     p.epochs_closed = get_u64(obj, "epochs")?;
     p.coalesced_epochs = get_u64(obj, "coalesced")?;
     p.max_epoch_span = get_u64(obj, "max_epoch_span")?;

@@ -169,10 +169,13 @@ pub fn run_observed(
 
     let mut net = cfg.build_network();
     let mut ms = MemorySystem::new(cfg.topo, cfg.protocol);
+    // audit: allow(alloc) one-time setup before the cycle loop
     net.set_probe(probe.clone());
+    // audit: allow(alloc) one-time setup before the cycle loop
     ms.set_probe(probe.clone());
     // The memory system laps its own phases (outbox flush → Coherence,
     // controller tick → Memctrl) on the shared timeline.
+    // audit: allow(alloc) one-time setup before the cycle loop
     ms.set_profiler(prof.clone());
     // The network laps its own sub-phases (route compute, switch
     // arbitration, credits, queue ops, hub arbitration, skip-scan) and
@@ -183,23 +186,40 @@ pub fn run_observed(
     net.set_observer(obs.clone());
     let mut sampler = epoch_cycles
         .filter(|_| probe.is_enabled())
-        .map(|every| EpochSampler::new(every.max(1), cfg));
+        .map(|_| EpochSampler::new(cfg));
+    // The epoch grid is owned by the engine (not the sampler) so the
+    // skip-ahead observer sees epoch closes even when only the network
+    // observer is attached — e.g. netprof bench runs with no trace
+    // probe, which previously reported zero epochs forever.
+    let mut grid = (obs.is_enabled() || sampler.is_some()).then(|| {
+        let every = epoch_cycles.unwrap_or(10_000).max(1);
+        EpochGrid {
+            every,
+            start: 0,
+            next: every,
+        }
+    });
     let mut cores: Vec<CoreCtx> = (0..n)
         .map(|_| CoreCtx {
             pc: 0,
             state: CoreState::Scheduled,
             instrs: 0,
         })
-        .collect();
+        .collect(); // audit: allow(alloc) one-time setup before the cycle loop
 
     // (wake cycle, core) min-heap.
     let mut heap: BinaryHeap<Reverse<(Cycle, u16)>> =
-        (0..n as u16).map(|c| Reverse((0, c))).collect(); // audit: allow(cast) core count ≤ 1024 fits u16
-    let mut at_barrier: Vec<u16> = Vec::new();
+        (0..n as u16).map(|c| Reverse((0, c))).collect(); // audit: allow(cast) core count ≤ 1024 fits u16; audit: allow(alloc) one-time setup
+    let mut at_barrier: Vec<u16> = Vec::new(); // audit: allow(alloc) capacity-free; grows to ≤ n once
     let mut running = n; // cores not Done
-    let mut deliveries: Vec<Delivery> = Vec::new();
-    let mut completed: Vec<CoreId> = Vec::new();
+    let mut deliveries: Vec<Delivery> = Vec::new(); // audit: allow(alloc) capacity-free; reused across cycles
+    let mut completed: Vec<CoreId> = Vec::new(); // audit: allow(alloc) capacity-free; reused across cycles
     let mut now: Cycle = 0;
+    // The network's next-event horizon, recomputed after every real
+    // tick. `Some(0)` forces the first tick; afterwards the network is
+    // ticked only when the horizon arrives or the coherence outbox may
+    // inject — every gated-out tick would have been a pure no-op.
+    let mut net_horizon: Option<Cycle> = Some(0);
     prof.lap(HostPhase::Setup);
 
     while running > 0 {
@@ -221,6 +241,7 @@ pub fn run_observed(
                     match op {
                         Op::Compute(instrs) => {
                             let lat = ifetch(&mut ms, c, &mut cores[ci], instrs.max(1));
+                            // audit: allow(alloc) heap capacity peaks at n; pushes amortize
                             heap.push(Reverse((
                                 now + Cycle::from(instrs.max(1)) + Cycle::from(lat),
                                 c,
@@ -231,6 +252,7 @@ pub fn run_observed(
                             let flat = ifetch(&mut ms, c, &mut cores[ci], 1);
                             match ms.access(CoreId(c), a, write) {
                                 AccessResult::Hit(lat) => {
+                                    // audit: allow(alloc) heap capacity peaks at n; pushes amortize
                                     heap.push(Reverse((now + Cycle::from(lat + flat), c)));
                                 }
                                 AccessResult::Miss => {
@@ -245,10 +267,11 @@ pub fn run_observed(
                         }
                         Op::Barrier => {
                             cores[ci].state = CoreState::AtBarrier;
-                            at_barrier.push(c);
+                            at_barrier.push(c); // audit: allow(alloc) bounded by n; capacity amortized
                             if at_barrier.len() == running {
                                 for &b in &at_barrier {
                                     cores[b as usize].state = CoreState::Scheduled;
+                                    // audit: allow(alloc) heap capacity peaks at n; pushes amortize
                                     heap.push(Reverse((now + 1, b)));
                                 }
                                 at_barrier.clear();
@@ -262,12 +285,34 @@ pub fn run_observed(
         prof.lap(HostPhase::Replay);
 
         // --- network + memory subsystem ---
+        // Tick the network only when it can actually act: the horizon
+        // computed at the last tick has arrived, or the coherence
+        // outbox may inject new flits this cycle. [`Network::next_event`]
+        // is never later than the next real state change, so a gated-out
+        // tick would have been a pure no-op — results stay bit-identical
+        // while idle network stretches cost nothing, even when cores
+        // keep the clock stepping one cycle at a time.
+        let may_inject = ms.outbox_pending();
         ms.flush_outbox(net.as_mut(), now); // laps Coherence internally
-        net.tick(now);
-        net.drain_deliveries(&mut deliveries);
-        // Attribute the delivery drain (and any untracked remainder of
-        // the network stretch) so the sub-phases tile the Network lap.
-        prof.net_lap(NetSubPhase::QueueOps);
+        let net_ticked = may_inject || net_horizon.is_some_and(|h| h <= now);
+        if net_ticked {
+            prof.net_tick(); // announce the tick; decide sub-lap sampling
+            net.tick(now);
+            net.drain_deliveries(&mut deliveries);
+            // Attribute the delivery drain (and any untracked remainder
+            // of the network stretch) so the sub-phases tile the
+            // Network lap.
+            prof.net_lap(NetSubPhase::QueueOps);
+            // A still-pending outbox forces a tick at `now + 1` no
+            // matter what the network says, so the horizon scan can
+            // wait until after that tick. Same tick decisions, one
+            // fewer active-list scan on injection-heavy cycles.
+            net_horizon = if ms.outbox_pending() {
+                Some(now + 1)
+            } else {
+                net.next_event(now)
+            };
+        }
         prof.lap(HostPhase::Network);
         for d in deliveries.drain(..) {
             ms.handle_delivery(&d, now);
@@ -283,63 +328,72 @@ pub fn run_observed(
                 phase: TxnPhase::End,
                 at: now,
             });
+            // audit: allow(alloc) heap capacity peaks at n; pushes amortize
             heap.push(Reverse((now + 1, c.0)));
         }
         prof.lap(HostPhase::Coherence);
 
         // --- advance the clock (skip-ahead when the chip is quiet) ---
-        if !net.is_idle() || ms.outbox_pending() {
-            now += 1;
-            obs.advance(1, AdvanceCause::Tick);
+        // Every subsystem reports the earliest future cycle at which it
+        // can act and the clock jumps straight to the soonest one. The
+        // network's own horizon ([`Network::next_event`]) is never later
+        // than its next real state change, so jumping over the gap skips
+        // only no-op ticks — the run stays bit-identical. A pending
+        // coherence outbox can inject on the very next cycle, so it pins
+        // the network horizon there.
+        let next_net = if ms.outbox_pending() {
+            Some(now + 1)
         } else {
-            let next_core = heap.peek().map(|&Reverse((t, _))| t);
-            let next_mem = ms.next_mem_event();
-            match (next_core, next_mem) {
-                (Some(a), Some(b)) => {
-                    let t = a.min(b).max(now + 1);
-                    let cause = if a <= b {
-                        AdvanceCause::WakeCore
+            net_horizon
+        };
+        let next_core = heap.peek().map(|&Reverse((t, _))| t);
+        let next_mem = ms.next_mem_event();
+        let soonest = [next_net, next_core, next_mem].into_iter().flatten().min();
+        match soonest {
+            Some(at) => {
+                let t = at.max(now + 1);
+                let cause = if next_net.is_some_and(|a| a == at) {
+                    if t == now + 1 {
+                        AdvanceCause::Tick
                     } else {
-                        AdvanceCause::WakeMem
-                    };
-                    obs.advance(t - now, cause);
-                    now = t;
-                }
-                (Some(a), None) => {
-                    let t = a.max(now + 1);
-                    obs.advance(t - now, AdvanceCause::WakeCore);
-                    now = t;
-                }
-                (None, Some(b)) => {
-                    let t = b.max(now + 1);
-                    obs.advance(t - now, AdvanceCause::WakeMem);
-                    now = t;
-                }
-                (None, None) => {
-                    if running > 0 {
-                        let blocked: Vec<_> = cores
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, c)| c.state == CoreState::BlockedOnMiss)
-                            .map(|(i, _)| i)
-                            .collect();
-                        panic!(
-                            "deadlock at cycle {now}: {running} cores running, \
-                             blocked={blocked:?}, barrier_waiters={}",
-                            at_barrier.len()
-                        );
+                        AdvanceCause::WakeNet
                     }
-                    break;
+                } else if next_core.is_some_and(|a| a == at) {
+                    AdvanceCause::WakeCore
+                } else {
+                    AdvanceCause::WakeMem
+                };
+                obs.advance(t - now, cause, net_ticked);
+                now = t;
+            }
+            None => {
+                if running > 0 {
+                    let blocked: Vec<_> = cores
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.state == CoreState::BlockedOnMiss)
+                        .map(|(i, _)| i)
+                        .collect(); // audit: allow(alloc) deadlock panic path; never runs on a healthy sim
+                    panic!(
+                        "deadlock at cycle {now}: {running} cores running, \
+                         blocked={blocked:?}, barrier_waiters={}",
+                        at_barrier.len()
+                    );
                 }
+                break;
             }
         }
 
-        // --- epoch sampling (observers only; no simulator state) ---
-        if let Some(s) = sampler.as_mut() {
-            if now >= s.next {
-                let span = now - s.start;
-                obs.epoch(span, span > s.every);
-                s.close_epoch(now, cfg, net.as_ref(), &ms, &cores, &probe);
+        // --- epoch close (observers only; no simulator state) ---
+        if let Some(g) = grid.as_mut() {
+            if now >= g.next {
+                let span = now - g.start;
+                obs.epoch(span, span > g.every);
+                if let Some(s) = sampler.as_mut() {
+                    s.close_epoch(now, cfg, net.as_ref(), &ms, &cores, &probe);
+                }
+                g.start = now;
+                g.next = (now / g.every + 1) * g.every;
             }
         }
         prof.lap(HostPhase::Advance);
@@ -350,15 +404,21 @@ pub fn run_observed(
     let ipc = instructions as f64 / cycles as f64 / n as f64;
     let mut net_stats = net.stats();
     net_stats.cycles = cycles;
-    let coh_stats = ms.stats.clone();
-    // Trailing partial epoch so the time series covers the whole run.
-    if let Some(s) = sampler.as_mut() {
-        if cycles > s.start {
-            let span = cycles - s.start;
-            obs.epoch(span, span > s.every);
-            s.close_epoch(cycles, cfg, net.as_ref(), &ms, &cores, &probe);
+    let coh_stats = ms.stats.clone(); // audit: allow(alloc) one-time end-of-run snapshot
+                                      // Trailing partial epoch so the time series covers the whole run.
+    if let Some(g) = grid.as_mut() {
+        if cycles > g.start {
+            let span = cycles - g.start;
+            obs.epoch(span, span > g.every);
+            if let Some(s) = sampler.as_mut() {
+                s.close_epoch(cycles, cfg, net.as_ref(), &ms, &cores, &probe);
+            }
+            g.start = cycles;
         }
     }
+    // Merge the network's batched per-router/link counters into the
+    // observer before the profile is read.
+    net.flush_obs();
     obs.run_done(cycles);
     let energy = integrate(cfg, &net_stats, &coh_stats, cycles, ipc);
     // Sanitizer: at simulation end everything must have drained — no
@@ -416,6 +476,22 @@ fn coh_delta(cur: &CoherenceStats, prev: &CoherenceStats) -> CoherenceStats {
     d
 }
 
+/// The engine-owned epoch boundary grid: nominal boundaries every
+/// `every` cycles, with a skip-ahead jump that crosses several
+/// boundaries closing one *coalesced* epoch spanning the whole jump.
+/// Active whenever any epoch consumer is attached — the trace sampler,
+/// the network observer, or both — and drives them in lock-step so
+/// their epoch counts always reconcile.
+#[derive(Debug)]
+struct EpochGrid {
+    /// Nominal epoch length in cycles.
+    every: u64,
+    /// First cycle of the currently open epoch.
+    start: Cycle,
+    /// Next nominal boundary to close at.
+    next: Cycle,
+}
+
 /// The engine's epoch sampler: snapshots the event counters every
 /// `every` cycles and emits the delta (plus instantaneous queue/stall
 /// state and the epoch's integrated energy) as an [`EpochSample`].
@@ -428,11 +504,8 @@ fn coh_delta(cur: &CoherenceStats, prev: &CoherenceStats) -> CoherenceStats {
 /// no per-cycle cost beyond one `Option` test.
 #[derive(Debug)]
 struct EpochSampler {
-    /// Nominal epoch length in cycles.
-    every: u64,
-    /// Next nominal boundary to sample at.
-    next: Cycle,
-    /// First cycle of the currently open epoch.
+    /// First cycle of the currently open epoch (boundaries themselves
+    /// are driven by the engine's [`EpochGrid`]).
     start: Cycle,
     prev_net: NetStats,
     prev_coh: CoherenceStats,
@@ -444,10 +517,8 @@ struct EpochSampler {
 }
 
 impl EpochSampler {
-    fn new(every: u64, cfg: &SimConfig) -> Self {
+    fn new(cfg: &SimConfig) -> Self {
         EpochSampler {
-            every,
-            next: every,
             start: 0,
             prev_net: NetStats::default(),
             prev_coh: CoherenceStats::default(),
@@ -503,7 +574,6 @@ impl EpochSampler {
         });
 
         self.start = upto;
-        self.next = (upto / self.every + 1) * self.every;
         self.prev_net = cur_net;
         self.prev_coh = cur_coh;
         self.prev_instrs = instrs;
@@ -736,7 +806,23 @@ mod tests {
         assert!(p.ticks_executed > 0);
         assert!(p.skip_jumps > 0, "skip-ahead never engaged");
         assert_eq!(p.skip_fraction() > 0.0, p.cycles_skipped > 0);
-        assert!(p.wake_core + p.wake_mem >= p.skip_jumps);
+        assert!(p.wake_core + p.wake_mem + p.wake_net >= p.skip_jumps);
+        // The epoch grid runs whenever an observer is attached, and a
+        // run with skip-ahead jumps must coalesce at least one epoch.
+        assert!(p.epochs_closed > 0, "epoch grid never closed an epoch");
+        // The router-granularity ledger tiles router time: every
+        // router-cycle was either a processed tick or skipped by that
+        // router's next-event horizon — and the mesh actually skips
+        // (idle routers are never pulled off the active list).
+        assert_eq!(
+            p.router_ticks() + p.router_cycles_skipped(),
+            p.router_cycles()
+        );
+        assert!(
+            p.router_cycles_skipped() > 0,
+            "per-router skip never engaged"
+        );
+        assert!(p.router_skip_fraction() > 0.0);
         // Router counters reconcile with the run's NetStats: every
         // crossbar traversal was observed, on a router that was active.
         assert_eq!(p.total_flits_routed(), observed.net.xbar_traversals);
@@ -754,6 +840,42 @@ mod tests {
         let hub_total: u64 =
             p.hub_unicast_flits.iter().sum::<u64>() + p.hub_broadcast_flits.iter().sum::<u64>();
         assert!(hub_total > 0);
+    }
+
+    #[test]
+    fn observer_only_runs_still_close_epochs() {
+        // The bench executor attaches a network observer but no trace
+        // probe and no epoch request; the engine-owned grid must still
+        // close (default-length) epochs, and a run whose clock jumps
+        // must coalesce at least one of them. This is the regression
+        // test for the long-standing "epochs closed 0 across every
+        // netprof sweep" hole.
+        use atac_trace::NetProfile;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let cfg = SimConfig::small();
+        let w = Benchmark::Radix.build(cfg.topo.cores(), Scale::Test);
+        let netprof = Rc::new(RefCell::new(NetProfile::new()));
+        let obs = NetObsHandle::attach(Rc::clone(&netprof));
+        let r = run_observed(
+            &cfg,
+            &w,
+            ProbeHandle::default(),
+            None,
+            HostProfiler::default(),
+            obs,
+        );
+
+        let p = netprof.borrow();
+        assert!(p.epochs_closed > 0, "no epochs with observer attached");
+        // Closes land on the default 10k-cycle grid: one per boundary
+        // crossed (jumps can merge several) plus the trailing partial.
+        assert!(p.epochs_closed <= r.cycles / 10_000 + 1);
+        assert!(p.max_epoch_span > 0);
+        // An epoch is coalesced exactly when a jump stretched it past
+        // the nominal length — the ledger and the span witness agree.
+        assert_eq!(p.coalesced_epochs > 0, p.max_epoch_span > 10_000, "{p:?}");
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub enum AdvanceCause {
     WakeCore,
     /// Idle fabric; jumped to the next memory-controller event.
     WakeMem,
+    /// Traffic in flight but nothing ready: jumped to the network's own
+    /// next-event horizon (per-router `next_ready` minimum).
+    WakeNet,
 }
 
 /// Receiver of cycle-domain network observations.
@@ -96,8 +99,12 @@ pub trait NetObserver: fmt::Debug {
     }
 
     /// The engine advanced the clock by `delta` cycles for `cause`.
-    fn advance(&mut self, delta: u64, cause: AdvanceCause) {
-        let _ = (delta, cause);
+    /// `ticked` reports whether the network actually ticked on the
+    /// cycle the advance left from — the engine gates `Network::tick`
+    /// on the next-event horizon, so the clock can step (for a core or
+    /// memory wakeup) across cycles the network never simulates.
+    fn advance(&mut self, delta: u64, cause: AdvanceCause, ticked: bool) {
+        let _ = (delta, cause, ticked);
     }
 
     /// The epoch sampler closed an epoch covering `span` cycles;
@@ -105,6 +112,14 @@ pub trait NetObserver: fmt::Debug {
     /// nominal epoch into the sample.
     fn epoch(&mut self, span: u64, coalesced: bool) {
         let _ = (span, coalesced);
+    }
+
+    /// A layer flushed a batch of locally-accumulated counters. Hot
+    /// paths that would otherwise cross the observer boundary per event
+    /// (per router tick, per flit) may instead accumulate into a private
+    /// [`NetProfile`] and hand it over in bulk — typically once per run.
+    fn profile_part(&mut self, part: &NetProfile) {
+        let _ = part;
     }
 
     /// The run finished after `cycles` simulated cycles.
@@ -188,9 +203,17 @@ impl NetObsHandle {
 
     /// Forward a clock advance.
     #[inline]
-    pub fn advance(&self, delta: u64, cause: AdvanceCause) {
+    pub fn advance(&self, delta: u64, cause: AdvanceCause, ticked: bool) {
         if let Some(o) = &self.0 {
-            o.borrow_mut().advance(delta, cause);
+            o.borrow_mut().advance(delta, cause, ticked);
+        }
+    }
+
+    /// Forward a batch of locally-accumulated counters.
+    #[inline]
+    pub fn profile_part(&self, part: &NetProfile) {
+        if let Some(o) = &self.0 {
+            o.borrow_mut().profile_part(part);
         }
     }
 
@@ -276,11 +299,13 @@ pub struct NetProfile {
     pub hub_unicast_flits: Vec<u64>,
     /// Optical flits sent per hub in broadcast mode, indexed by cluster.
     pub hub_broadcast_flits: Vec<u64>,
-    /// Engine loop iterations that advanced the clock (each call to
-    /// [`NetObserver::advance`]).
+    /// Network ticks actually executed ([`NetObserver::advance`] calls
+    /// with `ticked == true`). The engine gates `Network::tick` on the
+    /// next-event horizon, so this counts simulated network cycles, not
+    /// engine loop iterations.
     pub ticks_executed: u64,
-    /// Cycles the clock jumped over without simulating
-    /// (`delta - 1` summed over skip-ahead advances). The invariant
+    /// Cycles the network never simulated: whole advances the horizon
+    /// gated out, plus `delta - 1` for every clock jump. The invariant
     /// `ticks_executed + cycles_skipped == cycles` is pinned by tests.
     pub cycles_skipped: u64,
     /// Skip-ahead advances that jumped more than one cycle.
@@ -289,6 +314,8 @@ pub struct NetProfile {
     pub wake_core: u64,
     /// Skip-ahead advances targeting the next memory-controller event.
     pub wake_mem: u64,
+    /// Skip-ahead advances targeting the network's next-event horizon.
+    pub wake_net: u64,
     /// Epochs closed by the sampler.
     pub epochs_closed: u64,
     /// Epochs whose span exceeded the nominal epoch length (a
@@ -334,6 +361,45 @@ impl NetProfile {
         }
     }
 
+    /// Total router-cycles the run advanced through: one per observed
+    /// router per simulated cycle. This is the router-granularity
+    /// analogue of [`NetProfile::cycles`] — the denominator for
+    /// [`NetProfile::router_skip_fraction`]. (Routers that were never
+    /// activated are not in `routers` and are excluded, which only
+    /// under-counts the skipped share.)
+    pub fn router_cycles(&self) -> u64 {
+        self.routers.len() as u64 * self.cycles
+    }
+
+    /// Router ticks actually executed: cycles a router was pulled off
+    /// the mesh's active list and processed. Every other router-cycle
+    /// was jumped over by that router's next-event horizon.
+    pub fn router_ticks(&self) -> u64 {
+        self.routers.iter().map(|r| r.active_cycles).sum()
+    }
+
+    /// Router-cycles the per-router next-event horizon skipped without
+    /// processing. Ledger invariant: `router_ticks() +
+    /// router_cycles_skipped() == router_cycles()`.
+    pub fn router_cycles_skipped(&self) -> u64 {
+        self.router_cycles().saturating_sub(self.router_ticks())
+    }
+
+    /// Fraction of router-cycles skipped by the per-router horizon, in
+    /// `0.0..=1.0`. Unlike [`NetProfile::skip_fraction`] — which only
+    /// counts cycles where the *whole* network stood still — this
+    /// credits every idle region the mesh jumped while other routers
+    /// stayed busy, so it approaches the routers' aggregate idle
+    /// fraction on a well-gated mesh.
+    pub fn router_skip_fraction(&self) -> f64 {
+        let total = self.router_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.router_cycles_skipped() as f64 / total as f64
+        }
+    }
+
     /// Fold another profile into this one. Element-wise integer sums
     /// (plus `max` for [`NetProfile::max_epoch_span`]), so the result is
     /// independent of merge order and merging with an empty profile is
@@ -373,6 +439,7 @@ impl NetProfile {
         self.skip_jumps += other.skip_jumps;
         self.wake_core += other.wake_core;
         self.wake_mem += other.wake_mem;
+        self.wake_net += other.wake_net;
         self.epochs_closed += other.epochs_closed;
         self.coalesced_epochs += other.coalesced_epochs;
         self.max_epoch_span = self.max_epoch_span.max(other.max_epoch_span);
@@ -418,17 +485,26 @@ impl NetObserver for NetProfile {
         }
     }
 
-    fn advance(&mut self, delta: u64, cause: AdvanceCause) {
-        self.ticks_executed += 1;
+    fn advance(&mut self, delta: u64, cause: AdvanceCause, ticked: bool) {
+        if ticked {
+            self.ticks_executed += 1;
+            self.cycles_skipped += delta - 1;
+        } else {
+            self.cycles_skipped += delta;
+        }
         if delta > 1 {
             self.skip_jumps += 1;
-            self.cycles_skipped += delta - 1;
         }
         match cause {
             AdvanceCause::Tick => {}
             AdvanceCause::WakeCore => self.wake_core += 1,
             AdvanceCause::WakeMem => self.wake_mem += 1,
+            AdvanceCause::WakeNet => self.wake_net += 1,
         }
+    }
+
+    fn profile_part(&mut self, part: &NetProfile) {
+        self.merge(part);
     }
 
     fn epoch(&mut self, span: u64, coalesced: bool) {
@@ -457,12 +533,13 @@ mod tests {
         p.credit_stall(1);
         p.hub_tx(0, TrafficKind::Unicast, 3 + seed);
         p.hub_tx(1, TrafficKind::Broadcast, 8);
-        p.advance(1, AdvanceCause::Tick);
-        p.advance(5, AdvanceCause::WakeCore);
-        p.advance(2 + seed, AdvanceCause::WakeMem);
+        p.advance(1, AdvanceCause::Tick, true);
+        p.advance(5, AdvanceCause::WakeCore, true);
+        p.advance(2 + seed, AdvanceCause::WakeMem, true);
+        p.advance(3, AdvanceCause::WakeNet, true);
         p.epoch(1000, false);
         p.epoch(2500 + seed, true);
-        p.run_done(3 + 4 + 1 + seed); // ticks (3) + skipped (4 + 1 + seed)
+        p.run_done(4 + 4 + 1 + 2 + seed); // ticks (4) + skipped (4 + 1 + 2 + seed)
         p
     }
 
@@ -490,16 +567,56 @@ mod tests {
     #[test]
     fn skip_ahead_accounting_and_invariant() {
         let p = sample_profile(0);
-        assert_eq!(p.ticks_executed, 3);
-        assert_eq!(p.cycles_skipped, 5); // (5-1) + (2-1)
-        assert_eq!(p.skip_jumps, 2);
+        assert_eq!(p.ticks_executed, 4);
+        assert_eq!(p.cycles_skipped, 7); // (5-1) + (2-1) + (3-1)
+        assert_eq!(p.skip_jumps, 3);
         assert_eq!(p.wake_core, 1);
         assert_eq!(p.wake_mem, 1);
+        assert_eq!(p.wake_net, 1);
         assert_eq!(p.ticks_executed + p.cycles_skipped, p.cycles);
-        assert!((p.skip_fraction() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((p.skip_fraction() - 7.0 / 11.0).abs() < 1e-12);
         assert_eq!(p.epochs_closed, 2);
         assert_eq!(p.coalesced_epochs, 1);
         assert_eq!(p.max_epoch_span, 2500);
+    }
+
+    #[test]
+    fn horizon_gated_advances_skip_whole_cycles() {
+        let mut p = NetProfile::new();
+        p.advance(1, AdvanceCause::Tick, true); // simulated network cycle
+        p.advance(1, AdvanceCause::WakeCore, false); // clock stepped; network gated out
+        p.advance(4, AdvanceCause::WakeNet, false); // jump across gated-out cycles
+        p.run_done(6);
+        assert_eq!(p.ticks_executed, 1);
+        assert_eq!(p.cycles_skipped, 5);
+        assert_eq!(p.skip_jumps, 1, "only the delta > 1 advance is a jump");
+        assert_eq!(p.ticks_executed + p.cycles_skipped, p.cycles);
+    }
+
+    #[test]
+    fn router_granularity_ledger_tiles_router_time() {
+        let mut p = NetProfile::new();
+        // Three routers observed over a 10-cycle run: router 0 ticked
+        // 7 cycles, router 1 ticked 2, router 2 ticked 1.
+        for _ in 0..7 {
+            p.router_cycle(0, 1);
+        }
+        p.router_cycle(1, 0);
+        p.router_cycle(1, 3);
+        p.router_cycle(2, 2);
+        p.run_done(10);
+        assert_eq!(p.router_cycles(), 30);
+        assert_eq!(p.router_ticks(), 10);
+        assert_eq!(p.router_cycles_skipped(), 20);
+        assert_eq!(
+            p.router_ticks() + p.router_cycles_skipped(),
+            p.router_cycles()
+        );
+        assert!((p.router_skip_fraction() - 20.0 / 30.0).abs() < 1e-12);
+        // Empty profile: both fractions are defined and zero.
+        let empty = NetProfile::new();
+        assert_eq!(empty.router_cycles(), 0);
+        assert_eq!(empty.router_skip_fraction(), 0.0);
     }
 
     #[test]
@@ -585,7 +702,7 @@ mod tests {
         h.flit_routed(0, 1);
         h.credit_stall(0);
         h.hub_tx(0, TrafficKind::Unicast, 2);
-        h.advance(4, AdvanceCause::WakeCore);
+        h.advance(4, AdvanceCause::WakeCore, true);
         h.epoch(100, false);
         h.run_done(10);
     }
@@ -598,8 +715,34 @@ mod tests {
         assert!(h.is_enabled());
         h.flit_routed(1, 0);
         h2.flit_routed(1, 0);
-        h.advance(3, AdvanceCause::WakeMem);
+        h.advance(3, AdvanceCause::WakeMem, true);
         assert_eq!(obs.borrow().routers[1].flits_routed, 2);
         assert_eq!(obs.borrow().cycles_skipped, 2);
+    }
+
+    #[test]
+    fn profile_part_merges_batched_counters() {
+        // A layer accumulates privately and flushes once: the receiving
+        // profile ends up exactly as if every event had been forwarded.
+        let mut local = NetProfile::new();
+        local.router_cycle(3, 2);
+        local.flit_routed(3, 1);
+        local.credit_stall(3);
+
+        let obs = Rc::new(RefCell::new(NetProfile::new()));
+        let h = NetObsHandle::attach(Rc::clone(&obs));
+        h.advance(1, AdvanceCause::Tick, true);
+        h.profile_part(&local);
+        h.run_done(1);
+
+        let mut direct = NetProfile::new();
+        direct.advance(1, AdvanceCause::Tick, true);
+        direct.router_cycle(3, 2);
+        direct.flit_routed(3, 1);
+        direct.credit_stall(3);
+        direct.run_done(1);
+        assert_eq!(*obs.borrow(), direct);
+        // Disabled handles ignore the flush.
+        NetObsHandle::disabled().profile_part(&local);
     }
 }

@@ -287,6 +287,11 @@ struct ProfilerState {
     /// [`HostProfiler::lap`] so sub-laps can only tile the stretch since
     /// the previous phase boundary.
     last_net: Instant,
+    /// Network ticks announced via [`HostProfiler::net_tick`].
+    net_ticks: u64,
+    /// Whether the current network tick is a sampled one (sub-laps read
+    /// the clock) or a skipped one (sub-laps are free no-ops).
+    net_sampling: bool,
 }
 
 /// Shared, cloneable handle to one run's lap accumulator.
@@ -303,6 +308,11 @@ pub struct HostProfiler {
     /// Kept outside the `RefCell` so a disabled sub-lap point (the
     /// common, per-flit case) costs one bool branch, not a borrow.
     netprof: bool,
+    /// log2 of the network-tick sampling period: sub-laps read the clock
+    /// on 1 in `2^net_sample_log2` ticks and scale the measured duration
+    /// by the period, so the sub-phase totals still estimate the full
+    /// stretch. 0 (the default) samples every tick — exact tiling.
+    net_sample_log2: u32,
 }
 
 impl HostProfiler {
@@ -311,6 +321,7 @@ impl HostProfiler {
         HostProfiler {
             state: None,
             netprof: false,
+            net_sample_log2: 0,
         }
     }
 
@@ -334,8 +345,38 @@ impl HostProfiler {
                 started: now,
                 last: now,
                 last_net: now,
+                net_ticks: 0,
+                net_sampling: true,
             }))),
             netprof,
+            net_sample_log2: 0,
+        }
+    }
+
+    /// Enable statistical network-tick sampling: sub-laps read the clock
+    /// on 1 in `2^log2` ticks (announced via [`HostProfiler::net_tick`])
+    /// and scale the measured stretch by the period. At the sweep's
+    /// millions of ticks the scaled estimate concentrates tightly around
+    /// the true sub-phase seconds while eliminating nearly all of the
+    /// per-flit clock-read overhead the netprof mode used to pay.
+    pub fn with_net_sampling(mut self, log2: u32) -> Self {
+        self.net_sample_log2 = log2;
+        self
+    }
+
+    /// Announce the start of one network tick and decide whether its
+    /// sub-laps are sampled. Cheap on unsampled ticks and when netprof
+    /// is off: one branch plus (when enabled) a counter increment.
+    #[inline]
+    pub fn net_tick(&self) {
+        if !self.netprof {
+            return;
+        }
+        if let Some(state) = &self.state {
+            let mut s = state.borrow_mut();
+            let mask = (1u64 << self.net_sample_log2) - 1;
+            s.net_sampling = s.net_ticks & mask == 0;
+            s.net_ticks += 1;
         }
     }
 
@@ -385,8 +426,12 @@ impl HostProfiler {
         }
         if let Some(state) = &self.state {
             let mut s = state.borrow_mut();
+            if !s.net_sampling {
+                return;
+            }
+            let scale = (1u64 << self.net_sample_log2) as f64;
             let now = Instant::now();
-            s.net_secs[sub.index()] += now.duration_since(s.last_net).as_secs_f64();
+            s.net_secs[sub.index()] += now.duration_since(s.last_net).as_secs_f64() * scale;
             s.last_net = now;
         }
     }
@@ -551,6 +596,42 @@ mod tests {
             "sub coverage {} of {net}s",
             profile.net_sub_coverage()
         );
+    }
+
+    #[test]
+    fn sampled_net_laps_scale_to_the_full_stretch() {
+        // 1-in-4 sampling: only ticks 0, 4, 8, … read the clock, and
+        // their measured stretch is scaled ×4.
+        let p = HostProfiler::enabled_with_netprof(true).with_net_sampling(2);
+        let spin = || {
+            let t = Instant::now();
+            while t.elapsed().as_micros() < 500 {
+                std::hint::black_box(0u64);
+            }
+        };
+        let mut sampled = 0u32;
+        for tick in 0..8 {
+            p.net_tick();
+            spin();
+            p.net_lap(NetSubPhase::QueueOps);
+            if tick % 4 == 0 {
+                sampled += 1;
+            }
+        }
+        p.lap(HostPhase::Network);
+        let profile = p.finish().expect("enabled");
+        assert_eq!(sampled, 2);
+        let net = profile.phase_secs(HostPhase::Network);
+        let tracked = profile.net_sub(NetSubPhase::QueueOps);
+        // Two sampled 500 µs stretches scaled ×4 ≈ the 4 ms total; allow
+        // generous slack for spin jitter but require the scale-up to have
+        // happened (unscaled it could only reach ~1/4 of the stretch).
+        assert!(tracked > net * 0.4, "tracked {tracked} vs network {net}");
+        // net_tick is inert for non-netprof profilers.
+        let q = HostProfiler::enabled();
+        q.net_tick();
+        q.net_lap(NetSubPhase::Credit);
+        assert_eq!(q.finish().expect("enabled").net_tracked_secs(), 0.0);
     }
 
     #[test]
