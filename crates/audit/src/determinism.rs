@@ -15,11 +15,11 @@
 //! * **Ambient input.** Wall clocks (`Instant`, `SystemTime`),
 //!   environment variables (`env::var`), and OS-seeded randomness
 //!   (`thread_rng`, `from_entropy`, `RandomState`) inject host state
-//!   into the run. Host-*profiling* code is exempt by construction: it
-//!   lives in `crates/trace`/`crates/bench`, which this rule does not
-//!   scan. The vendored `crates/rand` with an explicit
-//!   `SmallRng::seed_from_u64` seed is the sanctioned randomness.
-//!   Genuine orchestration entry points can be waived with
+//!   into the run. Host-*observability* code is exempt by construction:
+//!   it lives in `crates/trace`/`crates/bench`, which this rule does not
+//!   scan (see [`HOST_OBSERVABILITY`]). The vendored `crates/rand` with
+//!   an explicit `SmallRng::seed_from_u64` seed is the sanctioned
+//!   randomness. Genuine orchestration entry points can be waived with
 //!   `// audit: allow(ambient) <reason>`.
 
 use crate::lex::{has_token, FileModel};
@@ -34,6 +34,18 @@ pub const DETERMINISM_PREFIXES: &[&str] = &[
     "crates/phys/src/",
     "crates/workloads/src/",
 ];
+
+/// Host-side observability surfaces that are *deliberately* outside
+/// [`DETERMINISM_PREFIXES`]: they measure the host (wall clocks, RSS,
+/// `Instant`-derived span timestamps) and never feed a `run_key`-compared
+/// metric. The `HostProfiler` phase laps and the flight journal's
+/// host-time fields (`start_s`/`end_s`/`t_s`/`wall_s`) are exempt by
+/// construction — the gate compares simulated metrics, not these.
+/// The self-check test below keeps this list and the scanned prefixes
+/// disjoint, so hoisting one of these files into a result-bearing crate
+/// trips the audit instead of silently widening the exemption.
+pub const HOST_OBSERVABILITY: &[&str] =
+    &["crates/trace/src/profile.rs", "crates/trace/src/flight.rs"];
 
 /// Hash containers whose iteration order is process-randomized.
 const HASH_CONTAINERS: &[&str] = &["HashMap", "HashSet"];
@@ -158,6 +170,22 @@ mod tests {
             "/// Instantiate the configured network.\nfn build() { net(); }\n",
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn host_observability_stays_outside_the_scanned_prefixes() {
+        for file in HOST_OBSERVABILITY {
+            assert!(
+                !DETERMINISM_PREFIXES.iter().any(|p| file.starts_with(p)),
+                "{file} is host-side observability; listing it under a scanned \
+                 prefix would flag its own wall-clock reads"
+            );
+            // And the exemption names real files, not ghosts.
+            let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(file);
+            assert!(root.is_file(), "{file} no longer exists; update the list");
+        }
     }
 
     #[test]

@@ -62,7 +62,13 @@ const PAIRS: &[SchemaPair] = &[
     SchemaPair {
         label: "sweep log",
         emit_file: "crates/bench/src/executor.rs",
-        emit_fns: &["to_json", "profile_json", "summary_json", "netprof_json"],
+        emit_fns: &[
+            "to_json",
+            "profile_json",
+            "summary_json",
+            "netprof_json",
+            "executor_json",
+        ],
         vocab: &[(
             "crates/report/src/sweep.rs",
             &[
@@ -70,7 +76,17 @@ const PAIRS: &[SchemaPair] = &[
                 "parse_metrics",
                 "parse_profile",
                 "parse_netprof",
+                "parse_executor",
             ],
+        )],
+    },
+    SchemaPair {
+        label: "flight journal",
+        emit_file: "crates/trace/src/flight.rs",
+        emit_fns: &["to_jsonl", "event_json"],
+        vocab: &[(
+            "crates/trace/src/flight.rs",
+            &["parse_flight", "parse_event"],
         )],
     },
     SchemaPair {

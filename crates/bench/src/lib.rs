@@ -23,14 +23,20 @@ use atac::prelude::*;
 use atac::sim::energy::integrate;
 
 pub mod cache;
+pub mod costs;
 pub mod executor;
 pub mod plans;
 pub mod runjson;
 
 pub use cache::{
-    netprof_enabled, netprof_sample_log2, profiling_enabled, publish_atomic, RunCache, RunSource,
+    flight_enabled, netprof_enabled, netprof_sample_log2, profiling_enabled, publish_atomic,
+    RunCache, RunSource,
 };
-pub use executor::{jobs_from_env, RunPlan, RunTiming, SweepLog, SweepReport};
+pub use costs::CostModel;
+pub use executor::{
+    jobs_from_env, write_flight, ExecOptions, ExecutorStats, RunPlan, RunTiming, SweepLog,
+    SweepReport,
+};
 
 /// A cached full-system run: everything needed to recompute energy under
 /// any photonic scenario / receive-net flavor without re-simulating.
@@ -90,7 +96,7 @@ impl RunRecord {
 /// Simulated metrics (`cycles` … `edp`) are deterministic per the cache's
 /// contract and gate by exact match; the latency percentiles come from
 /// the merged per-class histograms and are equally exact.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// The run key (see [`run_key`]).
     pub key: String,

@@ -1,0 +1,163 @@
+//! Flight-recorder reconciliation — the observer-only contract.
+//!
+//! The journal must *describe* a sweep exactly (spans tile each worker,
+//! cache outcomes account for every planned key, the JSONL round-trips
+//! bit-exactly) while *changing nothing*: a sweep recorded under
+//! `ATAC_FLIGHT` — and reordered by the cost-aware scheduler — publishes
+//! records byte-identical to a bare serial pass.
+//!
+//! All caches live under `CARGO_TARGET_TMPDIR` via [`RunCache::at`];
+//! nothing here touches `ATAC_RESULTS_DIR` or the environment knobs, so
+//! these tests cannot race the env-var-mutating unit tests.
+
+use std::path::PathBuf;
+
+use atac::prelude::*;
+use atac::trace::{parse_flight, reconcile, validate_flight_jsonl, CacheOutcome, SpanKind};
+use atac_bench::{run_key, CostModel, ExecOptions, RunCache, RunPlan};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        topo: Topology::small(8, 4),
+        ..SimConfig::default()
+    }
+}
+
+fn small_plan() -> RunPlan {
+    let mut plan = RunPlan::new();
+    for b in [Benchmark::LuContig, Benchmark::Barnes] {
+        plan.add(small_config(), b);
+        plan.add(
+            SimConfig {
+                arch: Arch::EMeshBcast,
+                ..small_config()
+            },
+            b,
+        );
+    }
+    plan
+}
+
+/// Recording options: flight on, no progress line, no cost model.
+fn flight_opts() -> ExecOptions {
+    ExecOptions {
+        flight: true,
+        costs: CostModel::default(),
+        progress: false,
+    }
+}
+
+#[test]
+fn cold_sweep_journal_reconciles_and_roundtrips() {
+    let plan = small_plan();
+    let cache = RunCache::at(scratch("flight-cold"));
+    let report = plan.execute_with(&cache, 3, &flight_opts());
+    let log = report.flight.as_ref().expect("flight journal recorded");
+
+    // Framing matches the pass.
+    assert_eq!(log.jobs, 3);
+    assert_eq!(log.planned, plan.len() as u64);
+    assert_eq!(log.runs, report.simulated() as u64, "all four simulated");
+    assert!(log.wall_s > 0.0);
+
+    // Every structural invariant holds, by the library's own check…
+    reconcile(log).expect("journal reconciles");
+
+    // …and by direct count: simulate spans == runs executed, and the
+    // cache settled every planned key exactly once.
+    let sims = log
+        .spans()
+        .filter(|&(_, kind, ..)| kind == SpanKind::Simulate)
+        .count() as u64;
+    assert_eq!(sims, log.runs);
+    let outcomes = log.outcome_count(CacheOutcome::Hit)
+        + log.outcome_count(CacheOutcome::Miss)
+        + log.outcome_count(CacheOutcome::Wait);
+    assert_eq!(outcomes, log.planned);
+    assert_eq!(log.outcome_count(CacheOutcome::Miss), log.runs);
+
+    // Per-worker spans tile without overlap.
+    for w in 0..log.jobs {
+        let mut spans: Vec<(f64, f64)> = log
+            .spans()
+            .filter(|&(worker, ..)| worker == w)
+            .map(|(_, _, _, start, end)| (start, end))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in spans.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0 + 1e-9,
+                "worker {w} spans overlap: {pair:?}"
+            );
+        }
+    }
+
+    // The journal validates and round-trips bit-exactly through JSONL.
+    let jsonl = log.to_jsonl();
+    let summary = validate_flight_jsonl(&jsonl).expect("journal validates");
+    assert_eq!(summary.jobs, 3);
+    assert_eq!(summary.misses, log.runs);
+    let back = parse_flight(&jsonl).expect("parses back");
+    assert_eq!(&back, log, "bit-exact journal round-trip");
+
+    // RSS sampling observed a live process.
+    assert!(log.peak_rss_bytes > 0, "peak RSS sampled from /proc");
+    assert_eq!(report.peak_rss_bytes, log.peak_rss_bytes);
+}
+
+#[test]
+fn warm_rerun_journal_is_all_hits_and_still_reconciles() {
+    let plan = small_plan();
+    let cache = RunCache::at(scratch("flight-warm"));
+    let cold = plan.execute_with(&cache, 2, &ExecOptions::default());
+    assert!(cold.flight.is_none(), "flight off records no journal");
+    assert_eq!(cold.simulated(), plan.len());
+
+    let warm = plan.execute_with(&cache, 2, &flight_opts());
+    let log = warm.flight.as_ref().expect("journal recorded");
+    assert_eq!(log.runs, 0, "warm cache simulates nothing");
+    assert_eq!(log.outcome_count(CacheOutcome::Hit), log.planned);
+    reconcile(log).expect("an all-hit journal still reconciles");
+}
+
+#[test]
+fn recorded_and_cost_ordered_sweep_is_byte_identical_to_a_bare_one() {
+    let plan = small_plan();
+
+    // Reference: a bare serial pass, no observer, declared order.
+    let bare_cache = RunCache::at(scratch("flight-bare"));
+    let bare = plan.execute_on(&bare_cache, 1);
+    assert_eq!(bare.simulated(), plan.len());
+
+    // Observed: parallel, flight journal on, and a cost model that
+    // inverts the declared order (later keys priced longest).
+    let mut opts = flight_opts();
+    for (i, (cfg, bench)) in plan.entries().iter().enumerate() {
+        opts.costs.insert(run_key(cfg, *bench), (i + 1) as f64);
+    }
+    let observed_cache = RunCache::at(scratch("flight-observed"));
+    let observed = plan.execute_with(&observed_cache, 4, &opts);
+    let log = observed.flight.as_ref().expect("journal recorded");
+    reconcile(log).expect("reconciles under reordering");
+
+    for (cfg, bench) in plan.entries() {
+        let key = run_key(cfg, *bench);
+        let a = std::fs::read(bare_cache.record_path(&key)).expect("bare record");
+        let b = std::fs::read(observed_cache.record_path(&key)).expect("observed record");
+        assert_eq!(a, b, "flight+scheduling must not change `{key}` bytes");
+    }
+
+    // The sweep summaries (what lands in BENCH_sweep.json and feeds the
+    // gate) are identical too — observer data stays out of metrics.
+    let mut a = bare.summaries.clone();
+    let mut b = observed.summaries.clone();
+    a.sort_by(|x, y| x.key.cmp(&y.key));
+    b.sort_by(|x, y| x.key.cmp(&y.key));
+    assert_eq!(a, b, "run summaries are independent of observation");
+}

@@ -1,7 +1,7 @@
 //! The run-history registry: `BENCH_history.jsonl`.
 //!
 //! One line per record, append-only, so the file is a merge-friendly
-//! trajectory of every sweep a branch has run. Three kinds of line:
+//! trajectory of every sweep a branch has run. Four kinds of line:
 //!
 //! * `kind: "sweep"` — one per recorded sweep: worker count, wall
 //!   seconds, and the merged host self-profile.
@@ -12,6 +12,10 @@
 //!   sweep ran under `ATAC_NETPROF`): the merged network-microscope
 //!   aggregate — flits routed, credit stalls, skip-ahead efficacy,
 //!   epoch coalescing, and the network sub-phase coverage fraction.
+//! * `kind: "flight"` — at most one per recorded sweep (schema-v4
+//!   sweeps only): the executor's flight-recorder self-metrics — cache
+//!   hits/misses, single-flight waits, and the peak RSS high-water
+//!   mark. Host-side observability; never gate-compared.
 //!
 //! Every line carries `schema` (`atac-report-history-v1`) and the git
 //! SHA of the tree that produced it; records are keyed by
@@ -107,6 +111,24 @@ pub struct NetProfEntry {
     pub net_secs: Option<f64>,
 }
 
+/// One sweep's executor flight-recorder self-metrics (schema-v4 sweeps
+/// only). Like [`NetProfEntry`] this is deliberately small: the full
+/// span-level journal stays in `BENCH_flight.jsonl`; history tracks
+/// only the counters a cache-efficiency trajectory can be drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEntry {
+    /// Git SHA of the tree that ran the sweep.
+    pub sha: String,
+    /// Keys satisfied from the run cache (prescan or re-read).
+    pub cache_hits: u64,
+    /// Keys actually simulated.
+    pub cache_misses: u64,
+    /// Keys that waited on another worker's in-flight simulation.
+    pub flight_waits: u64,
+    /// Process RSS high-water mark in bytes over the sweep.
+    pub peak_rss_bytes: u64,
+}
+
 /// A decoded history line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HistoryLine {
@@ -116,6 +138,8 @@ pub enum HistoryLine {
     Run(RunEntry),
     /// A sweep-level network-microscope aggregate.
     NetProf(NetProfEntry),
+    /// A sweep-level executor flight-recorder aggregate.
+    Flight(FlightEntry),
 }
 
 /// A parsed history file.
@@ -153,6 +177,14 @@ impl History {
         })
     }
 
+    /// Executor flight-recorder aggregates, chronological.
+    pub fn flights(&self) -> impl Iterator<Item = &FlightEntry> {
+        self.lines.iter().filter_map(|l| match l {
+            HistoryLine::Flight(f) => Some(f),
+            _ => None,
+        })
+    }
+
     /// The most recent run record per key (last line wins — the file is
     /// append-only, so later is newer). Keys in first-seen order.
     pub fn latest_runs(&self) -> Vec<&RunEntry> {
@@ -184,7 +216,8 @@ impl History {
 
 /// Convert one parsed sweep into its history lines (one sweep record,
 /// one netprof aggregate when the sweep carried network microscope
-/// data, plus one run record per summary), stamped with `sha`.
+/// data, one flight aggregate when the sweep carried executor
+/// self-metrics, plus one run record per summary), stamped with `sha`.
 pub fn lines_from_sweep(doc: &SweepDoc, sha: &str) -> Vec<HistoryLine> {
     let mut lines = Vec::with_capacity(doc.summaries.len() + 2);
     lines.push(HistoryLine::Sweep(SweepEntry {
@@ -215,6 +248,15 @@ pub fn lines_from_sweep(doc: &SweepDoc, sha: &str) -> Vec<HistoryLine> {
                     .find(|(name, _)| name == "network")
                     .map(|&(_, secs)| secs)
             }),
+        }));
+    }
+    if let Some(ex) = &doc.executor {
+        lines.push(HistoryLine::Flight(FlightEntry {
+            sha: sha.to_string(),
+            cache_hits: ex.cache_hits,
+            cache_misses: ex.cache_misses,
+            flight_waits: ex.flight_waits,
+            peak_rss_bytes: ex.peak_rss_bytes,
         }));
     }
     for s in &doc.summaries {
@@ -333,6 +375,16 @@ pub fn encode_line(line: &HistoryLine) -> String {
             out.push('}');
             out
         }
+        HistoryLine::Flight(f) => format!(
+            "{{\"schema\": \"{HISTORY_SCHEMA}\", \"kind\": \"flight\", \"sha\": \"{}\", \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"flight_waits\": {}, \
+             \"peak_rss_bytes\": {}}}",
+            escape(&f.sha),
+            f.cache_hits,
+            f.cache_misses,
+            f.flight_waits,
+            f.peak_rss_bytes,
+        ),
     }
 }
 
@@ -398,6 +450,20 @@ pub fn decode_line(text: &str) -> Result<Option<HistoryLine>, String> {
                 max_epoch_span: req("max_epoch_span")?,
                 net_coverage: obj.get("net_coverage").and_then(Json::as_f64),
                 net_secs: obj.get("net_secs").and_then(Json::as_f64),
+            })))
+        }
+        Some("flight") => {
+            let req = |k: &str| -> Result<u64, String> {
+                obj.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("flight line has no `{k}`"))
+            };
+            Ok(Some(HistoryLine::Flight(FlightEntry {
+                sha,
+                cache_hits: req("cache_hits")?,
+                cache_misses: req("cache_misses")?,
+                flight_waits: req("flight_waits")?,
+                peak_rss_bytes: req("peak_rss_bytes")?,
             })))
         }
         Some(_) => Ok(None), // a newer writer's kind: skip, don't fail
@@ -470,8 +536,8 @@ mod tests {
         let lines = lines_from_sweep(&doc, "abc123");
         assert_eq!(
             lines.len(),
-            4,
-            "one sweep record + one netprof aggregate + two run records"
+            5,
+            "one sweep record + one netprof aggregate + one flight aggregate + two run records"
         );
         for line in &lines {
             let encoded = encode_line(line);
@@ -490,13 +556,23 @@ mod tests {
             other => panic!("expected netprof line, got {other:?}"),
         }
         match &lines[2] {
+            HistoryLine::Flight(f) => {
+                assert_eq!(f.sha, "abc123");
+                assert_eq!(f.cache_hits, 1);
+                assert_eq!(f.cache_misses, 1);
+                assert_eq!(f.flight_waits, 0);
+                assert_eq!(f.peak_rss_bytes, 104_857_600);
+            }
+            other => panic!("expected flight line, got {other:?}"),
+        }
+        match &lines[3] {
             HistoryLine::Run(r) => {
                 assert_eq!(r.sha, "abc123");
                 assert_eq!(r.host_secs, Some(5.5), "simulated run carries host secs");
             }
             other => panic!("expected run line, got {other:?}"),
         }
-        match &lines[3] {
+        match &lines[4] {
             HistoryLine::Run(r) => assert_eq!(r.host_secs, None, "cache hit has none"),
             other => panic!("expected run line, got {other:?}"),
         }
@@ -509,6 +585,8 @@ mod tests {
         assert_eq!(h.runs().count(), 4);
         assert_eq!(h.netprofs().count(), 2);
         assert!(h.netprofs().all(|n| n.flits_routed == 320));
+        assert_eq!(h.flights().count(), 2);
+        assert!(h.flights().all(|f| f.cache_hits + f.cache_misses == 2));
         let latest = h.latest_runs();
         assert_eq!(latest.len(), 2);
         assert!(latest.iter().all(|r| r.sha == "sha-2"), "last line wins");

@@ -30,8 +30,8 @@ pub mod sweep;
 
 pub use gate::{compare, GateConfig, GateReport, Verdict};
 pub use history::{
-    append_lines, encode_line, lines_from_sweep, read_history, write_text, History, HistoryLine,
-    NetProfEntry, RunEntry, SweepEntry, HISTORY_SCHEMA,
+    append_lines, encode_line, lines_from_sweep, read_history, write_text, FlightEntry, History,
+    HistoryLine, NetProfEntry, RunEntry, SweepEntry, HISTORY_SCHEMA,
 };
-pub use render::{render, render_netmap, sparkline};
-pub use sweep::{parse_sweep, LatencySummary, PhaseProfile, RunMetrics, SweepDoc};
+pub use render::{render, render_flight, render_netmap, sparkline};
+pub use sweep::{parse_sweep, ExecutorStats, LatencySummary, PhaseProfile, RunMetrics, SweepDoc};

@@ -1,7 +1,7 @@
 //! Reader for the executor's `BENCH_sweep.json` documents.
 //!
 //! `atac-bench`'s `SweepLog` emits the sweep artifact (schema
-//! `atac-bench-sweep-v3`); this module parses it back into typed form
+//! `atac-bench-sweep-v4`); this module parses it back into typed form
 //! for the history registry, the regression gate, and the renderer.
 //! Parsing is *forward-compatible*: unknown object members are ignored,
 //! so a newer emitter can add fields without orphaning older readers —
@@ -11,7 +11,9 @@
 //! document lacks the per-run `netprof` network microscope breakdowns
 //! (re-parsed here into [`atac_trace::NetProfile`], the same type the
 //! collector fills, so report-side merging reuses the collector's
-//! order-independent integer merge).
+//! order-independent integer merge). A v3 document lacks the
+//! `executor` self-metrics block, so [`SweepDoc::executor`] decodes as
+//! `None` there.
 
 use atac_trace::json::{parse, Json};
 use atac_trace::{NetProfile, RouterObs, OCC_BUCKETS};
@@ -90,6 +92,21 @@ pub struct SweepRun {
     pub netprof: Option<NetProfile>,
 }
 
+/// The executor's self-metrics block (schema v4): how the run cache
+/// settled the planned keys, and the sweep process's peak resident
+/// set. Absent on v3 and older documents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Keys decoded from already-published records.
+    pub cache_hits: u64,
+    /// Keys the sweep simulated (including torn-record recoveries).
+    pub cache_misses: u64,
+    /// Keys joined from a concurrent in-process single-flight.
+    pub flight_waits: u64,
+    /// High-water resident-set bytes (0 where procfs is absent).
+    pub peak_rss_bytes: u64,
+}
+
 /// The executor's `ATAC_VERIFY` self-check result: one planned key was
 /// re-simulated serially and compared byte-for-byte against the pool's
 /// published record.
@@ -120,6 +137,8 @@ pub struct SweepDoc {
     pub summaries: Vec<RunMetrics>,
     /// All runs' self-profiles merged (absent when none profiled).
     pub self_profile: Option<PhaseProfile>,
+    /// Executor self-metrics (absent on pre-v4 documents).
+    pub executor: Option<ExecutorStats>,
     /// `ATAC_VERIFY` outcome (absent unless the sweep ran the
     /// parallel-vs-serial self-check).
     pub verify: Option<SweepVerify>,
@@ -243,6 +262,17 @@ pub(crate) fn parse_netprof(obj: &Json) -> Option<NetProfile> {
     Some(p)
 }
 
+/// Parse an `executor` self-metrics block (schema v4; all counters
+/// mandatory once the block is present).
+pub(crate) fn parse_executor(obj: &Json) -> Option<ExecutorStats> {
+    Some(ExecutorStats {
+        cache_hits: get_u64(obj, "cache_hits")?,
+        cache_misses: get_u64(obj, "cache_misses")?,
+        flight_waits: get_u64(obj, "flight_waits")?,
+        peak_rss_bytes: get_u64(obj, "peak_rss_bytes")?,
+    })
+}
+
 /// Parse one `summaries` element (shared with history `run` lines,
 /// which carry the same member names).
 pub(crate) fn parse_metrics(obj: &Json) -> Option<RunMetrics> {
@@ -304,6 +334,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
         runs,
         summaries,
         self_profile: doc.get("self_profile").and_then(parse_profile),
+        executor: doc.get("executor").and_then(parse_executor),
         verify: doc.get("verify").and_then(|v| {
             Some(SweepVerify {
                 key: get_str(v, "key")?,
@@ -313,13 +344,14 @@ pub fn parse_sweep(text: &str) -> Result<SweepDoc, String> {
     })
 }
 
-/// A two-run v3 sweep fixture shared by this crate's tests. The
+/// A two-run v4 sweep fixture shared by this crate's tests. The
 /// simulated run carries the full network microscope: sub-phase
 /// attribution in its profile and the `netprof` counter block (two
-/// routers, one cluster hub).
+/// routers, one cluster hub); the document-level `executor` block
+/// carries the cache-outcome and RSS self-metrics.
 #[cfg(test)]
 pub(crate) const SAMPLE: &str = r#"{
-  "schema": "atac-bench-sweep-v3",
+  "schema": "atac-bench-sweep-v4",
   "jobs": 4,
   "cores": "64",
   "benches": "radix,barnes",
@@ -337,6 +369,7 @@ pub(crate) const SAMPLE: &str = r#"{
     {"key": "8x4|emesh-pure|flit64|buf4|ackwise4|radix", "bench": "radix", "cycles": 800000, "instructions": 1000000, "ipc": 0.2, "runtime_s": 0.0008, "energy_j": 0.25, "edp_js": 2.0e-4, "latency": {"p50": 31, "p95": 127, "p99": 255, "max": 300, "count": 40000}}
   ],
   "self_profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}, "net_coverage": 0.99, "net_phases": {"route_compute": 0.9, "switch_arb": 0.8, "queue_ops": 0.7}},
+  "executor": {"cache_hits": 1, "cache_misses": 1, "flight_waits": 0, "peak_rss_bytes": 104857600},
   "verify": {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "identical": true}
 }"#;
 
@@ -345,9 +378,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_v3_document() {
+    fn parses_v4_document() {
         let doc = parse_sweep(SAMPLE).expect("valid sweep");
         assert_eq!(doc.jobs, 4);
+        let exec = doc.executor.expect("v4 carries executor self-metrics");
+        assert_eq!(exec.cache_hits, 1);
+        assert_eq!(exec.cache_misses, 1);
+        assert_eq!(exec.flight_waits, 0);
+        assert_eq!(exec.peak_rss_bytes, 104_857_600);
         assert_eq!(doc.runs.len(), 2);
         assert_eq!(doc.summaries.len(), 2);
         assert_eq!(doc.summaries[0].cycles, 500_000);
@@ -402,8 +440,22 @@ mod tests {
     }
 
     #[test]
+    fn v3_documents_parse_without_executor_block() {
+        let v3 = r#"{"schema": "atac-bench-sweep-v3", "jobs": 2, "phases": {"warm": 1.0},
+                     "runs": [{"key": "k", "secs": 1.0, "source": "simulated"}]}"#;
+        let doc = parse_sweep(v3).expect("v3 parses");
+        assert_eq!(doc.executor, None, "pre-v4: no self-metrics, not an error");
+        // A malformed executor block (missing counters) decodes as
+        // absent rather than failing the whole document.
+        let partial = r#"{"schema": "atac-bench-sweep-v4", "jobs": 1,
+                          "executor": {"cache_hits": 3}}"#;
+        let doc = parse_sweep(partial).expect("document still parses");
+        assert_eq!(doc.executor, None);
+    }
+
+    #[test]
     fn unknown_members_are_ignored_but_foreign_schemas_are_not() {
-        let future = r#"{"schema": "atac-bench-sweep-v4", "jobs": 1, "new_field": [1, 2],
+        let future = r#"{"schema": "atac-bench-sweep-v5", "jobs": 1, "new_field": [1, 2],
                          "runs": [{"key": "k", "secs": 0.5, "source": "simulated", "extra": true}]}"#;
         let doc = parse_sweep(future).expect("future minor version parses");
         assert_eq!(doc.runs.len(), 1);

@@ -41,7 +41,7 @@ fn emit_sweep(cycles_a: u64, host_secs: f64) -> String {
     let report = SweepReport {
         jobs: 4,
         planned: 2,
-        cached_hits: 1,
+        cached_hits: 0,
         wall_secs: host_secs + 0.5,
         runs: vec![
             RunTiming {
@@ -71,6 +71,8 @@ fn emit_sweep(cycles_a: u64, host_secs: f64) -> String {
                 800_000,
             ),
         ],
+        peak_rss_bytes: 96 << 20,
+        flight: None,
     };
     let mut log = SweepLog::new(4);
     log.phase("warm", host_secs + 0.5);
@@ -90,8 +92,12 @@ fn sweeplog_output_flows_through_record_gate_and_render() {
     // that gives the gate a real median for host seconds.
     let baseline_json = emit_sweep(500_000, 5.0);
     let doc = parse_sweep(&baseline_json).expect("SweepLog output parses");
-    assert_eq!(doc.schema, "atac-bench-sweep-v3");
+    assert_eq!(doc.schema, "atac-bench-sweep-v4");
     assert_eq!(doc.summaries.len(), 2);
+    let stats = doc.executor.expect("v4 sweeps carry executor self-metrics");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.peak_rss_bytes, 96 << 20);
     let prof = doc.runs[0].profile.as_ref().expect("profiled run");
     assert!(prof.coverage > 0.9);
     atac_report::append_lines(&history_path, &lines_from_sweep(&doc, "sha-a")).expect("append");
@@ -170,6 +176,8 @@ fn host_phase_vocabulary_roundtrips() {
             netprof: None,
         }],
         summaries: vec![summary("k", "radix", 1000)],
+        peak_rss_bytes: 0,
+        flight: None,
     };
     let mut log = SweepLog::new(1);
     log.absorb(&report);

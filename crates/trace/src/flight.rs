@@ -1,0 +1,970 @@
+//! The sweep flight recorder: an append-only JSONL event journal of
+//! the parallel executor's *own* behavior.
+//!
+//! The simulator has a microscope (per-run [`crate::netobs`] counters,
+//! [`crate::profile`] host phases); the sweep around it had none — no
+//! view of worker utilization, cache hit rates, queue depth, stragglers,
+//! or memory pressure. This module provides the event vocabulary, the
+//! thread-safe [`FlightRecorder`] the executor fills, and the
+//! emitter/validator pair for the journal file (`BENCH_flight.jsonl`,
+//! schema `atac-flight-v1` — audit rule 11 keeps the pair in lock-step).
+//!
+//! Event kinds, one JSON object per line:
+//!
+//! * `meta` — first line: schema stamp, worker-pool size, planned keys.
+//! * `span` — one worker lifecycle stretch: `claim` (cache probe +
+//!   single-flight race), `simulate`, `publish`, or `idle`, with
+//!   `start_s`/`end_s` host seconds relative to recorder creation.
+//!   A worker's spans tile its timeline without overlap.
+//! * `cache` — one run-cache outcome per planned key: `hit`, `miss`,
+//!   or `wait` (joined a concurrent in-process simulation), with a
+//!   `torn` flag when a miss recovered a truncated record.
+//! * `sched` — the cost-aware scheduler's decision for one missing
+//!   key: declared position, scheduled position, expected host seconds
+//!   (absent when the cost model had no sample for the key).
+//! * `queue` — a queue-depth snapshot at claim time: keys still
+//!   unclaimed and workers currently busy.
+//! * `rss` — a resident-set sample from `/proc/self/statm`.
+//! * `end` — last line: wall seconds, runs simulated, peak RSS.
+//!
+//! Everything here observes the *host* clock and the host's memory map
+//! only: flight data never enters the published run records, so an
+//! `ATAC_FLIGHT=1` sweep is byte-identical to an unrecorded one (the
+//! regression gate's exact-match proves it in CI). Disabled handles
+//! cost one `Option` branch per call site, mirroring
+//! [`crate::probe::ProbeHandle`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::{parse, Json};
+
+/// The schema string stamped on a journal's `meta` line.
+pub const FLIGHT_SCHEMA: &str = "atac-flight-v1";
+
+/// The schema family the reader accepts.
+pub const FLIGHT_SCHEMA_PREFIX: &str = "atac-flight-v";
+
+/// One worker lifecycle stretch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Cache probe, single-flight race, or condvar wait for a key.
+    Claim,
+    /// The simulation itself (leader path only).
+    Simulate,
+    /// Atomic publication of the freshly simulated record.
+    Publish,
+    /// Between runs, or the tail wait after the queue drained.
+    Idle,
+}
+
+impl SpanKind {
+    /// Every kind, display order.
+    pub const ALL: [SpanKind; 4] = [
+        SpanKind::Claim,
+        SpanKind::Simulate,
+        SpanKind::Publish,
+        SpanKind::Idle,
+    ];
+
+    /// Stable lower-case journal name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Claim => "claim",
+            SpanKind::Simulate => "simulate",
+            SpanKind::Publish => "publish",
+            SpanKind::Idle => "idle",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// How the run cache settled one planned key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Decoded from an already-published record.
+    Hit,
+    /// Simulated by the recording worker (and published).
+    Miss,
+    /// Joined a concurrent in-process simulation of the same key.
+    Wait,
+}
+
+impl CacheOutcome {
+    /// Every outcome, display order.
+    pub const ALL: [CacheOutcome; 3] = [CacheOutcome::Hit, CacheOutcome::Miss, CacheOutcome::Wait];
+
+    /// Stable lower-case journal name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Wait => "wait",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<CacheOutcome> {
+        CacheOutcome::ALL.into_iter().find(|o| o.name() == s)
+    }
+}
+
+/// One journal event (the `meta`/`end` framing lines live on
+/// [`FlightLog`] itself, not in the event stream).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightEvent {
+    /// A worker lifecycle span; `key` is `None` for idle stretches.
+    Span {
+        /// Worker index in the pool.
+        worker: u64,
+        /// Lifecycle stretch kind.
+        kind: SpanKind,
+        /// The run key being worked on (absent while idle).
+        key: Option<String>,
+        /// Start, host seconds since recorder creation.
+        start_s: f64,
+        /// End, host seconds since recorder creation.
+        end_s: f64,
+    },
+    /// A run-cache outcome for one planned key.
+    Cache {
+        /// The run key.
+        key: String,
+        /// How the cache settled it.
+        outcome: CacheOutcome,
+        /// Whether a miss recovered a torn (truncated) record.
+        torn: bool,
+    },
+    /// The scheduler's placement of one missing key.
+    Sched {
+        /// The run key.
+        key: String,
+        /// Position in the plan's declared order.
+        declared: u64,
+        /// Position in the executed (cost-aware) order.
+        scheduled: u64,
+        /// Expected host seconds from the cost model, if it had one.
+        expected_s: Option<f64>,
+    },
+    /// Queue depth at a claim: unclaimed keys and busy workers.
+    Queue {
+        /// Host seconds since recorder creation.
+        t_s: f64,
+        /// Keys not yet claimed by any worker.
+        pending: u64,
+        /// Workers currently inside a run.
+        busy: u64,
+    },
+    /// A resident-set-size sample.
+    Rss {
+        /// Host seconds since recorder creation.
+        t_s: f64,
+        /// Resident bytes per `/proc/self/statm`.
+        bytes: u64,
+    },
+}
+
+/// A whole flight journal: the framing (`meta`/`end`) fields plus the
+/// event stream. Produced by [`FlightRecorder::finish`] on the emitting
+/// side and by [`parse_flight`] on the reading side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightLog {
+    /// Worker-pool size.
+    pub jobs: u64,
+    /// Distinct run keys planned.
+    pub planned: u64,
+    /// The recorded events, journal order.
+    pub events: Vec<FlightEvent>,
+    /// Wall seconds from recorder creation to `finish`.
+    pub wall_s: f64,
+    /// Runs the pool actually simulated.
+    pub runs: u64,
+    /// High-water resident-set bytes across all samples.
+    pub peak_rss_bytes: u64,
+    /// Reader-side count of forward-compatibly skipped lines (unknown
+    /// `type` from a newer writer); always 0 on freshly recorded logs.
+    pub skipped: usize,
+}
+
+impl FlightLog {
+    /// All span events.
+    pub fn spans(&self) -> impl Iterator<Item = (u64, SpanKind, Option<&str>, f64, f64)> {
+        self.events.iter().filter_map(|e| match e {
+            FlightEvent::Span {
+                worker,
+                kind,
+                key,
+                start_s,
+                end_s,
+            } => Some((*worker, *kind, key.as_deref(), *start_s, *end_s)),
+            _ => None,
+        })
+    }
+
+    /// All cache-outcome events.
+    pub fn cache_events(&self) -> impl Iterator<Item = (&str, CacheOutcome, bool)> {
+        self.events.iter().filter_map(|e| match e {
+            FlightEvent::Cache { key, outcome, torn } => Some((key.as_str(), *outcome, *torn)),
+            _ => None,
+        })
+    }
+
+    /// Count of cache events with the given outcome.
+    pub fn outcome_count(&self, outcome: CacheOutcome) -> u64 {
+        self.cache_events()
+            .filter(|(_, o, _)| *o == outcome)
+            .count() as u64
+    }
+
+    /// Render the journal as JSONL: `meta` line, events, `end` line.
+    /// Floats print via `{:?}` so they round-trip bit-exactly.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\": \"{FLIGHT_SCHEMA}\", \"type\": \"meta\", \"jobs\": {}, \
+             \"planned\": {}}}\n",
+            self.jobs, self.planned
+        ));
+        for ev in &self.events {
+            out.push_str(&event_json(ev));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"type\": \"end\", \"t_s\": {:?}, \"runs\": {}, \"peak_rss_bytes\": {}}}\n",
+            self.wall_s, self.runs, self.peak_rss_bytes
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (run keys are plain ASCII, but stay
+/// safe against quotes and backslashes).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One event as a JSON object (no trailing newline).
+pub fn event_json(ev: &FlightEvent) -> String {
+    match ev {
+        FlightEvent::Span {
+            worker,
+            kind,
+            key,
+            start_s,
+            end_s,
+        } => {
+            let key = key
+                .as_deref()
+                .map(|k| format!(", \"key\": \"{}\"", escape(k)))
+                .unwrap_or_default();
+            format!(
+                "{{\"type\": \"span\", \"worker\": {worker}, \"kind\": \"{}\"{key}, \
+                 \"start_s\": {start_s:?}, \"end_s\": {end_s:?}}}",
+                kind.name()
+            )
+        }
+        FlightEvent::Cache { key, outcome, torn } => format!(
+            "{{\"type\": \"cache\", \"key\": \"{}\", \"outcome\": \"{}\", \"torn\": {torn}}}",
+            escape(key),
+            outcome.name()
+        ),
+        FlightEvent::Sched {
+            key,
+            declared,
+            scheduled,
+            expected_s,
+        } => {
+            let expected = expected_s
+                .map(|e| format!(", \"expected_s\": {e:?}"))
+                .unwrap_or_default();
+            format!(
+                "{{\"type\": \"sched\", \"key\": \"{}\", \"declared\": {declared}, \
+                 \"scheduled\": {scheduled}{expected}}}",
+                escape(key)
+            )
+        }
+        FlightEvent::Queue { t_s, pending, busy } => format!(
+            "{{\"type\": \"queue\", \"t_s\": {t_s:?}, \"pending\": {pending}, \"busy\": {busy}}}"
+        ),
+        FlightEvent::Rss { t_s, bytes } => {
+            format!("{{\"type\": \"rss\", \"t_s\": {t_s:?}, \"bytes\": {bytes}}}")
+        }
+    }
+}
+
+fn req_u64(obj: &Json, key: &str, what: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(format!("{what} line has no `{key}`"))
+}
+
+fn req_f64(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or(format!("{what} line has no `{key}`"))
+}
+
+fn req_str(obj: &Json, key: &str, what: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(format!("{what} line has no `{key}`"))
+}
+
+/// Decode one non-framing journal line. `Ok(None)` is a
+/// forward-compatible skip (unknown `type` from a newer writer).
+pub fn parse_event(obj: &Json) -> Result<Option<FlightEvent>, String> {
+    match obj.get("type").and_then(Json::as_str) {
+        Some("span") => {
+            let kind_name = req_str(obj, "kind", "span")?;
+            let kind = SpanKind::from_name(&kind_name)
+                .ok_or(format!("span line has unknown kind `{kind_name}`"))?;
+            let key = obj.get("key").and_then(Json::as_str).map(str::to_string);
+            if key.is_none() && kind != SpanKind::Idle {
+                return Err(format!("`{kind_name}` span line has no `key`"));
+            }
+            Ok(Some(FlightEvent::Span {
+                worker: req_u64(obj, "worker", "span")?,
+                kind,
+                key,
+                start_s: req_f64(obj, "start_s", "span")?,
+                end_s: req_f64(obj, "end_s", "span")?,
+            }))
+        }
+        Some("cache") => {
+            let outcome_name = req_str(obj, "outcome", "cache")?;
+            let outcome = CacheOutcome::from_name(&outcome_name)
+                .ok_or(format!("cache line has unknown outcome `{outcome_name}`"))?;
+            Ok(Some(FlightEvent::Cache {
+                key: req_str(obj, "key", "cache")?,
+                outcome,
+                torn: matches!(obj.get("torn"), Some(Json::Bool(true))),
+            }))
+        }
+        Some("sched") => Ok(Some(FlightEvent::Sched {
+            key: req_str(obj, "key", "sched")?,
+            declared: req_u64(obj, "declared", "sched")?,
+            scheduled: req_u64(obj, "scheduled", "sched")?,
+            expected_s: obj.get("expected_s").and_then(Json::as_f64),
+        })),
+        Some("queue") => Ok(Some(FlightEvent::Queue {
+            t_s: req_f64(obj, "t_s", "queue")?,
+            pending: req_u64(obj, "pending", "queue")?,
+            busy: req_u64(obj, "busy", "queue")?,
+        })),
+        Some("rss") => Ok(Some(FlightEvent::Rss {
+            t_s: req_f64(obj, "t_s", "rss")?,
+            bytes: req_u64(obj, "bytes", "rss")?,
+        })),
+        Some(_) => Ok(None), // a newer writer's type: skip, don't fail
+        None => Err("journal line has no `type`".to_string()),
+    }
+}
+
+/// Parse a whole journal. The first non-blank line must be a `meta`
+/// line in the `atac-flight-v*` schema family; the last must be the
+/// `end` line; unknown event types in between are skipped and counted.
+/// The error names the first malformed line by 1-based number.
+pub fn parse_flight(text: &str) -> Result<FlightLog, String> {
+    let mut log = FlightLog::default();
+    let mut saw_meta = false;
+    let mut saw_end = false;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |e: String| format!("flight journal line {}: {e}", i + 1);
+        if saw_end {
+            return Err(at("event after the `end` line".to_string()));
+        }
+        let obj = parse(line).map_err(|e| at(e.to_string()))?;
+        if !saw_meta {
+            let schema = req_str(&obj, "schema", "meta").map_err(at)?;
+            if !schema.starts_with(FLIGHT_SCHEMA_PREFIX) {
+                return Err(at(format!("unrecognized flight schema `{schema}`")));
+            }
+            if obj.get("type").and_then(Json::as_str) != Some("meta") {
+                return Err(at("journal must open with a `meta` line".to_string()));
+            }
+            log.jobs = req_u64(&obj, "jobs", "meta").map_err(at)?;
+            log.planned = req_u64(&obj, "planned", "meta").map_err(at)?;
+            saw_meta = true;
+            continue;
+        }
+        if obj.get("type").and_then(Json::as_str) == Some("end") {
+            log.wall_s = req_f64(&obj, "t_s", "end").map_err(at)?;
+            log.runs = req_u64(&obj, "runs", "end").map_err(at)?;
+            log.peak_rss_bytes = req_u64(&obj, "peak_rss_bytes", "end").map_err(at)?;
+            saw_end = true;
+            continue;
+        }
+        match parse_event(&obj).map_err(at)? {
+            Some(ev) => log.events.push(ev),
+            None => log.skipped += 1,
+        }
+    }
+    if !saw_meta {
+        return Err("flight journal has no `meta` line".to_string());
+    }
+    if !saw_end {
+        return Err("flight journal has no `end` line".to_string());
+    }
+    Ok(log)
+}
+
+/// Structural summary of a validated journal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightSummary {
+    /// Worker-pool size from the `meta` line.
+    pub jobs: u64,
+    /// Planned keys from the `meta` line.
+    pub planned: u64,
+    /// Total decoded events.
+    pub events: usize,
+    /// Span events.
+    pub spans: usize,
+    /// `simulate` spans (== runs the pool executed).
+    pub simulate_spans: usize,
+    /// Cache `hit` outcomes.
+    pub hits: u64,
+    /// Cache `miss` outcomes.
+    pub misses: u64,
+    /// Cache `wait` outcomes.
+    pub waits: u64,
+    /// Misses that recovered a torn record.
+    pub torn: u64,
+    /// Queue-depth snapshots.
+    pub queue_samples: usize,
+    /// RSS samples.
+    pub rss_samples: usize,
+    /// Runs from the `end` line.
+    pub runs: u64,
+    /// Wall seconds from the `end` line.
+    pub wall_s: f64,
+    /// Peak resident bytes from the `end` line.
+    pub peak_rss_bytes: u64,
+}
+
+/// Validate a journal structurally and summarize it: schema framing,
+/// known vocabularies, per-span sanity (`start_s <= end_s`, worker
+/// index inside the pool, timestamps inside the wall). Reconciliation
+/// *across* events (span tiling, outcome counts vs the plan) is
+/// [`reconcile`]'s job.
+pub fn validate_flight_jsonl(text: &str) -> Result<FlightSummary, String> {
+    let log = parse_flight(text)?;
+    let mut summary = FlightSummary {
+        jobs: log.jobs,
+        planned: log.planned,
+        events: log.events.len(),
+        runs: log.runs,
+        wall_s: log.wall_s,
+        peak_rss_bytes: log.peak_rss_bytes,
+        ..FlightSummary::default()
+    };
+    if log.jobs == 0 {
+        return Err("meta line declares a zero-worker pool".to_string());
+    }
+    for ev in &log.events {
+        match ev {
+            FlightEvent::Span {
+                worker,
+                kind,
+                start_s,
+                end_s,
+                ..
+            } => {
+                summary.spans += 1;
+                if *kind == SpanKind::Simulate {
+                    summary.simulate_spans += 1;
+                }
+                if *worker >= log.jobs {
+                    return Err(format!(
+                        "span names worker {worker} outside the {}-worker pool",
+                        log.jobs
+                    ));
+                }
+                if !(*start_s >= 0.0 && *end_s >= *start_s) {
+                    return Err(format!(
+                        "span runs backwards: start_s {start_s:?} > end_s {end_s:?}"
+                    ));
+                }
+            }
+            FlightEvent::Cache { outcome, torn, .. } => {
+                match outcome {
+                    CacheOutcome::Hit => summary.hits += 1,
+                    CacheOutcome::Miss => summary.misses += 1,
+                    CacheOutcome::Wait => summary.waits += 1,
+                }
+                if *torn {
+                    summary.torn += 1;
+                }
+            }
+            FlightEvent::Sched { .. } => {}
+            FlightEvent::Queue { .. } => summary.queue_samples += 1,
+            FlightEvent::Rss { .. } => summary.rss_samples += 1,
+        }
+    }
+    Ok(summary)
+}
+
+/// Cross-event reconciliation: the invariants the executor's recording
+/// discipline guarantees. Returns the first broken invariant.
+///
+/// * `simulate` spans == the `end` line's `runs`.
+/// * cache `hit + miss + wait` outcomes == planned keys.
+/// * each worker's spans tile its timeline without overlap.
+pub fn reconcile(log: &FlightLog) -> Result<(), String> {
+    let simulated = log
+        .spans()
+        .filter(|(_, kind, ..)| *kind == SpanKind::Simulate)
+        .count() as u64;
+    if simulated != log.runs {
+        return Err(format!(
+            "{simulated} simulate span(s) but the end line reports {} run(s)",
+            log.runs
+        ));
+    }
+    let (hits, misses, waits) = (
+        log.outcome_count(CacheOutcome::Hit),
+        log.outcome_count(CacheOutcome::Miss),
+        log.outcome_count(CacheOutcome::Wait),
+    );
+    if hits + misses + waits != log.planned {
+        return Err(format!(
+            "cache outcomes do not cover the plan: {hits} hit + {misses} miss + \
+             {waits} wait != {} planned",
+            log.planned
+        ));
+    }
+    let mut per_worker: Vec<Vec<(f64, f64)>> = vec![Vec::new(); log.jobs as usize];
+    for (worker, _, _, start_s, end_s) in log.spans() {
+        per_worker[worker as usize].push((start_s, end_s));
+    }
+    const EPS: f64 = 1e-9;
+    for (w, spans) in per_worker.iter_mut().enumerate() {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in spans.windows(2) {
+            if pair[0].1 > pair[1].0 + EPS {
+                return Err(format!(
+                    "worker {w} spans overlap: [{:?}, {:?}] then [{:?}, {:?}]",
+                    pair[0].0, pair[0].1, pair[1].0, pair[1].1
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Current resident-set size in bytes, sampled from `/proc/self/statm`
+/// (field 2, resident pages). `None` off Linux or when procfs is
+/// unreadable. Pages are assumed 4 KiB — the size on every runner this
+/// observability targets; a larger-page host merely under-reports, and
+/// nothing result-bearing reads this.
+pub fn current_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// The thread-safe journal collector the executor fills. Unlike the
+/// `Rc`-based per-worker observers ([`crate::profile::HostProfiler`],
+/// [`crate::netobs::NetObsHandle`]), flight events come from *every*
+/// pool worker into one journal, so the event list sits behind a mutex
+/// — contended only per event, never per simulated cycle.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    t0: Instant,
+    jobs: u64,
+    planned: u64,
+    events: Mutex<Vec<FlightEvent>>,
+    peak_rss: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder for a pool of `jobs` workers over `planned` keys,
+    /// anchored at the current instant.
+    pub fn new(jobs: u64, planned: u64) -> Arc<Self> {
+        let rec = Arc::new(FlightRecorder {
+            t0: Instant::now(),
+            jobs,
+            planned,
+            events: Mutex::new(Vec::new()),
+            peak_rss: AtomicU64::new(0),
+        });
+        rec.sample_rss();
+        rec
+    }
+
+    /// Host seconds since recorder creation.
+    pub fn now(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    fn push(&self, ev: FlightEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
+    }
+
+    /// Record one worker lifecycle span.
+    pub fn span(&self, worker: u64, kind: SpanKind, key: Option<&str>, start_s: f64, end_s: f64) {
+        self.push(FlightEvent::Span {
+            worker,
+            kind,
+            key: key.map(str::to_string),
+            start_s,
+            end_s,
+        });
+    }
+
+    /// Record one cache outcome.
+    pub fn cache(&self, key: &str, outcome: CacheOutcome, torn: bool) {
+        self.push(FlightEvent::Cache {
+            key: key.to_string(),
+            outcome,
+            torn,
+        });
+    }
+
+    /// Record one scheduling decision.
+    pub fn sched(&self, key: &str, declared: u64, scheduled: u64, expected_s: Option<f64>) {
+        self.push(FlightEvent::Sched {
+            key: key.to_string(),
+            declared,
+            scheduled,
+            expected_s,
+        });
+    }
+
+    /// Record a queue-depth snapshot.
+    pub fn queue(&self, pending: u64, busy: u64) {
+        self.push(FlightEvent::Queue {
+            t_s: self.now(),
+            pending,
+            busy,
+        });
+    }
+
+    /// Sample the resident set, record it, and fold the high-water mark.
+    pub fn sample_rss(&self) {
+        if let Some(bytes) = current_rss_bytes() {
+            self.peak_rss.fetch_max(bytes, Ordering::Relaxed);
+            self.push(FlightEvent::Rss {
+                t_s: self.now(),
+                bytes,
+            });
+        }
+    }
+
+    /// Close the journal: final RSS sample, wall stamp, and the drained
+    /// event stream. `runs` is the number of simulations the pool
+    /// actually executed (the `end`-line reconciliation anchor).
+    pub fn finish(&self, runs: u64) -> FlightLog {
+        self.sample_rss();
+        let events = std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        FlightLog {
+            jobs: self.jobs,
+            planned: self.planned,
+            events,
+            wall_s: self.now(),
+            runs,
+            peak_rss_bytes: self.peak_rss.load(Ordering::Relaxed),
+            skipped: 0,
+        }
+    }
+}
+
+/// The handle instrumented code holds: one branch per call when
+/// disabled, an `Arc` clone when enabled — safe to share across the
+/// executor's worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct FlightHandle(Option<Arc<FlightRecorder>>);
+
+impl FlightHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        FlightHandle(None)
+    }
+
+    /// A handle feeding `recorder`.
+    pub fn attach(recorder: Arc<FlightRecorder>) -> Self {
+        FlightHandle(Some(recorder))
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Host seconds since recorder creation (0 when disabled — callers
+    /// gate span bookkeeping on [`Self::enabled`]).
+    pub fn now(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |r| r.now())
+    }
+
+    /// Record one worker lifecycle span.
+    pub fn span(&self, worker: u64, kind: SpanKind, key: Option<&str>, start_s: f64, end_s: f64) {
+        if let Some(r) = &self.0 {
+            r.span(worker, kind, key, start_s, end_s);
+        }
+    }
+
+    /// Record one cache outcome.
+    pub fn cache(&self, key: &str, outcome: CacheOutcome, torn: bool) {
+        if let Some(r) = &self.0 {
+            r.cache(key, outcome, torn);
+        }
+    }
+
+    /// Record one scheduling decision.
+    pub fn sched(&self, key: &str, declared: u64, scheduled: u64, expected_s: Option<f64>) {
+        if let Some(r) = &self.0 {
+            r.sched(key, declared, scheduled, expected_s);
+        }
+    }
+
+    /// Record a queue-depth snapshot.
+    pub fn queue(&self, pending: u64, busy: u64) {
+        if let Some(r) = &self.0 {
+            r.queue(pending, busy);
+        }
+    }
+
+    /// Sample the resident set into the journal.
+    pub fn sample_rss(&self) {
+        if let Some(r) = &self.0 {
+            r.sample_rss();
+        }
+    }
+
+    /// Close the journal, if one is attached.
+    pub fn finish(&self, runs: u64) -> Option<FlightLog> {
+        self.0.as_ref().map(|r| r.finish(runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> FlightLog {
+        FlightLog {
+            jobs: 2,
+            planned: 3,
+            events: vec![
+                FlightEvent::Cache {
+                    key: "k-hit".into(),
+                    outcome: CacheOutcome::Hit,
+                    torn: false,
+                },
+                FlightEvent::Sched {
+                    key: "k-a".into(),
+                    declared: 0,
+                    scheduled: 1,
+                    expected_s: Some(1.5),
+                },
+                FlightEvent::Sched {
+                    key: "k-b".into(),
+                    declared: 1,
+                    scheduled: 0,
+                    expected_s: None,
+                },
+                FlightEvent::Queue {
+                    t_s: 0.0,
+                    pending: 2,
+                    busy: 0,
+                },
+                FlightEvent::Span {
+                    worker: 0,
+                    kind: SpanKind::Claim,
+                    key: Some("k-b".into()),
+                    start_s: 0.0,
+                    end_s: 0.1,
+                },
+                FlightEvent::Span {
+                    worker: 0,
+                    kind: SpanKind::Simulate,
+                    key: Some("k-b".into()),
+                    start_s: 0.1,
+                    end_s: 1.9,
+                },
+                FlightEvent::Span {
+                    worker: 0,
+                    kind: SpanKind::Publish,
+                    key: Some("k-b".into()),
+                    start_s: 1.9,
+                    end_s: 2.0,
+                },
+                FlightEvent::Cache {
+                    key: "k-b".into(),
+                    outcome: CacheOutcome::Miss,
+                    torn: true,
+                },
+                FlightEvent::Span {
+                    worker: 1,
+                    kind: SpanKind::Claim,
+                    key: Some("k-a".into()),
+                    start_s: 0.0,
+                    end_s: 1.2,
+                },
+                FlightEvent::Cache {
+                    key: "k-a".into(),
+                    outcome: CacheOutcome::Wait,
+                    torn: false,
+                },
+                FlightEvent::Span {
+                    worker: 1,
+                    kind: SpanKind::Idle,
+                    key: None,
+                    start_s: 1.2,
+                    end_s: 2.0,
+                },
+                FlightEvent::Rss {
+                    t_s: 1.0,
+                    bytes: 4096,
+                },
+            ],
+            wall_s: 2.0,
+            runs: 1,
+            peak_rss_bytes: 4096,
+            skipped: 0,
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_bit_exactly() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        assert!(text.starts_with("{\"schema\": \"atac-flight-v1\", \"type\": \"meta\""));
+        assert!(text.trim_end().ends_with("\"peak_rss_bytes\": 4096}"));
+        let back = parse_flight(&text).expect("parses");
+        assert_eq!(back, log, "journal must round-trip exactly");
+    }
+
+    #[test]
+    fn validator_summarizes_and_reconciles() {
+        let log = sample_log();
+        let s = validate_flight_jsonl(&log.to_jsonl()).expect("valid");
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.planned, 3);
+        assert_eq!(s.spans, 5);
+        assert_eq!(s.simulate_spans, 1);
+        assert_eq!((s.hits, s.misses, s.waits, s.torn), (1, 1, 1, 1));
+        assert_eq!(s.queue_samples, 1);
+        assert_eq!(s.rss_samples, 1);
+        assert_eq!(s.peak_rss_bytes, 4096);
+        reconcile(&log).expect("invariants hold");
+    }
+
+    #[test]
+    fn reconcile_names_the_broken_invariant() {
+        let mut log = sample_log();
+        log.runs = 5;
+        let err = reconcile(&log).expect_err("run count drifted");
+        assert!(err.contains("1 simulate span(s)"), "{err}");
+        let mut log = sample_log();
+        log.planned = 7;
+        let err = reconcile(&log).expect_err("outcomes do not cover");
+        assert!(err.contains("7 planned"), "{err}");
+        let mut log = sample_log();
+        log.events.push(FlightEvent::Span {
+            worker: 0,
+            kind: SpanKind::Idle,
+            key: None,
+            start_s: 0.5,
+            end_s: 0.6,
+        });
+        let err = reconcile(&log).expect_err("overlapping spans");
+        assert!(err.contains("worker 0 spans overlap"), "{err}");
+    }
+
+    #[test]
+    fn parser_is_forward_compatible_but_not_lax() {
+        let mut text = sample_log().to_jsonl();
+        // Splice a newer writer's event type before the end line: skipped.
+        let end = text.rfind("{\"type\": \"end\"").expect("end line");
+        text.insert_str(end, "{\"type\": \"warp\", \"factor\": 9}\n");
+        let log = parse_flight(&text).expect("future event type skips");
+        assert_eq!(log.skipped, 1);
+        // No meta, foreign schema, unknown span kind, backwards span,
+        // missing end: all errors.
+        assert!(parse_flight("{\"type\": \"end\", \"t_s\": 1.0}").is_err());
+        assert!(parse_flight(
+            "{\"schema\": \"other-v1\", \"type\": \"meta\", \"jobs\": 1, \"planned\": 0}\n"
+        )
+        .is_err());
+        let meta =
+            "{\"schema\": \"atac-flight-v1\", \"type\": \"meta\", \"jobs\": 1, \"planned\": 0}\n";
+        let end = "{\"type\": \"end\", \"t_s\": 1.0, \"runs\": 0, \"peak_rss_bytes\": 0}\n";
+        assert!(parse_flight(meta).is_err(), "end line is mandatory");
+        assert!(parse_flight(&format!(
+            "{meta}{{\"type\": \"span\", \"worker\": 0, \"kind\": \"nap\", \"start_s\": 0.0, \"end_s\": 1.0}}\n{end}"
+        ))
+        .is_err());
+        let bad_span = format!(
+            "{meta}{{\"type\": \"span\", \"worker\": 0, \"kind\": \"idle\", \"start_s\": 2.0, \"end_s\": 1.0}}\n{end}"
+        );
+        assert!(validate_flight_jsonl(&bad_span).is_err(), "backwards span");
+        let stray_worker = format!(
+            "{meta}{{\"type\": \"span\", \"worker\": 3, \"kind\": \"idle\", \"start_s\": 0.0, \"end_s\": 1.0}}\n{end}"
+        );
+        assert!(
+            validate_flight_jsonl(&stray_worker).is_err(),
+            "worker outside pool"
+        );
+        // An event after the end line is torn framing.
+        assert!(parse_flight(&format!("{meta}{end}{end}")).is_err());
+    }
+
+    #[test]
+    fn recorder_collects_thread_safely_and_finishes() {
+        let rec = FlightRecorder::new(2, 4);
+        let handle = FlightHandle::attach(Arc::clone(&rec));
+        assert!(handle.enabled());
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let h = handle.clone();
+                s.spawn(move || {
+                    let t0 = h.now();
+                    let t1 = h.now();
+                    h.span(w, SpanKind::Claim, Some("k"), t0, t1);
+                    h.span(w, SpanKind::Simulate, Some("k"), t1, h.now());
+                    h.cache("k", CacheOutcome::Miss, false);
+                    h.queue(1, 1);
+                });
+            }
+        });
+        handle.cache("k2", CacheOutcome::Hit, false);
+        handle.cache("k3", CacheOutcome::Hit, false);
+        let log = handle.finish(2).expect("attached");
+        assert_eq!(log.jobs, 2);
+        assert_eq!(log.planned, 4);
+        assert_eq!(log.runs, 2);
+        assert_eq!(log.outcome_count(CacheOutcome::Hit), 2);
+        assert_eq!(log.outcome_count(CacheOutcome::Miss), 2);
+        reconcile(&log).expect("recorded journal reconciles");
+        let text = log.to_jsonl();
+        let summary = validate_flight_jsonl(&text).expect("valid journal");
+        assert_eq!(summary.simulate_spans, 2);
+        if cfg!(target_os = "linux") {
+            assert!(log.peak_rss_bytes > 0, "statm sampling must work on linux");
+            assert!(summary.rss_samples >= 2, "creation + finish samples");
+        }
+        // The disabled handle is inert and free.
+        let off = FlightHandle::disabled();
+        assert!(!off.enabled());
+        off.span(0, SpanKind::Idle, None, 0.0, 1.0);
+        off.cache("k", CacheOutcome::Hit, false);
+        assert_eq!(off.now(), 0.0);
+        assert!(off.finish(0).is_none());
+    }
+}
