@@ -80,6 +80,7 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
             "try_send_to_hub",
             "pop_hub_out",
             "hub_out_ready",
+            "has_hub_out",
             "inject_expanded_broadcast",
             "inject_tree_broadcast",
             "note_ready",
@@ -96,6 +97,7 @@ pub const PER_CYCLE_FNS: &[(&str, &[&str])] = &[
             "peek",
             "tick_router",
             "service",
+            "try_forward_run",
             "forward_flit",
             "continues_at",
             "on_tail_arrival",

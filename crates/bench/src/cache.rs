@@ -58,16 +58,18 @@ pub fn netprof_enabled() -> bool {
 }
 
 /// Network sub-phase lap sampling period for bench runs, as a power of
-/// two (`ATAC_NETPROF_SAMPLE_LOG2`, default 4 = clock one tick in 16 and
+/// two (`ATAC_NETPROF_SAMPLE_LOG2`, default 6 = clock one tick in 64 and
 /// scale up). Sampling eliminates nearly all of the netprof host-clock
-/// overhead; set to `0` to time every tick exactly. Sampling only
-/// affects the host-side sub-phase seconds — the integer cycle-domain
-/// counters stay exact either way.
+/// overhead; even paper-scale keys run millions of network ticks, so
+/// tens of thousands of sampled ticks remain and the renormalized
+/// sub-phase split is stable. Set to `0` to time every tick exactly.
+/// Sampling only affects the host-side sub-phase seconds — the integer
+/// cycle-domain counters stay exact either way.
 pub fn netprof_sample_log2() -> u32 {
     std::env::var("ATAC_NETPROF_SAMPLE_LOG2")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
+        .unwrap_or(6)
         .min(16)
 }
 

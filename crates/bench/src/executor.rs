@@ -787,7 +787,11 @@ fn profile_json(p: &HostProfile) -> String {
 /// counters are flat arrays `[flits_routed, credit_stall_cycles,
 /// active_cycles, occupancy_sum, hist0..hist5]` indexed by router id;
 /// `links` is indexed `router * 4 + direction`; the hub arrays are
-/// indexed by cluster.
+/// indexed by cluster. `run_hist` buckets bulk wormhole-run transfer
+/// lengths (1, 2, 3–4, 5–8, 9–16, 17+ flits per grant) and
+/// `bitset_grants`/`scalar_grants` split arbitration grants by which
+/// arbiter path served them — together they show how much of the
+/// flit traffic the packet-granular fast path is absorbing.
 fn netprof_json(p: &NetProfile) -> String {
     let routers: Vec<String> = p
         .routers
@@ -806,7 +810,8 @@ fn netprof_json(p: &NetProfile) -> String {
     format!(
         "{{\"cycles\": {}, \"ticks\": {}, \"skipped\": {}, \"jumps\": {}, \
          \"wake_core\": {}, \"wake_mem\": {}, \"wake_net\": {}, \"epochs\": {}, \
-         \"coalesced\": {}, \"max_epoch_span\": {}, \"hub_unicast\": [{}], \
+         \"coalesced\": {}, \"max_epoch_span\": {}, \"run_hist\": [{}], \
+         \"bitset_grants\": {}, \"scalar_grants\": {}, \"hub_unicast\": [{}], \
          \"hub_broadcast\": [{}], \"links\": [{}], \"routers\": [{}]}}",
         p.cycles,
         p.ticks_executed,
@@ -818,6 +823,9 @@ fn netprof_json(p: &NetProfile) -> String {
         p.epochs_closed,
         p.coalesced_epochs,
         p.max_epoch_span,
+        join_u64(&p.run_len_hist),
+        p.bitset_grants,
+        p.scalar_grants,
         join_u64(&p.hub_unicast_flits),
         join_u64(&p.hub_broadcast_flits),
         join_u64(&p.link_flits),
@@ -1009,6 +1017,9 @@ mod tests {
         np.cycles_skipped = 4;
         np.skip_jumps = 1;
         np.wake_core = 1;
+        np.run_len_hist = [4, 2, 1, 0, 0, 0];
+        np.bitset_grants = 7;
+        np.scalar_grants = 1;
         np.hub_unicast_flits = vec![3];
         np.link_flits = vec![1, 0, 0, 0];
         np.routers = vec![RouterObs {
@@ -1041,6 +1052,10 @@ mod tests {
         assert!(json.contains("\"net_coverage\": 1.0"));
         assert!(json.contains("\"route_compute\": 0.5"));
         assert!(json.contains("\"netprof\": {\"cycles\": 10, \"ticks\": 6, \"skipped\": 4"));
+        // Wormhole fast-path counters ride along in the netprof block:
+        // the run-length histogram and the arbitration grant split.
+        assert!(json.contains("\"run_hist\": [4, 2, 1, 0, 0, 0]"));
+        assert!(json.contains("\"bitset_grants\": 7, \"scalar_grants\": 1"));
         assert!(json.contains("\"hub_unicast\": [3]"));
         assert!(json.contains("\"links\": [1, 0, 0, 0]"));
         assert!(json.contains("\"routers\": [[1, 0, 0, 0, 0, 0, 0, 0, 0, 0]]"));

@@ -105,6 +105,26 @@ pub fn ablation() -> RunPlan {
     plan
 }
 
+/// Paper-scale smoke (the `scale_smoke` binary): the three-architecture
+/// runtime comparison on one benchmark at the ambient `ATAC_CORES` size
+/// — the opt-in 32×32 CI job runs it at the paper's 1024 cores, where
+/// the full suite would blow the runner's wall-clock budget. One
+/// benchmark keeps the job inside a predictable time box while still
+/// exercising every fabric (ONet hub path included) at scale.
+pub fn fig_scale() -> RunPlan {
+    let mut plan = RunPlan::new();
+    for arch in [Arch::atac_plus(), Arch::EMeshBcast, Arch::EMeshPure] {
+        plan.add(
+            SimConfig {
+                arch,
+                ..base_config()
+            },
+            Benchmark::Radix,
+        );
+    }
+    plan
+}
+
 /// Every run the full figure suite needs, deduplicated: the union the
 /// `reproduce` driver warms before rendering anything.
 pub fn full_suite() -> RunPlan {
@@ -179,6 +199,19 @@ mod tests {
         // 2 benches × 3 depths + 3 policies × 2 benches, no overlap
         // (depth 4 = base ATAC+ key differs from the policy keys).
         assert_eq!(ablation().len(), 12);
+    }
+
+    #[test]
+    fn fig_scale_covers_all_three_architectures_once() {
+        let plan = fig_scale();
+        assert_eq!(plan.len(), 3);
+        let keys: std::collections::BTreeSet<String> = plan
+            .entries()
+            .iter()
+            .map(|(cfg, b)| crate::run_key(cfg, *b))
+            .collect();
+        assert_eq!(keys.len(), 3, "one key per architecture, deduped");
+        assert!(keys.iter().all(|k| k.ends_with("|radix")));
     }
 
     #[test]

@@ -262,13 +262,19 @@ impl Network for AtacNet {
 
     fn tick(&mut self, now: Cycle) {
         self.enet.tick(now);
-        // Hub: move completed ENet ejections onto the SWMR links.
-        for cl in 0..self.topo.clusters() {
-            let cl = crate::types::ClusterId(cl as u8); // audit: allow(cast) cluster count ≤ 64 fits u8
-            while self.onet.can_accept(cl) && self.enet.hub_out_ready(cl) {
-                let (msg, inject) = self.enet.pop_hub_out(cl).expect("ready"); // audit: allow(expect) readiness checked by hub_out_ready above
-                self.onet.stats.hub_buffer_reads += 1;
-                self.onet.accept(cl, msg, inject);
+        // Hub: move completed ENet ejections onto the SWMR links. The
+        // per-cluster sweep only runs when the ENet's O(1) hub counter
+        // says some cluster has a completed message — on hubless ticks
+        // (the vast majority) the hand-off costs one branch, not an
+        // O(clusters) scan.
+        if self.enet.has_hub_out() {
+            for cl in 0..self.topo.clusters() {
+                let cl = crate::types::ClusterId(cl as u8); // audit: allow(cast) cluster count ≤ 64 fits u8
+                while self.onet.can_accept(cl) && self.enet.hub_out_ready(cl) {
+                    let (msg, inject) = self.enet.pop_hub_out(cl).expect("ready"); // audit: allow(expect) readiness checked by hub_out_ready above
+                    self.onet.stats.hub_buffer_reads += 1;
+                    self.onet.accept(cl, msg, inject);
+                }
             }
         }
         self.onet.tick(now);

@@ -172,10 +172,18 @@ pub struct Mesh {
     kind: MeshKind,
     flit_width: u32,
     buffer_depth: usize,
+    /// Slab stride per queue: `buffer_depth.next_power_of_two()`, so all
+    /// ring slot arithmetic is an AND with [`Mesh::buf_mask`] instead of
+    /// a division by the runtime depth. Occupancy is still capped at
+    /// `buffer_depth`; the (at most `depth - 1`) surplus slots merely
+    /// rotate through the ring unused.
+    buf_stride: usize,
+    /// `buf_stride - 1` (stride is a power of two).
+    buf_mask: usize,
 
     // ---- struct-of-arrays router state ----
     /// Input-buffer flit slab: queue `q = r*4 + port` rings over slots
-    /// `[q*buffer_depth, (q+1)*buffer_depth)`.
+    /// `[q*buf_stride, (q+1)*buf_stride)`.
     buf_slab: Vec<Flit>,
     /// Ring head offset per input queue (`r*4 + port`).
     buf_head: Vec<u8>,
@@ -197,6 +205,30 @@ pub struct Mesh {
     /// of each `tick_router` and min-merged on every deposit, so it is
     /// never late — the skip-ahead contract.
     next_ready: Vec<Cycle>,
+    /// Per input queue (`r*4 + port`): first cycle the queue may be
+    /// serviced again after a bulk run transfer. A bulk grant moves the
+    /// flits the per-cycle switch would have moved over the next `m`
+    /// cycles, so the queue is sealed for exactly that window — it stays
+    /// in the candidate census (rotation parity) but peeks as empty.
+    busy_until: Vec<Cycle>,
+    /// Per input queue: packet id whose output port at *this* router is
+    /// cached in `run_port` ([`NO_OWNER`] when empty). The head flit of
+    /// every packet computes the XY decision once as it crosses the
+    /// link; body and tail flits of the same wormhole run reuse it with
+    /// zero route recomputation.
+    run_port_pkt: Vec<u32>,
+    /// Cached output port per input queue (valid iff `run_port_pkt`
+    /// matches the packet being pushed).
+    run_port: Vec<Port>,
+    /// Cached continuation decision per input queue (valid iff
+    /// `run_port_pkt` matches): whether the packet continues past this
+    /// router. Body and tail flits use it to skip the packet-slab load
+    /// entirely — the one random-access read on the per-flit path.
+    run_cont: Vec<bool>,
+    /// Messages currently queued across all hub ejection buffers —
+    /// maintained on push/pop so `is_idle`/`next_event` never scan the
+    /// per-cluster queues (O(active), not O(clusters)).
+    hub_out_msgs: u64,
 
     // ---- precomputed geometry (all per-cycle div/mod hoisted here) ----
     /// Tile coordinates per router.
@@ -209,10 +241,11 @@ pub struct Mesh {
 
     packets: Vec<Option<Packet>>,
     free: Vec<u32>,
-    /// Routers that may have work this tick (sorted before processing for
-    /// determinism).
-    active: Vec<u32>,
-    is_active: Vec<bool>,
+    /// Routers that may have work this tick, as a bitmap (one bit per
+    /// router). Draining set bits word-by-word visits routers in
+    /// ascending index order, so deterministic processing order falls
+    /// out of the representation — no sort, no dedup flag array.
+    active_bits: Vec<u64>,
     deliveries: Vec<Delivery>,
     /// Per-cluster hub ejection: assembled messages (with their original
     /// injection cycle, for end-to-end latency) + flit occupancy.
@@ -236,9 +269,9 @@ pub struct Mesh {
     /// no dynamic dispatch) and cross the observer boundary once per run
     /// via [`Mesh::flush_obs`].
     lobs: NetProfile,
-    /// Double buffer for `active`: the two lists are swapped each tick,
-    /// so neither reallocates once warm.
-    work: Vec<u32>,
+    /// Double buffer for `active_bits`: swapped in each tick, so
+    /// deposits during processing land in the *next* tick's set.
+    work_bits: Vec<u64>,
     /// Reused completed-replication-index scratch for `tick_router`.
     rep_done_scratch: Vec<usize>,
 }
@@ -268,12 +301,15 @@ impl Mesh {
                 neighbor[r * 4 + Port::West.idx()] = u32::from(topo.core_at(x - 1, y).0);
             }
         }
+        let buf_stride = buffer_depth.next_power_of_two();
         Mesh {
             topo,
             kind,
             flit_width,
             buffer_depth,
-            buf_slab: vec![NO_FLIT; n * 4 * buffer_depth],
+            buf_stride,
+            buf_mask: buf_stride - 1,
+            buf_slab: vec![NO_FLIT; n * 4 * buf_stride],
             buf_head: vec![0; n * 4],
             buf_len: vec![0; n * 4],
             out_owner: vec![NO_OWNER; n * 6],
@@ -281,13 +317,17 @@ impl Mesh {
             nicq: (0..n).map(|_| VecDeque::new()).collect(),
             nic_sent: vec![0; n],
             next_ready: vec![Cycle::MAX; n],
+            busy_until: vec![0; n * 4],
+            run_port_pkt: vec![NO_OWNER; n * 4],
+            run_port: vec![Port::Local; n * 4],
+            run_cont: vec![false; n * 4],
+            hub_out_msgs: 0,
             coords,
             neighbor,
             cluster,
             packets: Vec::new(),
             free: Vec::new(),
-            active: Vec::new(),
-            is_active: vec![false; n],
+            active_bits: vec![0; n.div_ceil(64)],
             deliveries: Vec::new(),
             hub_out: (0..topo.clusters()).map(|_| VecDeque::new()).collect(),
             hub_used: vec![0; topo.clusters()],
@@ -297,7 +337,7 @@ impl Mesh {
             obs: NetObsHandle::disabled(),
             obs_on: false,
             lobs: NetProfile::new(),
-            work: Vec::new(),
+            work_bits: vec![0; n.div_ceil(64)],
             rep_done_scratch: Vec::new(),
         }
     }
@@ -377,11 +417,9 @@ impl Mesh {
     }
 
     fn activate(&mut self, r: usize) {
-        if !self.is_active[r] {
-            self.is_active[r] = true;
-            // audit: allow(alloc) amortized: double-buffered with `work`, so capacity reaches steady state and push stops allocating
-            self.active.push(r as u32); // audit: allow(cast) router index < cores ≤ 1024
-        }
+        // Branchless and idempotent: setting an already-set bit is a
+        // no-op, so deposits need no `is_active` dedup check.
+        self.active_bits[r >> 6] |= 1u64 << (r & 63);
     }
 
     /// Lower `r`'s next-event horizon to `at` (deposits only move it
@@ -501,6 +539,7 @@ impl Mesh {
         if let Some((ref msg, _)) = m {
             let len = u32::from(self.flits_of(msg));
             self.hub_used[cluster.idx()] -= len;
+            self.hub_out_msgs -= 1;
         }
         m
     }
@@ -508,6 +547,13 @@ impl Mesh {
     /// Peek whether a hub buffer holds a completed message.
     pub fn hub_out_ready(&self, cluster: ClusterId) -> bool {
         !self.hub_out[cluster.idx()].is_empty()
+    }
+
+    /// Whether *any* hub ejection buffer holds a completed message — an
+    /// O(1) counter read, so the hub arbiter can skip its per-cluster
+    /// hand-off sweep entirely on hubless ticks.
+    pub fn has_hub_out(&self) -> bool {
+        self.hub_out_msgs > 0
     }
 
     /// EMesh-Pure: a broadcast becomes `N−1` unicast packets queued at the
@@ -620,7 +666,7 @@ impl Mesh {
 
     /// Whether the network holds any traffic.
     pub fn is_idle(&self) -> bool {
-        self.active.is_empty() && self.hub_out.iter().all(|q| q.is_empty())
+        self.hub_out_msgs == 0 && self.active_bits.iter().all(|&w| w == 0)
     }
 
     /// Earliest future cycle at which this mesh could move a flit, change
@@ -633,21 +679,24 @@ impl Mesh {
     /// router's horizon at `now`, so the mesh never skips over cycles in
     /// which arbitration or credit state could evolve.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        if self.hub_out.iter().any(|q| !q.is_empty()) {
+        if self.hub_out_msgs > 0 {
             return Some(now + 1); // the hub consumer may pop any cycle
         }
         let mut t = Cycle::MAX;
-        for &r in &self.active {
-            t = t.min(self.next_ready[r as usize]);
+        let mut any = false;
+        for (wi, &word) in self.active_bits.iter().enumerate() {
+            let mut w = word;
+            any |= w != 0;
+            while w != 0 {
+                let r = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                t = t.min(self.next_ready[r]);
+            }
         }
         if t == Cycle::MAX {
             // Routers activated by an edge-terminating multicast flit may
             // hold no work; one conservative tick retires them.
-            return if self.active.is_empty() {
-                None
-            } else {
-                Some(now + 1)
-            };
+            return if any { Some(now + 1) } else { None };
         }
         Some(t.max(now + 1))
     }
@@ -667,36 +716,41 @@ impl Mesh {
 
     /// Advance the mesh by one cycle.
     pub fn tick(&mut self, now: Cycle) {
-        // Deterministic processing order. Swapping with the `work`
-        // double buffer (instead of `mem::take`) keeps both lists'
-        // capacity warm, so the active-list machinery stops allocating
-        // after the first few ticks.
-        self.active.sort_unstable();
-        std::mem::swap(&mut self.active, &mut self.work);
-        // Allow routers to be (re-)activated during processing, including
-        // by deposits into routers later in this very list.
-        for i in 0..self.work.len() {
-            self.is_active[self.work[i] as usize] = false;
-        }
+        // Swap the live bitmap into the `work_bits` double buffer:
+        // draining its set bits word-by-word visits routers in ascending
+        // index order (deterministic), while deposits made during
+        // processing — including into routers earlier in this very pass
+        // — land in the fresh `active_bits` for the next tick.
+        std::mem::swap(&mut self.active_bits, &mut self.work_bits);
         self.prof.net_lap(NetSubPhase::SkipScan);
-        for i in 0..self.work.len() {
-            let r = self.work[i] as usize;
-            // Horizon gate: a router whose every source is strictly in
-            // the future would tick as a pure no-op (`next_ready` is
-            // never late), so skip the whole service pass. It stays on
-            // the active list via the reactivation sweep below and is
-            // ticked again once the clock reaches its horizon.
-            if self.next_ready[r] <= now {
-                self.tick_router(r, now);
+        for wi in 0..self.work_bits.len() {
+            let mut w = self.work_bits[wi];
+            self.work_bits[wi] = 0;
+            while w != 0 {
+                let r = (wi << 6) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                // Horizon gate: a router whose every source is strictly
+                // in the future would tick as a pure no-op (`next_ready`
+                // is never late), so skip the whole service pass; the
+                // reactivation check below keeps it on the active set.
+                if self.next_ready[r] <= now {
+                    self.tick_router(r, now);
+                }
+                // `next_ready[r] != MAX` ⇔ `has_work(r)` at this point:
+                // a ticked router just recomputed its horizon exactly, a
+                // gated router kept its work (only a router's own tick
+                // consumes it), and every deposit path min-merges a
+                // finite horizon via `note_ready`. Checking right after
+                // the router's own slot is equivalent to a separate
+                // post-pass sweep: later routers can only *lower* this
+                // horizon, and any deposit they make calls `activate`
+                // itself.
+                debug_assert_eq!(self.next_ready[r] != Cycle::MAX, self.has_work(r));
+                if self.next_ready[r] != Cycle::MAX {
+                    self.activate(r);
+                }
             }
         }
-        for i in 0..self.work.len() {
-            let r = self.work[i] as usize;
-            if self.has_work(r) {
-                self.activate(r);
-            }
-        }
-        self.work.clear();
         self.prof.net_lap(NetSubPhase::SkipScan);
     }
 
@@ -706,7 +760,7 @@ impl Mesh {
         if self.buf_len[q] == 0 {
             None
         } else {
-            Some(&self.buf_slab[q * self.buffer_depth + self.buf_head[q] as usize])
+            Some(&self.buf_slab[q * self.buf_stride + self.buf_head[q] as usize])
         }
     }
 
@@ -716,8 +770,8 @@ impl Mesh {
     fn buf_push(&mut self, q: usize, f: Flit) {
         let len = self.buf_len[q] as usize;
         debug_assert!(len < self.buffer_depth, "credit check precedes enqueue");
-        let slot = (self.buf_head[q] as usize + len) % self.buffer_depth;
-        self.buf_slab[q * self.buffer_depth + slot] = f;
+        let slot = (self.buf_head[q] as usize + len) & self.buf_mask;
+        self.buf_slab[q * self.buf_stride + slot] = f;
         self.buf_len[q] = (len + 1) as u8; // audit: allow(cast) buffer depth ≤ 255
     }
 
@@ -726,7 +780,7 @@ impl Mesh {
     fn buf_pop(&mut self, q: usize) {
         debug_assert!(self.buf_len[q] > 0);
         // audit: allow(cast) buffer depth ≤ 255
-        self.buf_head[q] = ((self.buf_head[q] as usize + 1) % self.buffer_depth) as u8;
+        self.buf_head[q] = ((self.buf_head[q] as usize + 1) & self.buf_mask) as u8;
         self.buf_len[q] -= 1;
     }
 
@@ -736,7 +790,14 @@ impl Mesh {
     fn peek(&self, r: usize, src: Src, now: Cycle) -> Option<(u32, u8, u8, bool, Port)> {
         match src {
             Src::In(i) => {
-                let f = self.buf_front(r * 4 + i)?;
+                let q = r * 4 + i;
+                // A queue inside a bulk-run window has already moved the
+                // flits the per-cycle switch would move before
+                // `busy_until`; it stays in the census but emits nothing.
+                if self.busy_until[q] > now {
+                    return None;
+                }
+                let f = self.buf_front(q)?;
                 if f.arrival > now {
                     return None;
                 }
@@ -766,26 +827,26 @@ impl Mesh {
     }
 
     fn tick_router(&mut self, r: usize, now: Cycle) {
-        if self.obs_on {
-            let occ: usize = self.buf_len[r * 4..r * 4 + 4]
-                .iter()
-                .map(|&l| l as usize)
-                .sum();
-            let ro = &mut self.lobs.routers[r];
-            ro.active_cycles += 1;
-            ro.occupancy_sum += occ as u64;
-            ro.occupancy_hist[occ_bucket(occ)] += 1;
-        }
         // Candidate census straight from the occupancy words (maintained
         // on enqueue/dequeue — no scratch list is ever rebuilt). The
         // snapshot keeps round-robin positions stable while queues drain
         // mid-loop; no source can *appear* at this router during its own
-        // service loop (deposits only target neighbours).
+        // service loop (deposits only target neighbours). The occupancy
+        // sum for the observer falls out of the same four loads.
         let mut mask: u8 = 0;
+        let mut occ = 0usize;
         for p in 0..4 {
-            if self.buf_len[r * 4 + p] != 0 {
+            let l = self.buf_len[r * 4 + p];
+            occ += l as usize;
+            if l != 0 {
                 mask |= 1 << p;
             }
+        }
+        if self.obs_on {
+            let ro = &mut self.lobs.routers[r];
+            ro.active_cycles += 1;
+            ro.occupancy_sum += occ as u64;
+            ro.occupancy_hist[occ_bucket(occ)] += 1;
         }
         let has_nic = !self.nicq[r].is_empty();
         let nrep = self.repq[r].len();
@@ -796,36 +857,119 @@ impl Mesh {
             self.prof.net_lap(NetSubPhase::QueueOps);
             return;
         }
-        let rot = (now as usize + r) % total;
+        // Lone-buffered-candidate fast path — the steady-state of one
+        // wormhole stream crossing an otherwise quiet router, and by far
+        // the most common census. Rotation over one candidate is the
+        // identity and the post-service horizon can only come from that
+        // same queue (the other queues, the NIC and the replication list
+        // were empty at census, and a router's own service deposits only
+        // into neighbours), so the bitset walk and the four-queue
+        // horizon scan collapse to a single service call and one
+        // buffer-front probe. Bit-identical to the general path below.
+        if total == 1 && mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            let mut out_used = [false; 6];
+            let mut rep_done = std::mem::take(&mut self.rep_done_scratch);
+            let granted = self.service(r, Src::In(i), now, &mut out_used, &mut rep_done);
+            self.rep_done_scratch = rep_done;
+            if granted && self.obs_on {
+                self.lobs.bitset_grants += 1;
+            }
+            let q = r * 4 + i;
+            self.next_ready[r] = match self.buf_front(q) {
+                Some(f) => f.arrival.max(self.busy_until[q]),
+                None => Cycle::MAX,
+            };
+            self.prof.net_lap(NetSubPhase::QueueOps);
+            return;
+        }
+        // A lone candidate needs no rotation — and it is the common case
+        // by far, so it skips the integer division entirely.
+        let rot = if total == 1 {
+            0
+        } else {
+            (now as usize + r) % total
+        };
         let mut out_used = [false; 6];
         // Track repq entries that completed, to remove after the loop.
         let mut rep_done = std::mem::take(&mut self.rep_done_scratch);
         // Round-robin service order: canonical candidates In(0..4), Nic,
-        // Rep(0..n) rotated left by `rot`, enumerated arithmetically —
-        // pass 0 serves canonical positions `rot..total`, pass 1 serves
-        // `0..rot`. Identical order to the old rotated scratch list.
-        for pass in 0..2u8 {
-            let serve_from = pass == 0;
-            let mut pos = 0usize;
-            for p in 0..4 {
-                if mask & (1 << p) != 0 {
-                    if (pos >= rot) == serve_from {
-                        self.service(r, Src::In(p), now, &mut out_used, &mut rep_done);
+        // Rep(0..n) rotated left by `rot`. The candidates are packed
+        // into one request bitset word — bits 0..4 the input queues
+        // (straight from the occupancy mask), bit 4 the NIC, bits 5+i
+        // the replication flows — and arbitration walks set bits with
+        // `trailing_zeros`: first the bits at canonical positions
+        // `rot..total` (the word with its `rot` lowest set bits
+        // cleared), then the remaining `rot` low bits. Identical order
+        // to the old two-pass positional scan, pinned by the
+        // determinism tests. Routers whose replication queue overflows
+        // the word (nrep > 59, transient broadcast storms) fall back to
+        // the positional scan.
+        let mut grants = 0u64;
+        if nrep <= u64::BITS as usize - 5 {
+            let word: u64 =
+                u64::from(mask) | (u64::from(has_nic) << 4) | (((1u64 << nrep) - 1) << 5);
+            debug_assert_eq!(word.count_ones() as usize, total);
+            let mut rest = word;
+            for _ in 0..rot {
+                rest &= rest - 1; // clear the lowest set bit, rot times
+            }
+            let head = word ^ rest;
+            for bits in [rest, head] {
+                let mut w = bits;
+                while w != 0 {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let src = if b < 4 {
+                        Src::In(b)
+                    } else if b == 4 {
+                        Src::Nic
+                    } else {
+                        Src::Rep(b - 5)
+                    };
+                    if self.service(r, src, now, &mut out_used, &mut rep_done) {
+                        grants += 1;
+                    }
+                }
+            }
+            if self.obs_on {
+                self.lobs.bitset_grants += grants;
+            }
+        } else {
+            // Positional fallback: pass 0 serves canonical positions
+            // `rot..total`, pass 1 serves `0..rot`.
+            for pass in 0..2u8 {
+                let serve_from = pass == 0;
+                let mut pos = 0usize;
+                for p in 0..4 {
+                    if mask & (1 << p) != 0 {
+                        if (pos >= rot) == serve_from
+                            && self.service(r, Src::In(p), now, &mut out_used, &mut rep_done)
+                        {
+                            grants += 1;
+                        }
+                        pos += 1;
+                    }
+                }
+                if has_nic {
+                    if (pos >= rot) == serve_from
+                        && self.service(r, Src::Nic, now, &mut out_used, &mut rep_done)
+                    {
+                        grants += 1;
+                    }
+                    pos += 1;
+                }
+                for i in 0..nrep {
+                    if (pos >= rot) == serve_from
+                        && self.service(r, Src::Rep(i), now, &mut out_used, &mut rep_done)
+                    {
+                        grants += 1;
                     }
                     pos += 1;
                 }
             }
-            if has_nic {
-                if (pos >= rot) == serve_from {
-                    self.service(r, Src::Nic, now, &mut out_used, &mut rep_done);
-                }
-                pos += 1;
-            }
-            for i in 0..nrep {
-                if (pos >= rot) == serve_from {
-                    self.service(r, Src::Rep(i), now, &mut out_used, &mut rep_done);
-                }
-                pos += 1;
+            if self.obs_on {
+                self.lobs.scalar_grants += grants;
             }
         }
 
@@ -841,8 +985,11 @@ impl Mesh {
         // earliest replication readiness.
         let mut horizon = Cycle::MAX;
         for p in 0..4 {
-            if let Some(f) = self.buf_front(r * 4 + p) {
-                horizon = horizon.min(f.arrival);
+            let q = r * 4 + p;
+            if let Some(f) = self.buf_front(q) {
+                // A queue sealed by a bulk run cannot emit before its
+                // window closes, whatever its front flit's arrival.
+                horizon = horizon.min(f.arrival.max(self.busy_until[q]));
             }
         }
         if !self.nicq[r].is_empty() {
@@ -856,7 +1003,8 @@ impl Mesh {
     }
 
     /// Try to move one flit from `src` through router `r`'s switch — one
-    /// iteration of the round-robin service loop.
+    /// iteration of the round-robin service loop. Returns whether a
+    /// grant moved anything (one bulk run counts once).
     fn service(
         &mut self,
         r: usize,
@@ -864,15 +1012,15 @@ impl Mesh {
         now: Cycle,
         out_used: &mut OutUsed,
         rep_done: &mut Vec<usize>,
-    ) {
+    ) -> bool {
         let Some((pkt_id, idx, len, is_head, out)) = self.peek(r, src, now) else {
-            return;
+            return false;
         };
         let is_tail = idx + 1 == len;
         let oi = out.idx();
         self.prof.net_lap(NetSubPhase::RouteCompute);
         if out_used[oi] {
-            return;
+            return false;
         }
         // Switch allocation (wormhole: the head claims the output,
         // the tail releases it).
@@ -880,18 +1028,32 @@ impl Mesh {
         if owner == pkt_id {
             // This packet already holds the port; keep streaming.
         } else if owner != NO_OWNER {
-            return; // output held by another packet
+            return false; // output held by another packet
         } else {
             if !is_head {
                 // A body flit whose allocation was lost can only
                 // happen through a bug; wormhole keeps ownership.
                 debug_assert!(false, "body flit without allocation");
-                return;
+                return false;
             }
             self.out_owner[r * 6 + oi] = pkt_id;
             self.stats.arbitrations += 1;
         }
         self.prof.net_lap(NetSubPhase::SwitchArb);
+
+        // Packet-granular fast path: a buffered body flit streaming an
+        // owned direction port may pull its whole arrival-eligible run
+        // through the switch in this one grant (exactly the flits the
+        // per-cycle loop would move over the window it seals).
+        if !is_head && !is_tail {
+            if let (Src::In(i), Port::North | Port::South | Port::East | Port::West) = (src, out) {
+                if self.try_forward_run(r, i, out, pkt_id, len, now).is_some() {
+                    out_used[oi] = true;
+                    self.prof.net_lap(NetSubPhase::QueueOps);
+                    return true;
+                }
+            }
+        }
 
         // Can the flit actually move?
         let moved = match out {
@@ -905,7 +1067,7 @@ impl Mesh {
             }
         };
         if !moved {
-            return;
+            return false;
         }
         out_used[oi] = true;
         self.stats.xbar_traversals += 1;
@@ -914,6 +1076,7 @@ impl Mesh {
             if oi < 4 {
                 self.lobs.link_flits[r * 4 + oi] += 1;
             }
+            self.lobs.run_len_hist[0] += 1; // single-flit grant
         }
 
         // Consume from the source.
@@ -943,6 +1106,114 @@ impl Mesh {
             self.out_owner[r * 6 + oi] = NO_OWNER;
         }
         self.prof.net_lap(NetSubPhase::QueueOps);
+        true
+    }
+
+    /// Bulk body-run transfer: move the arrival-eligible prefix of the
+    /// wormhole run at the front of input queue `i` through router `r`'s
+    /// switch in one grant — a slab-to-slab copy instead of `m` per-flit
+    /// ring pushes across `m` router ticks. Returns the run length, or
+    /// `None` when the run is not bulk-eligible (the caller falls back
+    /// to the per-flit path).
+    ///
+    /// Exact per-cycle equivalence, flit by flit: the `j`-th moved flit
+    /// would cross the switch at cycle `now + j` (ownership blocks every
+    /// competitor for this output; arrival eligibility is checked per
+    /// flit; `m` never exceeds the downstream credit in hand, which only
+    /// grows), so it is pushed with the arrival stamp `now + j + 2` the
+    /// per-cycle loop would give it. The source queue is sealed via
+    /// `busy_until` for exactly the window the flits would have occupied
+    /// and keeps ≥ 1 flit (`m ≤ len − 1`), so the candidate census —
+    /// and with it the round-robin rotation — is unchanged on every
+    /// intermediate cycle. Head flits (port claim), tail flits (port
+    /// release, multicast spawns) and ejection ports always take the
+    /// per-cycle path, so allocation timing is untouched.
+    fn try_forward_run(
+        &mut self,
+        r: usize,
+        i: usize,
+        out: Port,
+        pkt_id: u32,
+        len: u8,
+        now: Cycle,
+    ) -> Option<usize> {
+        let oi = out.idx();
+        let nri = self.neighbor[r * 4 + oi];
+        debug_assert!(nri != NO_NEIGHBOR, "XY routing never walks off the edge");
+        let nri = nri as usize;
+        let q_src = r * 4 + i;
+        let q_dst = nri * 4 + (oi ^ 1);
+        // The head of this run already crossed into `q_dst` and cached
+        // its continuation + XY decision there (ownership of this output
+        // means nothing else touched the entry since), so body flits
+        // recompute neither and never load the packet slab.
+        let (continues, port) = if self.run_port_pkt[q_dst] == pkt_id {
+            (self.run_cont[q_dst], self.run_port[q_dst])
+        } else {
+            let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
+            let cont = self.continues_at(&pkt, nri);
+            let p = if cont {
+                self.route_port(&pkt, nri)
+            } else {
+                Port::Local // never read: non-continuing flits are not buffered
+            };
+            (cont, p)
+        };
+        if !continues {
+            return None; // edge-terminating multicast: per-flit link walk
+        }
+        let k = usize::from(self.buf_len[q_src]);
+        let free = self.buffer_depth - usize::from(self.buf_len[q_dst]);
+        // ≥1 flit stays behind (census parity); never outrun the credit
+        // in hand; head/tail and not-yet-arrived flits stop the walk.
+        let limit = (k - 1).min(free);
+        if limit < 2 {
+            return None;
+        }
+        let base = q_src * self.buf_stride;
+        let head = usize::from(self.buf_head[q_src]);
+        let mut m = 0usize;
+        while m < limit {
+            let f = &self.buf_slab[base + ((head + m) & self.buf_mask)];
+            if f.pkt != pkt_id || f.idx + 1 == f.len || f.arrival > now + m as Cycle {
+                break;
+            }
+            m += 1;
+        }
+        if m < 2 {
+            return None; // a single flit is exactly the per-flit path
+        }
+        self.prof.net_lap(NetSubPhase::Credit);
+        let dst_base = q_dst * self.buf_stride;
+        let dst_head = usize::from(self.buf_head[q_dst]);
+        let dst_len = usize::from(self.buf_len[q_dst]);
+        for j in 0..m {
+            let f = self.buf_slab[base + ((head + j) & self.buf_mask)];
+            let slot = (dst_head + dst_len + j) & self.buf_mask;
+            self.buf_slab[dst_base + slot] = Flit {
+                pkt: pkt_id,
+                idx: f.idx,
+                len,
+                port,
+                arrival: now + j as Cycle + 2,
+            };
+        }
+        self.buf_head[q_src] = ((head + m) & self.buf_mask) as u8; // audit: allow(cast) buffer depth ≤ 255
+        self.buf_len[q_src] -= m as u8; // audit: allow(cast) m ≤ buffer depth ≤ 255
+        self.buf_len[q_dst] = (dst_len + m) as u8; // audit: allow(cast) bounded by buffer depth ≤ 255
+        self.busy_until[q_src] = now + m as Cycle;
+        self.stats.buffer_reads += m as u64;
+        self.stats.buffer_writes += m as u64;
+        self.stats.link_traversals += m as u64;
+        self.stats.xbar_traversals += m as u64;
+        self.note_ready(nri, now + 2);
+        self.activate(nri);
+        if self.obs_on {
+            self.lobs.routers[r].flits_routed += m as u64;
+            self.lobs.link_flits[r * 4 + oi] += m as u64;
+            self.lobs.run_len_hist[atac_trace::run_bucket(m)] += 1;
+        }
+        Some(m)
     }
 
     /// Forward a flit out a direction port into the neighbouring router's
@@ -963,10 +1234,39 @@ impl Mesh {
         let nri = self.neighbor[r * 4 + oi];
         debug_assert!(nri != NO_NEIGHBOR, "XY routing never walks off the edge");
         let nri = nri as usize;
-        let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
-        let continues = self.continues_at(&pkt, nri);
         // Opposite ports pair by index (N↔S = 0↔1, E↔W = 2↔3).
         let q = nri * 4 + (oi ^ 1);
+        // The head flit resolves continuation and the XY decision once
+        // per hop and caches both on the downstream queue; body and tail
+        // flits of the same wormhole run reuse them and skip the
+        // packet-slab load entirely (upstream ownership means no other
+        // packet's flits interleave into this queue until the tail
+        // passes, and a fresh head always refreshes the cache before its
+        // body arrives, so a non-head hit is always this packet's entry).
+        let (continues, port) = if idx == 0 {
+            let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
+            let cont = self.continues_at(&pkt, nri);
+            let p = if cont {
+                self.route_port(&pkt, nri)
+            } else {
+                Port::Local // never read: non-continuing flits are not buffered
+            };
+            self.run_port_pkt[q] = pkt_id;
+            self.run_port[q] = p;
+            self.run_cont[q] = cont;
+            (cont, p)
+        } else if self.run_port_pkt[q] == pkt_id {
+            (self.run_cont[q], self.run_port[q])
+        } else {
+            let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
+            let cont = self.continues_at(&pkt, nri);
+            let p = if cont {
+                self.route_port(&pkt, nri)
+            } else {
+                Port::Local
+            };
+            (cont, p)
+        };
         if continues && usize::from(self.buf_len[q]) >= self.buffer_depth {
             if self.obs_on {
                 self.lobs.routers[r].credit_stall_cycles += 1;
@@ -977,7 +1277,6 @@ impl Mesh {
         self.prof.net_lap(NetSubPhase::Credit);
         self.stats.link_traversals += 1;
         if continues {
-            let port = self.route_port(&pkt, nri);
             self.buf_push(
                 q,
                 Flit {
@@ -1118,11 +1417,16 @@ impl Mesh {
             let pkt = self.packets[pkt_id as usize].expect("live packet"); // audit: allow(expect) flit refs keep the slab entry live
                                                                            // audit: allow(alloc) consumer-drained: popped by the hub arbiter every cycle via `pop_hub_out`
             self.hub_out[cl].push_back((pkt.msg, pkt.inject));
+            self.hub_out_msgs += 1;
             self.free_packet(pkt_id);
         }
         true
     }
 }
+#[cfg(test)]
+#[path = "mesh_golden.rs"]
+mod golden;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,787 @@
+//! Differential golden model for [`super::Mesh`] (test-only).
+//!
+//! `RefMesh` is the wormhole mesh semantics written as naively as
+//! possible: every router ticked every cycle, positional round-robin
+//! arbitration, strictly one flit per source per grant. None of the
+//! production fast paths exist here — no active-set bitmap, no
+//! `next_ready` horizons, no `busy_until` bulk-run seals, no
+//! continuation caches, no bitset arbitration. The production mesh
+//! claims bit-identical behaviour to this per-flit model; the
+//! differential tests below drive both with the same seeded traffic and
+//! compare every delivery, every hub pop and every back-pressure
+//! decision, cycle for cycle.
+
+use super::*;
+use crate::types::MessageClass;
+
+/// Per-flit reference mesh. Same externally observable contract as
+/// [`Mesh`] (`try_send` / `try_send_to_hub` / `tick` / deliveries / hub
+/// pops), none of the optimisations.
+struct RefMesh {
+    topo: Topology,
+    kind: MeshKind,
+    flit_width: u32,
+    depth: usize,
+    packets: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    /// Input buffer per `q = r*4 + port` — a plain `VecDeque`, no slab.
+    bufs: Vec<VecDeque<Flit>>,
+    nicq: Vec<VecDeque<u32>>,
+    nic_sent: Vec<u8>,
+    repq: Vec<VecDeque<Flow>>,
+    out_owner: Vec<u32>,
+    hub_out: Vec<VecDeque<(Message, Cycle)>>,
+    hub_used: Vec<u32>,
+    deliveries: Vec<Delivery>,
+}
+
+impl RefMesh {
+    fn new(topo: Topology, kind: MeshKind, flit_width: u32, depth: usize) -> Self {
+        let n = topo.cores();
+        RefMesh {
+            topo,
+            kind,
+            flit_width,
+            depth,
+            packets: Vec::new(),
+            free: Vec::new(),
+            bufs: (0..n * 4).map(|_| VecDeque::new()).collect(),
+            nicq: (0..n).map(|_| VecDeque::new()).collect(),
+            nic_sent: vec![0; n],
+            repq: (0..n).map(|_| VecDeque::new()).collect(),
+            out_owner: vec![NO_OWNER; n * 6],
+            hub_out: (0..topo.clusters()).map(|_| VecDeque::new()).collect(),
+            hub_used: vec![0; topo.clusters()],
+            deliveries: Vec::new(),
+        }
+    }
+
+    fn coords(&self, r: usize) -> (u16, u16) {
+        self.topo.xy(CoreId(r as u16))
+    }
+
+    fn flits_of(&self, msg: &Message) -> u8 {
+        msg.class.flits(self.flit_width) as u8
+    }
+
+    fn alloc_packet(&mut self, p: Packet) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.packets[id as usize] = Some(p);
+            id
+        } else {
+            self.packets.push(Some(p));
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    fn free_packet(&mut self, id: u32) {
+        self.packets[id as usize] = None;
+        self.free.push(id);
+    }
+
+    fn dest_xy(&self, route: Route) -> (u16, u16) {
+        match route {
+            Route::ToCore(d) | Route::ToHub(d) => self.topo.xy(d),
+            Route::McastRow(_) | Route::McastCol(_) => (0, 0),
+        }
+    }
+
+    fn xy_toward(&self, r: usize, dx: u16, dy: u16) -> Port {
+        let (x, y) = self.coords(r);
+        if dx > x {
+            Port::East
+        } else if dx < x {
+            Port::West
+        } else if dy > y {
+            Port::South
+        } else if dy < y {
+            Port::North
+        } else {
+            Port::Local
+        }
+    }
+
+    fn route_port(&self, pkt: &Packet, r: usize) -> Port {
+        match pkt.route {
+            Route::ToCore(_) => self.xy_toward(r, pkt.dest_x, pkt.dest_y),
+            Route::ToHub(_) => {
+                if self.coords(r) == (pkt.dest_x, pkt.dest_y) {
+                    Port::Hub
+                } else {
+                    self.xy_toward(r, pkt.dest_x, pkt.dest_y)
+                }
+            }
+            Route::McastRow(d) | Route::McastCol(d) => d.port(),
+        }
+    }
+
+    fn continues_at(&self, pkt: &Packet, at: usize) -> bool {
+        let (x, y) = self.coords(at);
+        match pkt.route {
+            Route::ToCore(_) | Route::ToHub(_) => true,
+            Route::McastRow(Dir::East) => x + 1 < self.topo.width,
+            Route::McastRow(Dir::West) => x > 0,
+            Route::McastCol(Dir::North) => y > 0,
+            Route::McastCol(Dir::South) => y + 1 < self.topo.height,
+            Route::McastRow(Dir::North | Dir::South) | Route::McastCol(Dir::East | Dir::West) => {
+                unreachable!("invalid multicast direction")
+            }
+        }
+    }
+
+    fn inject(&mut self, msg: Message, route: Route, now: Cycle) {
+        let len = self.flits_of(&msg);
+        let (dest_x, dest_y) = self.dest_xy(route);
+        let id = self.alloc_packet(Packet {
+            msg,
+            route,
+            len,
+            dest_x,
+            dest_y,
+            inject: now,
+        });
+        self.nicq[msg.src.idx()].push_back(id);
+    }
+
+    fn try_send(&mut self, msg: Message, now: Cycle) -> bool {
+        match msg.dest {
+            Dest::Unicast(dst) if dst == msg.src => {
+                self.deliveries.push(Delivery {
+                    msg,
+                    receiver: dst,
+                    at: now + 1,
+                });
+                true
+            }
+            Dest::Unicast(dst) => {
+                if self.nicq[msg.src.idx()].len() >= NIC_CAP {
+                    return false;
+                }
+                self.inject(msg, Route::ToCore(dst), now);
+                true
+            }
+            Dest::Broadcast => match self.kind {
+                MeshKind::Pure => {
+                    // NIC-expanded broadcast bypasses the cap (protocol
+                    // obligation), exactly like the production mesh.
+                    for c in 0..self.topo.cores() as u16 {
+                        if CoreId(c) != msg.src {
+                            self.inject(msg, Route::ToCore(CoreId(c)), now);
+                        }
+                    }
+                    true
+                }
+                MeshKind::BcastTree => {
+                    if self.nicq[msg.src.idx()].len() >= NIC_CAP {
+                        return false;
+                    }
+                    let (x, y) = self.coords(msg.src.idx());
+                    let len = self.flits_of(&msg);
+                    let branches: [Option<Route>; 4] = [
+                        (x + 1 < self.topo.width).then_some(Route::McastRow(Dir::East)),
+                        (x > 0).then_some(Route::McastRow(Dir::West)),
+                        (y > 0).then_some(Route::McastCol(Dir::North)),
+                        (y + 1 < self.topo.height).then_some(Route::McastCol(Dir::South)),
+                    ];
+                    for route in branches.into_iter().flatten() {
+                        let id = self.alloc_packet(Packet {
+                            msg,
+                            route,
+                            len,
+                            dest_x: 0,
+                            dest_y: 0,
+                            inject: now,
+                        });
+                        self.repq[msg.src.idx()].push_back(Flow {
+                            pkt: id,
+                            sent: 0,
+                            ready: now,
+                        });
+                    }
+                    true
+                }
+            },
+        }
+    }
+
+    fn try_send_to_hub(&mut self, msg: Message, now: Cycle) -> bool {
+        if self.nicq[msg.src.idx()].len() >= NIC_CAP {
+            return false;
+        }
+        let hub_tile = self.topo.hub_core(self.topo.cluster_of(msg.src));
+        self.inject(msg, Route::ToHub(hub_tile), now);
+        true
+    }
+
+    fn pop_hub_out(&mut self, cluster: ClusterId) -> Option<(Message, Cycle)> {
+        let m = self.hub_out[cluster.idx()].pop_front();
+        if let Some((ref msg, _)) = m {
+            self.hub_used[cluster.idx()] -= u32::from(self.flits_of(msg));
+        }
+        m
+    }
+
+    fn is_idle(&self) -> bool {
+        self.bufs.iter().all(VecDeque::is_empty)
+            && self.nicq.iter().all(VecDeque::is_empty)
+            && self.repq.iter().all(VecDeque::is_empty)
+    }
+
+    fn drain_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.append(&mut self.deliveries);
+    }
+
+    /// Tick every router, ascending index, per-flit positional
+    /// round-robin — the naive transcription of the arbitration spec.
+    fn tick(&mut self, now: Cycle) {
+        for r in 0..self.topo.cores() {
+            self.tick_router(r, now);
+        }
+    }
+
+    fn tick_router(&mut self, r: usize, now: Cycle) {
+        let mut occupied = [false; 4];
+        for (p, o) in occupied.iter_mut().enumerate() {
+            *o = !self.bufs[r * 4 + p].is_empty();
+        }
+        let has_nic = !self.nicq[r].is_empty();
+        let nrep = self.repq[r].len();
+        let total = occupied.iter().filter(|&&o| o).count() + usize::from(has_nic) + nrep;
+        if total == 0 {
+            return;
+        }
+        let rot = if total == 1 {
+            0
+        } else {
+            (now as usize + r) % total
+        };
+        let mut out_used = [false; 6];
+        let mut rep_done: Vec<usize> = Vec::new();
+        // Canonical candidate order In(0..4), Nic, Rep(0..n), rotated
+        // left by `rot`: pass 0 serves positions rot.., pass 1 the rest.
+        for pass in 0..2u8 {
+            let serve_from = pass == 0;
+            let mut pos = 0usize;
+            for (p, &occ) in occupied.iter().enumerate() {
+                if occ {
+                    if (pos >= rot) == serve_from {
+                        self.service(r, Src::In(p), now, &mut out_used, &mut rep_done);
+                    }
+                    pos += 1;
+                }
+            }
+            if has_nic {
+                if (pos >= rot) == serve_from {
+                    self.service(r, Src::Nic, now, &mut out_used, &mut rep_done);
+                }
+                pos += 1;
+            }
+            for i in 0..nrep {
+                if (pos >= rot) == serve_from {
+                    self.service(r, Src::Rep(i), now, &mut out_used, &mut rep_done);
+                }
+                pos += 1;
+            }
+        }
+        rep_done.sort_unstable_by(|a, b| b.cmp(a));
+        for i in rep_done {
+            self.repq[r].remove(i);
+        }
+    }
+
+    fn peek(&self, r: usize, src: Src, now: Cycle) -> Option<(u32, u8, u8, bool, Port)> {
+        match src {
+            Src::In(i) => {
+                let f = self.bufs[r * 4 + i].front()?;
+                if f.arrival > now {
+                    return None;
+                }
+                Some((f.pkt, f.idx, f.len, f.idx == 0, f.port))
+            }
+            Src::Nic => {
+                let &pkt = self.nicq[r].front()?;
+                let p = self.packets[pkt as usize].as_ref()?;
+                let idx = self.nic_sent[r];
+                Some((pkt, idx, p.len, idx == 0, self.route_port(p, r)))
+            }
+            Src::Rep(i) => {
+                let flow = self.repq[r].get(i)?;
+                if flow.ready > now {
+                    return None;
+                }
+                let p = self.packets[flow.pkt as usize].as_ref()?;
+                Some((
+                    flow.pkt,
+                    flow.sent,
+                    p.len,
+                    flow.sent == 0,
+                    self.route_port(p, r),
+                ))
+            }
+        }
+    }
+
+    fn service(
+        &mut self,
+        r: usize,
+        src: Src,
+        now: Cycle,
+        out_used: &mut [bool; 6],
+        rep_done: &mut Vec<usize>,
+    ) {
+        let Some((pkt_id, idx, len, is_head, out)) = self.peek(r, src, now) else {
+            return;
+        };
+        let is_tail = idx + 1 == len;
+        let oi = out.idx();
+        if out_used[oi] {
+            return;
+        }
+        let owner = self.out_owner[r * 6 + oi];
+        if owner == pkt_id {
+            // streaming an owned port
+        } else if owner != NO_OWNER {
+            return;
+        } else {
+            if !is_head {
+                return;
+            }
+            self.out_owner[r * 6 + oi] = pkt_id;
+        }
+        let moved = match out {
+            Port::Local => {
+                if is_tail {
+                    let pkt = self.packets[pkt_id as usize].expect("live packet");
+                    let Route::ToCore(receiver) = pkt.route else {
+                        unreachable!("only ToCore ejects locally")
+                    };
+                    self.deliveries.push(Delivery {
+                        msg: pkt.msg,
+                        receiver,
+                        at: now + 1,
+                    });
+                    self.free_packet(pkt_id);
+                }
+                true
+            }
+            Port::Hub => self.eject_to_hub(pkt_id, r, is_tail),
+            Port::North | Port::South | Port::East | Port::West => {
+                self.forward_flit(r, out, pkt_id, idx, len, is_tail, now)
+            }
+        };
+        if !moved {
+            return;
+        }
+        out_used[oi] = true;
+        match src {
+            Src::In(i) => {
+                self.bufs[r * 4 + i].pop_front();
+            }
+            Src::Nic => {
+                if is_tail {
+                    self.nicq[r].pop_front();
+                    self.nic_sent[r] = 0;
+                } else {
+                    self.nic_sent[r] += 1;
+                }
+            }
+            Src::Rep(i) => {
+                if is_tail {
+                    rep_done.push(i);
+                } else {
+                    self.repq[r][i].sent += 1;
+                }
+            }
+        }
+        if is_tail {
+            self.out_owner[r * 6 + oi] = NO_OWNER;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward_flit(
+        &mut self,
+        r: usize,
+        out: Port,
+        pkt_id: u32,
+        idx: u8,
+        len: u8,
+        is_tail: bool,
+        now: Cycle,
+    ) -> bool {
+        let (x, y) = self.coords(r);
+        let (nx, ny) = match out {
+            Port::North => (x, y - 1),
+            Port::South => (x, y + 1),
+            Port::East => (x + 1, y),
+            Port::West => (x - 1, y),
+            Port::Local | Port::Hub => unreachable!("not a link port"),
+        };
+        let nri = self.topo.core_at(nx, ny).idx();
+        let q = nri * 4 + (out.idx() ^ 1);
+        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let continues = self.continues_at(&pkt, nri);
+        if continues && self.bufs[q].len() >= self.depth {
+            return false;
+        }
+        if continues {
+            let port = self.route_port(&pkt, nri);
+            self.bufs[q].push_back(Flit {
+                pkt: pkt_id,
+                idx,
+                len,
+                port,
+                arrival: now + 2,
+            });
+        }
+        if is_tail {
+            self.on_tail_arrival(pkt_id, nri, continues, now + 2);
+        }
+        true
+    }
+
+    fn on_tail_arrival(&mut self, pkt_id: u32, at: usize, continues: bool, ready: Cycle) {
+        let pkt = self.packets[pkt_id as usize].expect("live packet");
+        let (_, y) = self.coords(at);
+        match pkt.route {
+            Route::ToCore(_) | Route::ToHub(_) => {}
+            Route::McastRow(_) => {
+                let here = CoreId(at as u16);
+                self.spawn(pkt_id, at, Route::ToCore(here), ready);
+                if y > 0 {
+                    self.spawn(pkt_id, at, Route::McastCol(Dir::North), ready);
+                }
+                if y + 1 < self.topo.height {
+                    self.spawn(pkt_id, at, Route::McastCol(Dir::South), ready);
+                }
+                if !continues {
+                    self.free_packet(pkt_id);
+                }
+            }
+            Route::McastCol(_) => {
+                let here = CoreId(at as u16);
+                self.spawn(pkt_id, at, Route::ToCore(here), ready);
+                if !continues {
+                    self.free_packet(pkt_id);
+                }
+            }
+        }
+    }
+
+    fn spawn(&mut self, parent: u32, at: usize, route: Route, ready: Cycle) {
+        let p = self.packets[parent as usize].expect("live packet");
+        let (dest_x, dest_y) = self.dest_xy(route);
+        let id = self.alloc_packet(Packet {
+            route,
+            dest_x,
+            dest_y,
+            ..p
+        });
+        self.repq[at].push_back(Flow {
+            pkt: id,
+            sent: 0,
+            ready,
+        });
+    }
+
+    fn eject_to_hub(&mut self, pkt_id: u32, r: usize, is_tail: bool) -> bool {
+        let cl = self.topo.cluster_of(CoreId(r as u16)).idx();
+        if self.hub_used[cl] >= HUB_BUF_FLITS {
+            return false;
+        }
+        self.hub_used[cl] += 1;
+        if is_tail {
+            let pkt = self.packets[pkt_id as usize].expect("live packet");
+            self.hub_out[cl].push_back((pkt.msg, pkt.inject));
+            self.free_packet(pkt_id);
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential drivers
+// ---------------------------------------------------------------------
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants); tests may not rely
+/// on ambient randomness.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn msg(src: u16, dest: Dest, class: MessageClass, token: u64) -> Message {
+    Message {
+        src: CoreId(src),
+        dest,
+        class,
+        token,
+    }
+}
+
+/// Drive the production mesh and the per-flit reference with identical
+/// seeded traffic; compare every back-pressure decision and every
+/// delivery (content, receiver, cycle, order), then require both to
+/// drain on the same cycle.
+fn differential_run(
+    kind: MeshKind,
+    flit_width: u32,
+    depth: usize,
+    seed: u64,
+    inject_cycles: u64,
+    bcast_one_in: u64,
+) {
+    let topo = Topology::small(8, 4);
+    let cores = topo.cores() as u64;
+    let mut fast = Mesh::new(topo, kind, flit_width, depth);
+    let mut gold = RefMesh::new(topo, kind, flit_width, depth);
+    let mut rng = Lcg(seed);
+    let mut fast_out = Vec::new();
+    let mut gold_out = Vec::new();
+    let mut now: Cycle = 0;
+    let mut token = 0u64;
+    let mut delivered = 0usize;
+    loop {
+        if now < inject_cycles && rng.below(2) == 0 {
+            let src = rng.below(cores) as u16;
+            let class = if rng.below(2) == 0 {
+                MessageClass::Control
+            } else {
+                MessageClass::Data
+            };
+            let dest = if bcast_one_in > 0 && rng.below(bcast_one_in) == 0 {
+                Dest::Broadcast
+            } else {
+                Dest::Unicast(CoreId(rng.below(cores) as u16))
+            };
+            token += 1;
+            let m = msg(src, dest, class, token);
+            let a = fast.try_send(m, now);
+            let b = gold.try_send(m, now);
+            assert_eq!(a, b, "back-pressure diverged at cycle {now} for {m:?}");
+        }
+        fast.tick(now);
+        gold.tick(now);
+        fast.drain_deliveries(&mut fast_out);
+        gold.drain_deliveries(&mut gold_out);
+        assert_eq!(
+            fast_out, gold_out,
+            "deliveries diverged at cycle {now} (seed {seed})"
+        );
+        delivered += fast_out.len();
+        fast_out.clear();
+        gold_out.clear();
+        now += 1;
+        if now >= inject_cycles {
+            let fi = fast.is_idle();
+            let gi = gold.is_idle();
+            assert_eq!(fi, gi, "idle state diverged at cycle {now} (seed {seed})");
+            if fi {
+                break;
+            }
+        }
+        assert!(
+            now < inject_cycles + 100_000,
+            "mesh did not drain (seed {seed})"
+        );
+    }
+    assert!(delivered > 0, "degenerate run: nothing delivered");
+}
+
+#[test]
+fn golden_unicast_pure_flit64() {
+    differential_run(MeshKind::Pure, 64, 4, 0x5eed_0001, 300, 0);
+}
+
+#[test]
+fn golden_unicast_data_heavy_flit16() {
+    // 39-flit data packets: long worms, deep contention, bulk runs.
+    differential_run(MeshKind::Pure, 16, 4, 0x5eed_0002, 200, 0);
+}
+
+#[test]
+fn golden_broadcast_tree_flit64() {
+    differential_run(MeshKind::BcastTree, 64, 4, 0x5eed_0003, 200, 16);
+}
+
+#[test]
+fn golden_pure_expanded_broadcast() {
+    differential_run(MeshKind::Pure, 64, 4, 0x5eed_0004, 120, 24);
+}
+
+#[test]
+fn golden_shallow_buffers_flit32() {
+    // depth 2 disables the bulk-run window entirely (limit = k−1 ≤ 1);
+    // the fast path must degrade to per-flit without timing drift.
+    differential_run(MeshKind::Pure, 32, 2, 0x5eed_0005, 250, 0);
+}
+
+#[test]
+fn golden_hub_traffic_matches() {
+    let topo = Topology::small(8, 4);
+    let mut fast = Mesh::new(topo, MeshKind::Pure, 64, 4);
+    let mut gold = RefMesh::new(topo, MeshKind::Pure, 64, 4);
+    let mut rng = Lcg(0x5eed_0006);
+    let cores = topo.cores() as u64;
+    let mut now: Cycle = 0;
+    let mut pops = 0usize;
+    while now < 2_000 {
+        if now < 400 && rng.below(3) == 0 {
+            let m = msg(
+                rng.below(cores) as u16,
+                Dest::Unicast(CoreId(0)), // dest field unused for hub sends
+                MessageClass::Control,
+                now,
+            );
+            let a = fast.try_send_to_hub(m, now);
+            let b = gold.try_send_to_hub(m, now);
+            assert_eq!(a, b, "hub back-pressure diverged at cycle {now}");
+        }
+        fast.tick(now);
+        gold.tick(now);
+        for c in 0..topo.clusters() {
+            let cl = ClusterId(c as u8);
+            let a = fast.pop_hub_out(cl);
+            let b = gold.pop_hub_out(cl);
+            assert_eq!(a, b, "hub pop diverged at cycle {now} cluster {c}");
+            pops += usize::from(a.is_some());
+        }
+        now += 1;
+    }
+    assert!(pops > 0, "degenerate run: no hub ejections");
+    assert!(fast.is_idle() && gold.is_idle());
+}
+
+// ---------------------------------------------------------------------
+// Wormhole edge cases (production mesh only)
+// ---------------------------------------------------------------------
+
+fn drain(mesh: &mut Mesh, start: Cycle, max: u64) -> (Vec<Delivery>, Cycle) {
+    let mut out = Vec::new();
+    let mut now = start;
+    while !mesh.is_idle() {
+        mesh.tick(now);
+        mesh.drain_deliveries(&mut out);
+        now += 1;
+        assert!(now - start < max, "mesh did not drain in {max} cycles");
+    }
+    (out, now)
+}
+
+#[test]
+fn single_flit_packets_claim_and_release_same_grant() {
+    // Control at 128-bit flits = 1 flit: every flit is head AND tail, so
+    // the switch claims and releases the output in the same grant and
+    // the bulk-run path (body flits only) never engages.
+    assert_eq!(MessageClass::Control.flits(128), 1);
+    let topo = Topology::small(8, 4);
+    let mut mesh = Mesh::new(topo, MeshKind::Pure, 128, 4);
+    for i in 0..8u16 {
+        assert!(mesh.try_send(
+            msg(
+                i,
+                Dest::Unicast(CoreId(63 - i)),
+                MessageClass::Control,
+                u64::from(i)
+            ),
+            0
+        ));
+    }
+    let (out, _) = drain(&mut mesh, 0, 2_000);
+    assert_eq!(out.len(), 8);
+    let mut tokens: Vec<u64> = out.iter().map(|d| d.msg.token).collect();
+    tokens.sort_unstable();
+    assert_eq!(tokens, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn ring_wraparound_under_sustained_stream() {
+    // A long stream of 39-flit packets across one row forces every
+    // intermediate input ring through many head-pointer wraps (depth 4,
+    // so the ring index wraps every 4 pops) while bulk runs move the
+    // head by more than one slot at a time.
+    let topo = Topology::small(8, 4);
+    let mut mesh = Mesh::new(topo, MeshKind::Pure, 16, 4);
+    let src = topo.core_at(0, 2);
+    let dst = topo.core_at(7, 2);
+    let n = 12u64;
+    for t in 0..n {
+        assert!(mesh.try_send(msg(src.0, Dest::Unicast(dst), MessageClass::Data, t), 0));
+    }
+    let (out, end) = drain(&mut mesh, 0, 50_000);
+    assert_eq!(out.len(), n as usize);
+    for d in &out {
+        assert_eq!(d.receiver, dst);
+    }
+    // Wormhole serialization floor: n packets × 39 flits through one NIC.
+    assert!(end >= n * 39, "drained impossibly fast: {end}");
+}
+
+#[test]
+fn interleaved_packets_stay_whole_with_two_flit_buffers() {
+    // Two multi-flit packets from opposite sides converge on the same
+    // output port of a middle router with depth-2 buffers (minimum
+    // credit). Wormhole ownership must serialize them packet-by-packet:
+    // both arrive intact, and the switch never interleaves their flits
+    // (an interleave would strand a body flit without an owned port and
+    // trip the mesh's internal debug assertions).
+    let topo = Topology::small(8, 4);
+    let mut mesh = Mesh::new(topo, MeshKind::Pure, 16, 2);
+    let west = topo.core_at(0, 1);
+    let east = topo.core_at(7, 1);
+    let dst = topo.core_at(4, 3); // both cross (4,1) then turn south
+    assert!(mesh.try_send(msg(west.0, Dest::Unicast(dst), MessageClass::Data, 1), 0));
+    assert!(mesh.try_send(msg(east.0, Dest::Unicast(dst), MessageClass::Data, 2), 0));
+    let (out, _) = drain(&mut mesh, 0, 20_000);
+    assert_eq!(out.len(), 2);
+    let mut tokens: Vec<u64> = out.iter().map(|d| d.msg.token).collect();
+    tokens.sort_unstable();
+    assert_eq!(tokens, vec![1, 2]);
+}
+
+#[test]
+fn full_backpressure_hotspot_drains_without_deadlock() {
+    // Every core floods the same hotspot with data packets through
+    // depth-2 buffers: sustained credit exhaustion on every approach
+    // path. XY routing is deadlock-free by construction; the mesh must
+    // drain every packet once injection stops.
+    let topo = Topology::small(8, 4);
+    let mut mesh = Mesh::new(topo, MeshKind::Pure, 32, 2);
+    let hotspot = topo.core_at(3, 1);
+    let mut sent = 0u64;
+    let mut now: Cycle = 0;
+    let mut out = Vec::new();
+    while now < 600 {
+        for c in 0..topo.cores() as u16 {
+            if CoreId(c) != hotspot && now % 7 == u64::from(c) % 7 {
+                // try_send may refuse under NIC back-pressure; that IS
+                // the back-pressure path being exercised.
+                if mesh.try_send(
+                    msg(c, Dest::Unicast(hotspot), MessageClass::Data, sent),
+                    now,
+                ) {
+                    sent += 1;
+                }
+            }
+        }
+        mesh.tick(now);
+        mesh.drain_deliveries(&mut out);
+        now += 1;
+    }
+    assert!(sent > 100, "hotspot run injected too little: {sent}");
+    let (rest, _) = drain(&mut mesh, now, 200_000);
+    out.extend(rest);
+    assert_eq!(out.len() as u64, sent, "every injected packet must arrive");
+    assert!(out.iter().all(|d| d.receiver == hotspot));
+}

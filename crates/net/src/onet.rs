@@ -116,6 +116,11 @@ pub struct Onet {
     obs: NetObsHandle,
     /// Which receive-network flavor final deliveries report as.
     recv_subnet: Subnet,
+    /// Live work items: queued TX messages + links mid-transmission +
+    /// RX packets being reassembled. Zero ⇔ idle, so the per-cycle tick
+    /// and the idle/horizon queries early-out in O(1) on a quiet ONet
+    /// instead of sweeping every link and receive queue.
+    live: u32,
 }
 
 impl Onet {
@@ -137,6 +142,7 @@ impl Onet {
             probe: ProbeHandle::default(),
             obs: NetObsHandle::disabled(),
             recv_subnet: Subnet::StarNet,
+            live: 0,
         }
     }
 
@@ -187,14 +193,20 @@ impl Onet {
             len,
             dest,
         });
+        self.live += 1;
     }
 
     /// Whether any link or receive pipeline still holds traffic.
     pub fn is_idle(&self) -> bool {
-        self.links
-            .iter()
-            .all(|l| l.q.is_empty() && l.state == LinkState::Idle)
-            && self.rx.iter().all(|r| r.q.is_empty())
+        debug_assert_eq!(
+            self.live == 0,
+            self.links
+                .iter()
+                .all(|l| l.q.is_empty() && l.state == LinkState::Idle)
+                && self.rx.iter().all(|r| r.q.is_empty()),
+            "live counter out of sync with link/rx state"
+        );
+        self.live == 0
     }
 
     /// Move deliveries accumulated since the last call into `out`.
@@ -207,6 +219,9 @@ impl Onet {
     /// state change (an early return only costs a no-op tick), so the
     /// engine may jump straight to it.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.live == 0 {
+            return None; // nothing queued, in flight, or draining
+        }
         let mut t = Cycle::MAX;
         for l in &self.links {
             match l.state {
@@ -241,6 +256,9 @@ impl Onet {
     /// Advance one cycle: start new transmissions where possible, then
     /// drain receive pipelines into the cluster receive networks.
     pub fn tick(&mut self, now: Cycle) {
+        if self.live == 0 {
+            return; // O(1) quiet tick instead of the link + rx sweeps
+        }
         self.tick_senders(now);
         self.tick_receivers(now);
     }
@@ -251,6 +269,7 @@ impl Onet {
             if let LinkState::Busy { until } = self.links[h].state {
                 if now > until {
                     self.links[h].state = LinkState::Idle;
+                    self.live -= 1;
                 }
             }
             if self.links[h].state != LinkState::Idle {
@@ -268,6 +287,8 @@ impl Onet {
                 continue;
             }
             self.links[h].q.pop_front();
+            // Queue slot (−1) becomes a busy link (+1): `live` is net
+            // unchanged here; each RxPacket below adds one.
             // Setup: select notification this cycle, data starts next.
             let start = now + SELECT_DATA_LAG;
             let until = start + Cycle::from(tx.len) - 1;
@@ -297,6 +318,7 @@ impl Onet {
             });
             for d in self.dest_range(tx.dest) {
                 self.rx[d].reserved_flits += u32::from(tx.len);
+                self.live += 1;
                 // audit: allow(alloc) reservation-bounded (≤ HUB_RX_CAP flits); capacity amortized
                 self.rx[d].q.push_back(RxPacket {
                     msg: tx.msg,
@@ -354,6 +376,7 @@ impl Onet {
                     let pkt = *head;
                     self.rx[cl].q.pop_front();
                     self.rx[cl].reserved_flits -= u32::from(pkt.len);
+                    self.live -= 1;
                     self.deliver(cl, pkt, now);
                 }
             }

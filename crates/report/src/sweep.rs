@@ -16,7 +16,7 @@
 //! `None` there.
 
 use atac_trace::json::{parse, Json};
-use atac_trace::{NetProfile, RouterObs, OCC_BUCKETS};
+use atac_trace::{NetProfile, RouterObs, OCC_BUCKETS, RUN_BUCKETS};
 
 /// Figure-level simulated metrics of one run, as carried by a sweep's
 /// `summaries` array and by history `run` lines. All of these are
@@ -241,6 +241,16 @@ pub(crate) fn parse_netprof(obj: &Json) -> Option<NetProfile> {
     p.epochs_closed = get_u64(obj, "epochs")?;
     p.coalesced_epochs = get_u64(obj, "coalesced")?;
     p.max_epoch_span = get_u64(obj, "max_epoch_span")?;
+    // Optional: absent on documents written before the packet-granular
+    // wormhole fast path landed its run-length / arbitration counters.
+    if let Some(hist) = obj.get("run_hist").and_then(parse_u64_arr) {
+        if hist.len() != RUN_BUCKETS {
+            return None;
+        }
+        p.run_len_hist.copy_from_slice(&hist);
+    }
+    p.bitset_grants = get_u64(obj, "bitset_grants").unwrap_or(0);
+    p.scalar_grants = get_u64(obj, "scalar_grants").unwrap_or(0);
     p.hub_unicast_flits = parse_u64_arr(obj.get("hub_unicast")?)?;
     p.hub_broadcast_flits = parse_u64_arr(obj.get("hub_broadcast")?)?;
     p.link_flits = parse_u64_arr(obj.get("links")?)?;
@@ -361,7 +371,7 @@ pub(crate) const SAMPLE: &str = r#"{
     "total": 12.75
   },
   "runs": [
-    {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "secs": 5.5, "source": "simulated", "profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}, "net_coverage": 0.99, "net_phases": {"route_compute": 0.9, "switch_arb": 0.8, "queue_ops": 0.7}}, "netprof": {"cycles": 500000, "ticks": 300000, "skipped": 200000, "jumps": 150, "wake_core": 120, "wake_mem": 30, "epochs": 10, "coalesced": 3, "max_epoch_span": 90000, "hub_unicast": [400], "hub_broadcast": [80], "links": [120, 0, 40, 0, 0, 60, 0, 20], "routers": [[200, 12, 90000, 180000, 40000, 30000, 15000, 4000, 900, 100], [120, 2, 45000, 50000, 30000, 10000, 4000, 900, 100, 0]]}},
+    {"key": "8x4|atac[distance-15]|flit64|buf4|ackwise4|radix", "secs": 5.5, "source": "simulated", "profile": {"total_secs": 5.5, "coverage": 0.97, "phases": {"replay": 2.0, "network": 2.5, "coherence": 0.8}, "net_coverage": 0.99, "net_phases": {"route_compute": 0.9, "switch_arb": 0.8, "queue_ops": 0.7}}, "netprof": {"cycles": 500000, "ticks": 300000, "skipped": 200000, "jumps": 150, "wake_core": 120, "wake_mem": 30, "epochs": 10, "coalesced": 3, "max_epoch_span": 90000, "run_hist": [150, 60, 20, 0, 0, 0], "bitset_grants": 220, "scalar_grants": 10, "hub_unicast": [400], "hub_broadcast": [80], "links": [120, 0, 40, 0, 0, 60, 0, 20], "routers": [[200, 12, 90000, 180000, 40000, 30000, 15000, 4000, 900, 100], [120, 2, 45000, 50000, 30000, 10000, 4000, 900, 100, 0]]}},
     {"key": "8x4|emesh-pure|flit64|buf4|ackwise4|radix", "secs": 0.01, "source": "cache_hit"}
   ],
   "summaries": [
@@ -404,6 +414,11 @@ mod tests {
         assert_eq!(np.routers[0].occupancy_hist[0], 40_000);
         assert_eq!(np.total_flits_routed(), 320);
         assert_eq!(np.total_credit_stalls(), 14);
+        // Fast-path counters round-trip through the v4 netprof block.
+        assert_eq!(np.run_len_hist, [150, 60, 20, 0, 0, 0]);
+        assert_eq!(np.total_grants(), 230);
+        assert_eq!(np.bitset_grants, 220);
+        assert_eq!(np.scalar_grants, 10);
         assert_eq!(np.link_flits.len(), 8);
         assert!(doc.runs[1].netprof.is_none(), "cache hit carries none");
         // The document-level merge is just the one profiled run here.
@@ -423,6 +438,23 @@ mod tests {
             doc.simulated_secs("8x4|emesh-pure|flit64|buf4|ackwise4|radix"),
             None
         );
+    }
+
+    #[test]
+    fn netprof_fast_path_counters_optional_for_older_documents() {
+        // Sweeps written before the packet-granular fast path carry no
+        // run_hist / grant-split members; they parse to zeros.
+        let old = r#"{"schema": "atac-bench-sweep-v4", "jobs": 1, "phases": {"total": 1.0},
+          "runs": [{"key": "k", "secs": 1.0, "source": "simulated",
+            "netprof": {"cycles": 4, "ticks": 4, "skipped": 0, "jumps": 0,
+              "wake_core": 0, "wake_mem": 0, "epochs": 1, "coalesced": 0,
+              "max_epoch_span": 4, "hub_unicast": [], "hub_broadcast": [],
+              "links": [], "routers": []}}]}"#;
+        let doc = parse_sweep(old).expect("pre-fast-path netprof parses");
+        let np = doc.runs[0].netprof.as_ref().expect("netprof block");
+        assert_eq!(np.total_grants(), 0);
+        assert_eq!(np.bitset_grants, 0);
+        assert_eq!(np.scalar_grants, 0);
     }
 
     #[test]

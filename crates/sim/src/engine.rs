@@ -312,8 +312,13 @@ pub fn run_observed(
             } else {
                 net.next_event(now)
             };
+            // Close the network stretch only on cycles that actually
+            // ticked the network: a gated-out cycle has nothing to
+            // attribute, and the unconditional clock read used to charge
+            // pure measurement overhead to the network phase on every
+            // quiet cycle.
+            prof.lap(HostPhase::Network);
         }
-        prof.lap(HostPhase::Network);
         for d in deliveries.drain(..) {
             ms.handle_delivery(&d, now);
         }

@@ -61,8 +61,8 @@ pub use flight::{
 };
 pub use hist::{Histogram, BUCKETS};
 pub use netobs::{
-    occ_bucket, AdvanceCause, NetObsHandle, NetObserver, NetProfile, RouterObs, LINKS_PER_ROUTER,
-    OCC_BUCKETS, OCC_BUCKET_LABELS,
+    occ_bucket, run_bucket, AdvanceCause, NetObsHandle, NetObserver, NetProfile, RouterObs,
+    LINKS_PER_ROUTER, OCC_BUCKETS, OCC_BUCKET_LABELS, RUN_BUCKETS, RUN_BUCKET_LABELS,
 };
 pub use probe::{
     Cycle, EpochSample, NetDeliver, NullProbe, OnetTx, Probe, ProbeHandle, Subnet, TrafficKind,

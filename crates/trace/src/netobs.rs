@@ -52,6 +52,25 @@ pub fn occ_bucket(occ: usize) -> usize {
     }
 }
 
+/// Number of packet-run-length histogram buckets.
+pub const RUN_BUCKETS: usize = 6;
+
+/// Display labels for the packet-run-length buckets, in bucket order
+/// (flits moved per switch grant through the wormhole fast path).
+pub const RUN_BUCKET_LABELS: [&str; RUN_BUCKETS] = ["1", "2", "3-4", "5-8", "9-16", "17+"];
+
+/// Bucket index for a packet-run length (flits moved in one grant).
+pub fn run_bucket(len: usize) -> usize {
+    match len {
+        0..=1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
 /// Why the engine's clock advanced: a normal busy-network tick, or a
 /// skip-ahead jump to the next core / memory-controller event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -323,6 +342,18 @@ pub struct NetProfile {
     pub coalesced_epochs: u64,
     /// Largest single epoch span observed, in cycles.
     pub max_epoch_span: u64,
+    /// Histogram of packet-run lengths: flits moved per switch grant
+    /// through the mesh's wormhole path, bucketed by [`run_bucket`].
+    /// Bucket 0 counts single-flit grants (head/tail flits and
+    /// ejection); higher buckets count the bulk body-run transfers the
+    /// packet-granular fast path coalesces into one grant.
+    pub run_len_hist: [u64; RUN_BUCKETS],
+    /// Switch-arbitration grants decided by the per-router request
+    /// bitset (rotate + `trailing_zeros`).
+    pub bitset_grants: u64,
+    /// Switch-arbitration grants decided by the scalar fallback scan
+    /// (routers whose candidate count exceeds the bitset word).
+    pub scalar_grants: u64,
 }
 
 fn ensure_len<T: Clone + Default>(v: &mut Vec<T>, len: usize) {
@@ -400,6 +431,12 @@ impl NetProfile {
         }
     }
 
+    /// Total switch grants recorded in the run-length histogram (one
+    /// grant per entry, whatever the run length).
+    pub fn total_grants(&self) -> u64 {
+        self.run_len_hist.iter().sum()
+    }
+
     /// Fold another profile into this one. Element-wise integer sums
     /// (plus `max` for [`NetProfile::max_epoch_span`]), so the result is
     /// independent of merge order and merging with an empty profile is
@@ -443,6 +480,11 @@ impl NetProfile {
         self.epochs_closed += other.epochs_closed;
         self.coalesced_epochs += other.coalesced_epochs;
         self.max_epoch_span = self.max_epoch_span.max(other.max_epoch_span);
+        for (a, b) in self.run_len_hist.iter_mut().zip(&other.run_len_hist) {
+            *a += *b;
+        }
+        self.bitset_grants += other.bitset_grants;
+        self.scalar_grants += other.scalar_grants;
     }
 
     fn router_mut(&mut self, r: usize) -> &mut RouterObs {
@@ -678,6 +720,44 @@ mod tests {
         assert_eq!(occ_bucket(17), 5);
         assert_eq!(occ_bucket(usize::MAX), 5);
         assert_eq!(OCC_BUCKET_LABELS.len(), OCC_BUCKETS);
+    }
+
+    #[test]
+    fn run_buckets_are_dense_and_monotone() {
+        assert_eq!(run_bucket(0), 0);
+        assert_eq!(run_bucket(1), 0);
+        assert_eq!(run_bucket(2), 1);
+        assert_eq!(run_bucket(3), 2);
+        assert_eq!(run_bucket(4), 2);
+        assert_eq!(run_bucket(5), 3);
+        assert_eq!(run_bucket(8), 3);
+        assert_eq!(run_bucket(9), 4);
+        assert_eq!(run_bucket(16), 4);
+        assert_eq!(run_bucket(17), 5);
+        assert_eq!(run_bucket(usize::MAX), 5);
+        assert_eq!(RUN_BUCKET_LABELS.len(), RUN_BUCKETS);
+    }
+
+    #[test]
+    fn merge_accumulates_fast_path_counters() {
+        let mut a = NetProfile::new();
+        a.run_len_hist[run_bucket(1)] = 3;
+        a.bitset_grants = 5;
+        let mut b = NetProfile::new();
+        b.run_len_hist[run_bucket(1)] = 2;
+        b.run_len_hist[run_bucket(7)] = 4;
+        b.bitset_grants = 1;
+        b.scalar_grants = 2;
+        a.merge(&b);
+        assert_eq!(a.run_len_hist[0], 5);
+        assert_eq!(a.run_len_hist[run_bucket(7)], 4);
+        assert_eq!(a.total_grants(), 9);
+        assert_eq!(a.bitset_grants, 6);
+        assert_eq!(a.scalar_grants, 2);
+        // profile_part carries the new counters across the batch flush.
+        let obs = Rc::new(RefCell::new(NetProfile::new()));
+        NetObsHandle::attach(Rc::clone(&obs)).profile_part(&a);
+        assert_eq!(*obs.borrow(), a);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! `Rc`-based and `!Send`, mirroring the probe's thread confinement:
 //! each sweep worker constructs its own inside its thread.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -289,9 +289,6 @@ struct ProfilerState {
     last_net: Instant,
     /// Network ticks announced via [`HostProfiler::net_tick`].
     net_ticks: u64,
-    /// Whether the current network tick is a sampled one (sub-laps read
-    /// the clock) or a skipped one (sub-laps are free no-ops).
-    net_sampling: bool,
 }
 
 /// Shared, cloneable handle to one run's lap accumulator.
@@ -313,6 +310,12 @@ pub struct HostProfiler {
     /// by the period, so the sub-phase totals still estimate the full
     /// stretch. 0 (the default) samples every tick — exact tiling.
     net_sample_log2: u32,
+    /// Whether the current network tick is a sampled one. Shared across
+    /// clones and kept in a `Cell` *outside* the `RefCell`, so the
+    /// per-flit [`HostProfiler::net_lap`] call sites on unsampled ticks
+    /// (the overwhelming majority under `ATAC_NETPROF_SAMPLE_LOG2`) cost
+    /// two branches and a plain load — never a `RefCell` borrow.
+    net_sampling: Rc<Cell<bool>>,
 }
 
 impl HostProfiler {
@@ -322,6 +325,7 @@ impl HostProfiler {
             state: None,
             netprof: false,
             net_sample_log2: 0,
+            net_sampling: Rc::new(Cell::new(false)),
         }
     }
 
@@ -346,10 +350,10 @@ impl HostProfiler {
                 last: now,
                 last_net: now,
                 net_ticks: 0,
-                net_sampling: true,
             }))),
             netprof,
             net_sample_log2: 0,
+            net_sampling: Rc::new(Cell::new(true)),
         }
     }
 
@@ -375,7 +379,7 @@ impl HostProfiler {
         if let Some(state) = &self.state {
             let mut s = state.borrow_mut();
             let mask = (1u64 << self.net_sample_log2) - 1;
-            s.net_sampling = s.net_ticks & mask == 0;
+            self.net_sampling.set(s.net_ticks & mask == 0);
             s.net_ticks += 1;
         }
     }
@@ -421,14 +425,11 @@ impl HostProfiler {
     // data, not simulated results
     #[inline]
     pub fn net_lap(&self, sub: NetSubPhase) {
-        if !self.netprof {
+        if !self.netprof || !self.net_sampling.get() {
             return;
         }
         if let Some(state) = &self.state {
             let mut s = state.borrow_mut();
-            if !s.net_sampling {
-                return;
-            }
             let scale = (1u64 << self.net_sample_log2) as f64;
             let now = Instant::now();
             s.net_secs[sub.index()] += now.duration_since(s.last_net).as_secs_f64() * scale;
@@ -440,12 +441,38 @@ impl HostProfiler {
     /// to this call. Returns `None` for a disabled handle. Other clones
     /// of the handle remain usable (laps keep accumulating), so a sweep
     /// can snapshot per run.
+    ///
+    /// Under statistical sampling (`net_sample_log2 > 0`) the raw scaled
+    /// sub-lap sums systematically overshoot the parent phase: sampled
+    /// ticks pay the `Instant::now()` + `RefCell` overhead that skipped
+    /// ticks do not, so the ×2^log2 extrapolation amplifies measurement
+    /// overhead that the `network` phase total never contains (the
+    /// committed BENCH_sweep.json once showed a 237 s sub-phase sum
+    /// against an 80.8 s network phase). The sampled estimate is still
+    /// an unbiased *attribution* — which sub-phase owns which share —
+    /// so finish() keeps the shares and renormalizes them onto the
+    /// exactly-measured `phases.network` seconds. At log2 = 0 every tick
+    /// is measured and the raw sums tile the phase exactly, so they are
+    /// returned untouched. Either way `net_tracked_secs() ≤
+    /// phase_secs(Network)` holds per finished profile, and — because
+    /// [`HostProfile::merge`] is element-wise sums — per merged sweep
+    /// aggregate too.
     pub fn finish(&self) -> Option<HostProfile> {
         self.state.as_ref().map(|state| {
             let s = state.borrow();
+            let mut net_sub_secs = s.net_secs;
+            if self.net_sample_log2 > 0 {
+                let raw: f64 = net_sub_secs.iter().sum();
+                if raw > 0.0 {
+                    let scale = s.secs[HostPhase::Network.index()] / raw;
+                    for v in &mut net_sub_secs {
+                        *v *= scale;
+                    }
+                }
+            }
             HostProfile {
                 secs: s.secs,
-                net_sub_secs: s.net_secs,
+                net_sub_secs,
                 total_secs: s.started.elapsed().as_secs_f64(),
             }
         })
@@ -623,8 +650,9 @@ mod tests {
         assert_eq!(sampled, 2);
         let net = profile.phase_secs(HostPhase::Network);
         let tracked = profile.net_sub(NetSubPhase::QueueOps);
-        // Two sampled 500 µs stretches scaled ×4 ≈ the 4 ms total; allow
-        // generous slack for spin jitter but require the scale-up to have
+        // Two sampled 500 µs stretches scaled ×4 ≈ the 4 ms total, then
+        // renormalized onto the measured network phase; allow generous
+        // slack for spin jitter but require the scale-up to have
         // happened (unscaled it could only reach ~1/4 of the stretch).
         assert!(tracked > net * 0.4, "tracked {tracked} vs network {net}");
         // net_tick is inert for non-netprof profilers.
@@ -632,6 +660,60 @@ mod tests {
         q.net_tick();
         q.net_lap(NetSubPhase::Credit);
         assert_eq!(q.finish().expect("enabled").net_tracked_secs(), 0.0);
+    }
+
+    #[test]
+    fn sampled_net_laps_reconcile_with_the_network_phase() {
+        // The reconciliation invariant the sweep doc relies on: even
+        // under statistical sampling — where sampled ticks pay clock
+        // and borrow overhead that the skipped ticks do not, so the raw
+        // scaled sums overshoot — the finished profile's sub-phase sum
+        // never exceeds the parent network phase (per worker), and in
+        // fact tiles it exactly because finish() renormalizes shares.
+        let p = HostProfiler::enabled_with_netprof(true).with_net_sampling(4);
+        let spin = || {
+            let t = Instant::now();
+            while t.elapsed().as_micros() < 100 {
+                std::hint::black_box(0u64);
+            }
+        };
+        for _ in 0..64 {
+            p.net_tick();
+            spin();
+            p.net_lap(NetSubPhase::SwitchArb);
+            spin();
+            p.net_lap(NetSubPhase::QueueOps);
+        }
+        p.lap(HostPhase::Network);
+        let profile = p.finish().expect("enabled");
+        let net = profile.phase_secs(HostPhase::Network);
+        assert!(net > 0.0);
+        assert!(
+            profile.net_tracked_secs() <= net + 1e-9,
+            "sub-phase sum {} exceeds network phase {net}",
+            profile.net_tracked_secs()
+        );
+        assert!(
+            (profile.net_sub_coverage() - 1.0).abs() < 1e-9,
+            "renormalized shares tile the phase, coverage {}",
+            profile.net_sub_coverage()
+        );
+        // Attribution shares survive the renormalization: both sampled
+        // sub-phases kept a nonzero slice.
+        assert!(profile.net_sub(NetSubPhase::SwitchArb) > 0.0);
+        assert!(profile.net_sub(NetSubPhase::QueueOps) > 0.0);
+
+        // Merging per-worker profiles preserves the invariant: sums of
+        // per-profile `sub ≤ net` inequalities.
+        let mut merged = HostProfile::zero();
+        merged.merge(&profile);
+        merged.merge(&profile);
+        assert!(
+            merged.net_tracked_secs() <= merged.phase_secs(HostPhase::Network) + 1e-9,
+            "merged sub-phase sum {} exceeds merged network phase {}",
+            merged.net_tracked_secs(),
+            merged.phase_secs(HostPhase::Network)
+        );
     }
 
     #[test]
